@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Regenerates paper Figure 4: peak memory during profile conversion and
+ * whole-program analysis — Propeller's Phase 3 vs. BOLT's perf2bolt — for
+ * the warehouse-scale/open-source workloads (left) and SPEC2017 (right).
+ *
+ * Expected shape: Propeller stays within the per-action limit everywhere
+ * and scales with *hot* code; BOLT scales with total binary size, drawing
+ * level only on the smallest SPEC benchmarks.
+ */
+
+#include "common.h"
+
+using namespace propeller;
+
+namespace {
+
+void
+section(const std::vector<workload::WorkloadConfig> &configs,
+        const char *label)
+{
+    std::printf("\n-- %s --\n", label);
+    Table table({"Benchmark", "Propeller Phase 3", "BOLT perf2bolt",
+                 "BOLT (selective)", "BOLT / Propeller", "Limit OK?"});
+    BarChart chart(44);
+    for (const auto &cfg : configs) {
+        buildsys::Workflow &wf = bench::workflowFor(cfg.name);
+        wf.wpa();
+        bolt::BoltStats bolt_stats;
+        bolt::convertProfile(wf.boltInputBinary(), wf.profile(),
+                             &bolt_stats);
+        bolt::BoltStats lite_stats;
+        bolt::convertProfile(wf.boltInputBinary(), wf.profile(),
+                             &lite_stats, nullptr, /*selective=*/true);
+
+        uint64_t prop = wf.report("phase3.wpa").peakActionMemory;
+        uint64_t bolt_mem = bolt_stats.convertPeakMemory;
+        bool ok = prop <= wf.limits().ramPerAction;
+        table.addRow({cfg.name, formatBytes(prop), formatBytes(bolt_mem),
+                      formatBytes(lite_stats.convertPeakMemory),
+                      formatFixed(static_cast<double>(bolt_mem) /
+                                      static_cast<double>(prop),
+                                  1) + "x",
+                      ok ? "yes" : "NO"});
+        chart.addBar(cfg.name + " [prop]", static_cast<double>(prop),
+                     formatBytes(prop));
+        chart.addBar(cfg.name + " [bolt]", static_cast<double>(bolt_mem),
+                     formatBytes(bolt_mem));
+    }
+    std::printf("%s%s", table.render().c_str(), chart.render().c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "Figure 4", "Peak memory: profile conversion + WPA",
+        "Propeller <3GB on all workloads (within build-system limits); "
+        "BOLT up to 14-30x more on large binaries, on par for tiny SPEC");
+
+    section(workload::appConfigs(), "warehouse-scale + open source (L)");
+    section(workload::specConfigs(), "SPEC2017 (R)");
+
+    std::printf("\nNotes: memory is modelled (deterministic footprints), "
+                "scaled with the 1/100\nworkloads; the per-action limit is "
+                "the scaled 12 GB analogue.  'BOLT (selective)'\nis the "
+                "Lightning-BOLT selective-processing improvement the paper "
+                "(5.1) suggests\nwould close part of the gap — implemented "
+                "here for completeness.\n");
+    return 0;
+}

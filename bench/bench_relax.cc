@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Ablation for paper section 4.2 — the bespoke linker relaxation pass:
+ * link the Propeller-optimized Clang binary with and without relaxation
+ * and report deleted fall-through jumps, shrunk branches, text size and
+ * cycles.
+ *
+ * Expected shape: relaxation removes the redundant explicit fall-through
+ * jumps between adjacent sections and shrinks most branch encodings,
+ * recovering the size the basic-block-sections abstraction would
+ * otherwise cost, with a small performance benefit.
+ */
+
+#include "common.h"
+
+#include "codegen/codegen.h"
+#include "linker/linker.h"
+
+using namespace propeller;
+
+int
+main()
+{
+    bench::printHeader(
+        "Section 4.2", "Linker relaxation ablation (Clang)",
+        "fall-through deletion + branch shrinking keep basic block "
+        "sections nearly free in size");
+
+    const workload::WorkloadConfig &cfg = workload::configByName("clang");
+    buildsys::Workflow &wf = bench::workflowFor("clang");
+    const core::WpaResult &wpa = wf.wpa();
+
+    // Recompile the hot modules with clusters, then link twice.
+    codegen::Options copts;
+    copts.bbSections = codegen::BbSectionsMode::Clusters;
+    copts.clusters = &wpa.ccProf.clusters;
+    copts.emitAddrMapSection = true;
+    auto objects = codegen::compileProgram(wf.program(), copts);
+
+    Table table({"Link", "Text size", "FT jumps deleted",
+                 "Branches shrunk", "Cycles", "Perf delta"});
+    sim::RunResult relaxed_run;
+    sim::RunResult fat_run;
+    for (bool relax : {true, false}) {
+        linker::Options lopts;
+        lopts.entrySymbol = "main";
+        lopts.symbolOrder = wpa.ldProf.symbolOrder;
+        lopts.relax = relax;
+        linker::LinkStats stats;
+        linker::Executable exe = linker::link(objects, lopts, &stats);
+        sim::RunResult run = bench::evalRun(exe, cfg);
+        (relax ? relaxed_run : fat_run) = run;
+        table.addRow({relax ? "with relaxation" : "without",
+                      formatBytes(exe.sizes.text),
+                      formatCount(stats.fallThroughsDeleted),
+                      formatCount(stats.branchesShrunk),
+                      formatCount(run.counters.cycles()), relax ? "-" : ""});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\nrelaxation is worth %+0.2f%% performance and the size "
+                "delta above.\n",
+                100.0 * bench::improvement(fat_run, relaxed_run));
+    return 0;
+}

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Ablation for paper section 4.6 — low-overhead function splitting:
+ *
+ *  - block reordering without splitting;
+ *  - splitting without reordering;
+ *  - both (the Propeller default);
+ *  - both plus a second profiling round on the optimized binary (the
+ *    extra ~1% the paper reports for Clang).
+ *
+ * Expected shape: splitting drives large iTLB/i-cache reductions (the
+ * paper reports up to -40% iTLB and -5% icache for splitting on Clang),
+ * the combination wins, and re-profiling adds a little more.
+ */
+
+#include <set>
+
+#include "codegen/codegen.h"
+#include "linker/linker.h"
+
+#include "common.h"
+
+using namespace propeller;
+
+namespace {
+
+/**
+ * Blocks the *instrumented PGO profile* would call cold: reachable from
+ * the entry only through edges its training run never took (bias == 0).
+ * The stale profile misses the rarely-but-occasionally executed paths
+ * that hardware samples from production load expose — the paper's
+ * section 2.4 observation.
+ */
+std::set<uint32_t>
+staticPgoColdBlocks(const ir::Function &fn)
+{
+    std::set<uint32_t> warm;
+    std::vector<uint32_t> stack = {fn.entry().id};
+    while (!stack.empty()) {
+        uint32_t id = stack.back();
+        stack.pop_back();
+        if (!warm.insert(id).second)
+            continue;
+        const ir::BasicBlock *bb = fn.findBlock(id);
+        const ir::Inst &term = bb->terminator();
+        switch (term.kind) {
+          case ir::InstKind::CondBr:
+            if (term.bias > 0 || term.periodic)
+                stack.push_back(term.trueTarget);
+            if (term.periodic || term.bias < 255)
+                stack.push_back(term.falseTarget);
+            break;
+          case ir::InstKind::Br:
+            stack.push_back(term.target);
+            break;
+          default:
+            break;
+        }
+    }
+    std::set<uint32_t> cold;
+    for (const auto &bb : fn.blocks) {
+        if (!warm.count(bb->id))
+            cold.insert(bb->id);
+    }
+    return cold;
+}
+
+/**
+ * Rewrite sample-driven cluster specs so that only the blocks the PGO
+ * profile knew to be cold are split out; sample-cold-but-PGO-warm blocks
+ * return to the primary cluster.
+ */
+codegen::ClusterMap
+pgoDrivenSpecs(const ir::Program &program, const codegen::ClusterMap &wpa)
+{
+    codegen::ClusterMap out;
+    for (const auto &[fn_name, spec] : wpa) {
+        const ir::Function *fn = program.findFunction(fn_name);
+        std::set<uint32_t> pgo_cold = staticPgoColdBlocks(*fn);
+        codegen::ClusterSpec rewritten;
+        rewritten.clusters.push_back(spec.clusters[0]);
+        std::vector<uint32_t> cold;
+        if (spec.coldIndex >= 0) {
+            for (uint32_t id : spec.clusters[spec.coldIndex]) {
+                if (pgo_cold.count(id))
+                    cold.push_back(id);
+                else
+                    rewritten.clusters[0].push_back(id);
+            }
+        }
+        for (size_t c = 1; c < spec.clusters.size(); ++c) {
+            if (static_cast<int>(c) == spec.coldIndex)
+                continue;
+            rewritten.clusters.push_back(spec.clusters[c]);
+        }
+        if (!cold.empty()) {
+            rewritten.coldIndex =
+                static_cast<int>(rewritten.clusters.size());
+            rewritten.clusters.push_back(std::move(cold));
+        }
+        out.emplace(fn_name, std::move(rewritten));
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "Section 4.6", "Function splitting ablation (Clang)",
+        "splitting cuts iTLB misses up to 40% and icache misses ~5%; an "
+        "extra profiling round adds ~1%");
+
+    const workload::WorkloadConfig &cfg = workload::configByName("clang");
+    buildsys::Workflow &wf = bench::workflowFor("clang");
+    sim::RunResult base = bench::evalRun(wf.baseline(), cfg);
+
+    Table table({"Configuration", "Perf", "iTLB (T1)", "L1i (I1)",
+                 "Taken (B2)"});
+    auto red = [](double r) { return formatFixed(-100.0 * r, 0) + "%"; };
+    auto addRow = [&](const char *label, const sim::RunResult &r) {
+        table.addRow({label, formatPercentDelta(bench::improvement(base, r)),
+                      red(bench::reduction(base.counters.itlbMisses,
+                                           r.counters.itlbMisses)),
+                      red(bench::reduction(base.counters.l1iMisses,
+                                           r.counters.l1iMisses)),
+                      red(bench::reduction(base.counters.takenBranches,
+                                           r.counters.takenBranches))});
+    };
+
+    core::LayoutOptions opts;
+    opts.splitFunctions = false;
+    opts.reorderBlocks = true;
+    addRow("reorder only",
+           bench::evalRun(wf.propellerBinaryWith(opts), cfg));
+
+    opts.splitFunctions = true;
+    opts.reorderBlocks = false;
+    addRow("split only",
+           bench::evalRun(wf.propellerBinaryWith(opts), cfg));
+
+    // Section 2.4: splitting driven by the *stale instrumented profile*
+    // instead of hardware samples (cold = never-executed-in-training).
+    {
+        const core::WpaResult &wpa = wf.wpa();
+        codegen::ClusterMap pgo_specs =
+            pgoDrivenSpecs(wf.program(), wpa.ccProf.clusters);
+        codegen::Options copts;
+        copts.bbSections = codegen::BbSectionsMode::Clusters;
+        copts.clusters = &pgo_specs;
+        auto objects = codegen::compileProgram(wf.program(), copts);
+        linker::Options lopts;
+        lopts.entrySymbol = "main";
+        lopts.symbolOrder = wpa.ldProf.symbolOrder;
+        addRow("split from stale PGO profile",
+               bench::evalRun(linker::link(objects, lopts), cfg));
+    }
+
+    addRow("reorder + split (Propeller)",
+           bench::evalRun(wf.propellerBinary(), cfg));
+
+    addRow("+ second profiling round",
+           bench::evalRun(wf.iterativePropellerBinary(), cfg));
+
+    std::printf("%s", table.render().c_str());
+    std::printf("\nNotes: 'split only' isolates the paper's machine-"
+                "function-splitting use case;\n'split from stale PGO "
+                "profile' reproduces section 2.4 (sample-driven cold\n"
+                "detection beats PGO-profile-driven detection); the second "
+                "round profiles the\noptimized binary and relinks, as in "
+                "section 4.6's extra hardware-profiling round.\n");
+    return 0;
+}

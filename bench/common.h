@@ -1,0 +1,81 @@
+#ifndef PROPELLER_BENCH_COMMON_H
+#define PROPELLER_BENCH_COMMON_H
+
+/**
+ * @file
+ * Shared bench-harness helpers.
+ *
+ * Every bench binary regenerates one table or figure of the paper.  The
+ * conventions:
+ *  - print a header naming the experiment and the paper's headline claim;
+ *  - print paper-reported values next to measured ones where available;
+ *  - absolute values are simulator-scale; the *shape* (who wins, rough
+ *    factors, crossovers) is the reproduction target (see EXPERIMENTS.md).
+ */
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "build/workflow.h"
+#include "sim/machine.h"
+#include "support/table.h"
+#include "support/units.h"
+#include "workload/workload.h"
+
+namespace propeller::bench {
+
+/** Print the standard experiment banner. */
+inline void
+printHeader(const char *id, const char *title, const char *claim)
+{
+    std::printf("================================================================================\n");
+    std::printf("%s: %s\n", id, title);
+    std::printf("Paper claim: %s\n", claim);
+    std::printf("================================================================================\n");
+}
+
+/** Process-lifetime workflow cache (workflows are expensive to build). */
+inline buildsys::Workflow &
+workflowFor(const std::string &name)
+{
+    static std::map<std::string, std::unique_ptr<buildsys::Workflow>> cache;
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+        it = cache
+                 .emplace(name, std::make_unique<buildsys::Workflow>(
+                                    workload::configByName(name)))
+                 .first;
+    }
+    return *it->second;
+}
+
+/** Evaluation run of a binary under a workload's standard options. */
+inline sim::RunResult
+evalRun(const linker::Executable &exe, const workload::WorkloadConfig &cfg)
+{
+    return sim::run(exe, workload::evalOptions(cfg));
+}
+
+/** Cycles-based improvement of @p opt over @p base, as a fraction. */
+inline double
+improvement(const sim::RunResult &base, const sim::RunResult &opt)
+{
+    return static_cast<double>(base.counters.cycles()) /
+               static_cast<double>(opt.counters.cycles()) -
+           1.0;
+}
+
+/** Reduction of a counter, as a fraction (positive = fewer events). */
+inline double
+reduction(uint64_t base, uint64_t opt)
+{
+    if (base == 0)
+        return 0.0;
+    return 1.0 - static_cast<double>(opt) / static_cast<double>(base);
+}
+
+} // namespace propeller::bench
+
+#endif // PROPELLER_BENCH_COMMON_H

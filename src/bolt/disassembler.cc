@@ -1,0 +1,128 @@
+#include "bolt/disassembler.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace propeller::bolt {
+
+int
+BoltFunction::blockAt(uint64_t addr) const
+{
+    auto it = std::upper_bound(
+        blocks.begin(), blocks.end(), addr,
+        [](uint64_t a, const BoltBlock &b) { return a < b.start; });
+    if (it == blocks.begin())
+        return -1;
+    --it;
+    if (addr >= it->end)
+        return -1;
+    return static_cast<int>(it - blocks.begin());
+}
+
+namespace {
+
+/** Linear disassembly of [start, end); false on any decode failure. */
+bool
+decodeRange(const linker::Executable &exe, uint64_t start, uint64_t end,
+            std::vector<BoltInst> &out)
+{
+    uint64_t pc = start;
+    while (pc < end) {
+        uint64_t offset = pc - exe.textBase;
+        auto inst = isa::decode(exe.text.data() + offset, end - pc);
+        if (!inst)
+            return false; // Embedded data or truncated encoding.
+        out.push_back({pc, *inst});
+        pc += inst->size();
+    }
+    return true;
+}
+
+void
+buildBlocks(BoltFunction &fn)
+{
+    // Leaders: function start, branch targets, instructions after
+    // control transfers.
+    std::set<uint64_t> leaders;
+    leaders.insert(fn.start);
+    for (const auto &bi : fn.insts) {
+        const isa::Instruction &inst = bi.inst;
+        if (inst.isCondBranch() || inst.isUncondBranch()) {
+            uint64_t target = bi.addr + inst.size() +
+                              static_cast<int64_t>(inst.rel);
+            if (target >= fn.start && target < fn.end)
+                leaders.insert(target);
+            leaders.insert(bi.addr + inst.size());
+        } else if (inst.isRet() || inst.op == isa::Opcode::Halt) {
+            leaders.insert(bi.addr + inst.size());
+        }
+    }
+
+    uint32_t inst_idx = 0;
+    std::vector<uint64_t> sorted(leaders.begin(), leaders.end());
+    for (size_t l = 0; l < sorted.size(); ++l) {
+        uint64_t start = sorted[l];
+        uint64_t end = (l + 1 < sorted.size()) ? sorted[l + 1] : fn.end;
+        if (start >= fn.end)
+            break;
+        BoltBlock block;
+        block.start = start;
+        block.end = end;
+        while (inst_idx < fn.insts.size() &&
+               fn.insts[inst_idx].addr < start) {
+            ++inst_idx;
+        }
+        block.firstInst = inst_idx;
+        uint32_t n = 0;
+        while (inst_idx + n < fn.insts.size() &&
+               fn.insts[inst_idx + n].addr < end) {
+            ++n;
+        }
+        block.numInsts = n;
+        fn.blocks.push_back(block);
+    }
+}
+
+} // namespace
+
+std::vector<BoltFunction>
+disassembleBinary(const linker::Executable &exe)
+{
+    // Group symbol ranges by function; BOLT-style processing assumes one
+    // contiguous range per function.
+    std::map<std::string, std::vector<const linker::FuncRange *>> by_func;
+    for (const auto &sym : exe.symbols)
+        by_func[sym.parentFunction].push_back(&sym);
+
+    std::vector<BoltFunction> functions;
+    functions.reserve(by_func.size());
+    for (const auto &[name, ranges] : by_func) {
+        const linker::FuncRange *primary = nullptr;
+        for (const auto *range : ranges) {
+            if (range->isPrimary)
+                primary = range;
+        }
+        if (!primary)
+            continue;
+        BoltFunction fn;
+        fn.name = name;
+        fn.start = primary->start;
+        fn.end = primary->end;
+        if (ranges.size() > 1 || primary->isHandAsm) {
+            // Split functions and hand-written assembly are not safely
+            // rewritable from disassembly.
+            fn.ok = false;
+        } else {
+            fn.ok = decodeRange(exe, fn.start, fn.end, fn.insts);
+            if (!fn.ok)
+                fn.insts.clear();
+        }
+        if (fn.ok)
+            buildBlocks(fn);
+        functions.push_back(std::move(fn));
+    }
+    return functions;
+}
+
+} // namespace propeller::bolt

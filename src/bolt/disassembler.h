@@ -1,0 +1,76 @@
+#ifndef PROPELLER_BOLT_DISASSEMBLER_H
+#define PROPELLER_BOLT_DISASSEMBLER_H
+
+/**
+ * @file
+ * Disassembly-driven binary analysis — the BOLT-style approach Propeller
+ * is compared against (paper sections 2.4, 5).
+ *
+ * Function discovery walks the symbol table; each function body is then
+ * linearly disassembled and its CFG reconstructed from branch targets.
+ * Every decoded instruction materializes an MCInst-like record, which is
+ * the memory cost that scales with *total* binary size rather than hot
+ * code size (Figure 4/5).  Functions containing embedded data (hand-
+ * written assembly) fail to decode and are marked non-optimizable — the
+ * "disassembly is an inexact science" failure mode of section 1.1.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/isa.h"
+#include "linker/executable.h"
+
+namespace propeller::bolt {
+
+/** One decoded instruction at its address. */
+struct BoltInst
+{
+    uint64_t addr = 0;
+    isa::Instruction inst;
+};
+
+/** A reconstructed basic block. */
+struct BoltBlock
+{
+    uint64_t start = 0;
+    uint64_t end = 0;
+    uint32_t firstInst = 0; ///< Index into BoltFunction::insts.
+    uint32_t numInsts = 0;
+    uint64_t freq = 0; ///< Filled by profile attribution.
+};
+
+/** A discovered and (possibly) disassembled function. */
+struct BoltFunction
+{
+    std::string name;
+    uint64_t start = 0;
+    uint64_t end = 0;
+
+    /** False when disassembly failed (embedded data / hand-asm). */
+    bool ok = true;
+
+    std::vector<BoltInst> insts;
+    std::vector<BoltBlock> blocks;
+
+    /** Block index containing @p addr; -1 if none. */
+    int blockAt(uint64_t addr) const;
+
+    /** Modelled memory for the MCInst-like representation. */
+    uint64_t
+    footprint() const
+    {
+        return 96 + insts.size() * 56 + blocks.size() * 48;
+    }
+};
+
+/**
+ * Discover and disassemble all functions of @p exe (primary symbol ranges;
+ * multi-range functions and hand-written assembly are marked !ok).
+ */
+std::vector<BoltFunction> disassembleBinary(const linker::Executable &exe);
+
+} // namespace propeller::bolt
+
+#endif // PROPELLER_BOLT_DISASSEMBLER_H

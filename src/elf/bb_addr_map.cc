@@ -1,0 +1,129 @@
+#include "elf/bb_addr_map.h"
+
+#include <cassert>
+
+#include "support/leb128.h"
+
+namespace propeller::elf {
+
+size_t
+FunctionAddrMap::blockCount() const
+{
+    size_t n = 0;
+    for (const auto &range : ranges)
+        n += range.blocks.size();
+    return n;
+}
+
+namespace {
+
+void
+encodeString(const std::string &s, std::vector<uint8_t> &out)
+{
+    encodeUleb128(s.size(), out);
+    out.insert(out.end(), s.begin(), s.end());
+}
+
+bool
+decodeString(const std::vector<uint8_t> &data, size_t &pos, std::string &out)
+{
+    auto len = decodeUleb128(data, pos);
+    if (!len || pos + *len > data.size())
+        return false;
+    out.assign(data.begin() + pos, data.begin() + pos + *len);
+    pos += *len;
+    return true;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+encodeAddrMaps(const std::vector<FunctionAddrMap> &maps)
+{
+    // Compact encoding in the spirit of SHT_LLVM_BB_ADDR_MAP: blocks in a
+    // range are contiguous, so only the first offset plus per-block sizes
+    // are stored; flags are packed with the id.
+    std::vector<uint8_t> out;
+    encodeUleb128(maps.size(), out);
+    for (const auto &map : maps) {
+        encodeString(map.functionName, out);
+        encodeUleb128(map.ranges.size(), out);
+        for (const auto &range : map.ranges) {
+            encodeString(range.sectionSymbol, out);
+            encodeUleb128(range.blocks.size(), out);
+            uint64_t expected_offset =
+                range.blocks.empty() ? 0 : range.blocks.front().offset;
+            encodeUleb128(expected_offset, out);
+            for (const auto &bb : range.blocks) {
+                assert(bb.offset == expected_offset &&
+                       "range blocks must be contiguous");
+                encodeUleb128((static_cast<uint64_t>(bb.bbId) << 3) |
+                                  (bb.flags & 0x7),
+                              out);
+                encodeUleb128(bb.size, out);
+                expected_offset += bb.size;
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<FunctionAddrMap>
+decodeAddrMaps(const std::vector<uint8_t> &data, bool *ok)
+{
+    auto fail = [&]() {
+        if (ok)
+            *ok = false;
+        return std::vector<FunctionAddrMap>{};
+    };
+    if (ok)
+        *ok = true;
+
+    size_t pos = 0;
+    auto n_funcs = decodeUleb128(data, pos);
+    // Sanity bound: every function entry needs at least 4 bytes, so any
+    // larger count is corrupt input (guards reserve() on fuzzed bytes).
+    if (!n_funcs || *n_funcs > data.size())
+        return fail();
+
+    std::vector<FunctionAddrMap> maps;
+    maps.reserve(*n_funcs);
+    for (uint64_t f = 0; f < *n_funcs; ++f) {
+        FunctionAddrMap map;
+        if (!decodeString(data, pos, map.functionName))
+            return fail();
+        auto n_ranges = decodeUleb128(data, pos);
+        if (!n_ranges || *n_ranges > data.size())
+            return fail();
+        for (uint64_t r = 0; r < *n_ranges; ++r) {
+            BbRange range;
+            if (!decodeString(data, pos, range.sectionSymbol))
+                return fail();
+            auto n_blocks = decodeUleb128(data, pos);
+            auto offset = decodeUleb128(data, pos);
+            if (!n_blocks || *n_blocks > data.size() || !offset)
+                return fail();
+            uint64_t cursor = *offset;
+            for (uint64_t b = 0; b < *n_blocks; ++b) {
+                BbEntry bb;
+                auto id_flags = decodeUleb128(data, pos);
+                auto size = decodeUleb128(data, pos);
+                if (!id_flags || !size)
+                    return fail();
+                bb.bbId = static_cast<uint32_t>(*id_flags >> 3);
+                bb.flags = static_cast<uint8_t>(*id_flags & 0x7);
+                bb.offset = static_cast<uint32_t>(cursor);
+                bb.size = static_cast<uint32_t>(*size);
+                cursor += *size;
+                range.blocks.push_back(bb);
+            }
+            map.ranges.push_back(std::move(range));
+        }
+        maps.push_back(std::move(map));
+    }
+    if (pos != data.size())
+        return fail();
+    return maps;
+}
+
+} // namespace propeller::elf

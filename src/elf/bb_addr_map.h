@@ -1,0 +1,78 @@
+#ifndef PROPELLER_ELF_BB_ADDR_MAP_H
+#define PROPELLER_ELF_BB_ADDR_MAP_H
+
+/**
+ * @file
+ * The basic block address map (paper section 3.2).
+ *
+ * Substitute for LLVM's SHT_LLVM_BB_ADDR_MAP.  For every function, codegen
+ * records each machine basic block's offset, size and stable id, grouped
+ * into one range per emitted text section (cluster).  The section is not
+ * loaded at run time; its only consumers are the Phase 3 whole-program
+ * analysis (mapping LBR addresses back to machine basic blocks) and the
+ * Figure 6 size accounting.
+ *
+ * Encoding mirrors the real section: ULEB128 fields, one entry per
+ * function, per-range block lists.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace propeller::elf {
+
+/** Per-block flags stored in the address map. */
+enum BbFlags : uint8_t {
+    kBbLandingPad = 0x01, ///< Block is an exception landing pad.
+    kBbReturns = 0x02,    ///< Block ends in a return.
+    kBbFallThrough = 0x04 ///< Block may fall through to the next block.
+};
+
+/** One machine basic block inside a range. */
+struct BbEntry
+{
+    uint32_t bbId = 0;   ///< Stable IR block id.
+    uint32_t offset = 0; ///< Byte offset from the start of the range.
+    uint32_t size = 0;   ///< Encoded size in bytes.
+    uint8_t flags = 0;
+
+    bool operator==(const BbEntry &) const = default;
+};
+
+/** One contiguous range (one text section / cluster) of a function. */
+struct BbRange
+{
+    std::string sectionSymbol; ///< Symbol of the owning text section.
+    std::vector<BbEntry> blocks;
+
+    bool operator==(const BbRange &) const = default;
+};
+
+/** Address map metadata for one function. */
+struct FunctionAddrMap
+{
+    std::string functionName;
+    std::vector<BbRange> ranges;
+
+    bool operator==(const FunctionAddrMap &) const = default;
+
+    /** Total number of blocks across all ranges. */
+    size_t blockCount() const;
+};
+
+/** Encode a list of function address maps into section bytes. */
+std::vector<uint8_t> encodeAddrMaps(const std::vector<FunctionAddrMap> &maps);
+
+/**
+ * Decode section bytes produced by encodeAddrMaps().
+ *
+ * @return decoded maps; returns an empty vector on malformed input (and
+ *         sets @p ok to false if provided).
+ */
+std::vector<FunctionAddrMap> decodeAddrMaps(const std::vector<uint8_t> &data,
+                                            bool *ok = nullptr);
+
+} // namespace propeller::elf
+
+#endif // PROPELLER_ELF_BB_ADDR_MAP_H

@@ -1,0 +1,235 @@
+#include <cassert>
+
+#include "elf/object.h"
+#include "support/leb128.h"
+
+/**
+ * @file
+ * Binary serialization of object files.
+ *
+ * The distributed build system (src/build) stores artifacts by content in
+ * its cache; serializing object files for real keeps the cache honest (hits
+ * require byte-identical artifacts) and gives Figure 6 exact sizes.
+ */
+
+namespace propeller::elf {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x0b1ec7f1;
+
+void
+putString(const std::string &s, std::vector<uint8_t> &out)
+{
+    encodeUleb128(s.size(), out);
+    out.insert(out.end(), s.begin(), s.end());
+}
+
+void
+putBytes(const std::vector<uint8_t> &b, std::vector<uint8_t> &out)
+{
+    encodeUleb128(b.size(), out);
+    out.insert(out.end(), b.begin(), b.end());
+}
+
+void
+putU64(uint64_t v, std::vector<uint8_t> &out)
+{
+    encodeUleb128(v, out);
+}
+
+/** Streaming reader over a byte vector; asserts on malformed input. */
+class Reader
+{
+  public:
+    explicit Reader(const std::vector<uint8_t> &data) : data_(data) {}
+
+    uint64_t
+    u64()
+    {
+        auto v = decodeUleb128(data_, pos_);
+        assert(v && "truncated object file");
+        return *v;
+    }
+
+    std::string
+    str()
+    {
+        uint64_t len = u64();
+        assert(pos_ + len <= data_.size() && "truncated string");
+        std::string s(data_.begin() + pos_, data_.begin() + pos_ + len);
+        pos_ += len;
+        return s;
+    }
+
+    std::vector<uint8_t>
+    bytes()
+    {
+        uint64_t len = u64();
+        assert(pos_ + len <= data_.size() && "truncated byte run");
+        std::vector<uint8_t> b(data_.begin() + pos_,
+                               data_.begin() + pos_ + len);
+        pos_ += len;
+        return b;
+    }
+
+    uint8_t
+    u8()
+    {
+        assert(pos_ < data_.size());
+        return data_[pos_++];
+    }
+
+    bool done() const { return pos_ == data_.size(); }
+
+  private:
+    const std::vector<uint8_t> &data_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+std::vector<uint8_t>
+ObjectFile::serialize() const
+{
+    std::vector<uint8_t> out;
+    putU64(kMagic, out);
+    putString(name, out);
+
+    putU64(sections.size(), out);
+    for (const auto &sec : sections) {
+        putString(sec.name, out);
+        out.push_back(static_cast<uint8_t>(sec.type));
+        putU64(sec.alignment, out);
+        out.push_back(sec.isHandAsm ? 1 : 0);
+        putBytes(sec.bytes, out);
+        putU64(sec.pieces.size(), out);
+        for (const auto &piece : sec.pieces) {
+            out.push_back(piece.block ? 1 : 0);
+            if (piece.block) {
+                putU64(piece.block->bbId, out);
+                out.push_back(piece.block->flags);
+            }
+            putBytes(piece.bytes, out);
+            out.push_back(piece.site ? 1 : 0);
+            if (piece.site) {
+                const BranchSite &bs = *piece.site;
+                out.push_back(static_cast<uint8_t>(bs.op));
+                out.push_back(bs.flags);
+                out.push_back(bs.bias);
+                putU64(bs.branchId, out);
+                putString(bs.targetSymbol, out);
+                putU64(bs.targetBb, out);
+                out.push_back(bs.isFallThrough ? 1 : 0);
+            }
+        }
+    }
+
+    putU64(symbols.size(), out);
+    for (const auto &sym : symbols) {
+        putString(sym.name, out);
+        putU64(sym.sectionIndex, out);
+        out.push_back(static_cast<uint8_t>(sym.kind));
+        putString(sym.parentFunction, out);
+    }
+
+    putBytes(encodeAddrMaps(addrMaps), out);
+
+    putU64(frames.size(), out);
+    for (const auto &fde : frames) {
+        putString(fde.sectionSymbol, out);
+        putU64(fde.codeLength, out);
+        out.push_back(fde.savedRegs);
+    }
+
+    putU64(integrityCheckedFunctions.size(), out);
+    for (const auto &fn : integrityCheckedFunctions)
+        putString(fn, out);
+
+    putU64(debugRelocs, out);
+    return out;
+}
+
+ObjectFile
+ObjectFile::deserialize(const std::vector<uint8_t> &data)
+{
+    Reader r(data);
+    uint64_t magic = r.u64();
+    assert(magic == kMagic && "bad object file magic");
+    (void)magic;
+
+    ObjectFile obj;
+    obj.name = r.str();
+
+    uint64_t n_sections = r.u64();
+    obj.sections.reserve(n_sections);
+    for (uint64_t i = 0; i < n_sections; ++i) {
+        Section sec;
+        sec.name = r.str();
+        sec.type = static_cast<SectionType>(r.u8());
+        sec.alignment = static_cast<uint32_t>(r.u64());
+        sec.isHandAsm = r.u8() != 0;
+        sec.bytes = r.bytes();
+        uint64_t n_pieces = r.u64();
+        sec.pieces.reserve(n_pieces);
+        for (uint64_t p = 0; p < n_pieces; ++p) {
+            TextPiece piece;
+            if (r.u8()) {
+                BlockMark mark;
+                mark.bbId = static_cast<uint32_t>(r.u64());
+                mark.flags = r.u8();
+                piece.block = mark;
+            }
+            piece.bytes = r.bytes();
+            if (r.u8()) {
+                BranchSite bs;
+                bs.op = static_cast<isa::Opcode>(r.u8());
+                bs.flags = r.u8();
+                bs.bias = r.u8();
+                bs.branchId = static_cast<uint32_t>(r.u64());
+                bs.targetSymbol = r.str();
+                bs.targetBb = static_cast<uint32_t>(r.u64());
+                bs.isFallThrough = r.u8() != 0;
+                piece.site = std::move(bs);
+            }
+            sec.pieces.push_back(std::move(piece));
+        }
+        obj.sections.push_back(std::move(sec));
+    }
+
+    uint64_t n_symbols = r.u64();
+    obj.symbols.reserve(n_symbols);
+    for (uint64_t i = 0; i < n_symbols; ++i) {
+        Symbol sym;
+        sym.name = r.str();
+        sym.sectionIndex = static_cast<uint32_t>(r.u64());
+        sym.kind = static_cast<SymbolKind>(r.u8());
+        sym.parentFunction = r.str();
+        obj.symbols.push_back(std::move(sym));
+    }
+
+    bool ok = true;
+    obj.addrMaps = decodeAddrMaps(r.bytes(), &ok);
+    assert(ok && "bad bb_addr_map payload");
+    (void)ok;
+
+    uint64_t n_frames = r.u64();
+    obj.frames.reserve(n_frames);
+    for (uint64_t i = 0; i < n_frames; ++i) {
+        FrameDescriptor fde;
+        fde.sectionSymbol = r.str();
+        fde.codeLength = static_cast<uint32_t>(r.u64());
+        fde.savedRegs = r.u8();
+        obj.frames.push_back(std::move(fde));
+    }
+
+    uint64_t n_checks = r.u64();
+    for (uint64_t i = 0; i < n_checks; ++i)
+        obj.integrityCheckedFunctions.push_back(r.str());
+
+    obj.debugRelocs = static_cast<uint32_t>(r.u64());
+    assert(r.done() && "trailing bytes in object file");
+    return obj;
+}
+
+} // namespace propeller::elf

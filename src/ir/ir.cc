@@ -1,0 +1,168 @@
+#include "ir/ir.h"
+
+namespace propeller::ir {
+
+Inst
+makeWork(uint8_t reg, uint32_t imm)
+{
+    Inst i;
+    i.kind = InstKind::Work;
+    i.reg = reg;
+    i.imm = imm;
+    return i;
+}
+
+Inst
+makeWorkWide(uint8_t reg, uint32_t imm)
+{
+    Inst i;
+    i.kind = InstKind::WorkWide;
+    i.reg = reg;
+    i.imm = imm;
+    return i;
+}
+
+Inst
+makeLoad(uint8_t reg, uint32_t disp)
+{
+    Inst i;
+    i.kind = InstKind::Load;
+    i.reg = reg;
+    i.imm = disp;
+    return i;
+}
+
+Inst
+makeStore(uint8_t reg, uint32_t disp)
+{
+    Inst i;
+    i.kind = InstKind::Store;
+    i.reg = reg;
+    i.imm = disp;
+    return i;
+}
+
+Inst
+makeCall(std::string callee)
+{
+    Inst i;
+    i.kind = InstKind::Call;
+    i.callee = std::move(callee);
+    return i;
+}
+
+Inst
+makeCondBr(uint32_t true_target, uint32_t false_target, uint8_t bias,
+           uint32_t branch_id)
+{
+    Inst i;
+    i.kind = InstKind::CondBr;
+    i.trueTarget = true_target;
+    i.falseTarget = false_target;
+    i.bias = bias;
+    i.branchId = branch_id;
+    return i;
+}
+
+Inst
+makeLoopBr(uint32_t true_target, uint32_t false_target, uint8_t trip_count,
+           uint32_t branch_id)
+{
+    Inst i = makeCondBr(true_target, false_target,
+                        trip_count < 2 ? 2 : trip_count, branch_id);
+    i.periodic = true;
+    return i;
+}
+
+Inst
+makeBr(uint32_t target)
+{
+    Inst i;
+    i.kind = InstKind::Br;
+    i.target = target;
+    return i;
+}
+
+Inst
+makeRet()
+{
+    Inst i;
+    i.kind = InstKind::Ret;
+    return i;
+}
+
+std::vector<uint32_t>
+BasicBlock::successors() const
+{
+    const Inst &term = terminator();
+    switch (term.kind) {
+      case InstKind::CondBr:
+        return {term.trueTarget, term.falseTarget};
+      case InstKind::Br:
+        return {term.target};
+      default:
+        return {};
+    }
+}
+
+const BasicBlock *
+Function::findBlock(uint32_t id) const
+{
+    for (const auto &bb : blocks) {
+        if (bb->id == id)
+            return bb.get();
+    }
+    return nullptr;
+}
+
+size_t
+Function::instCount() const
+{
+    size_t n = 0;
+    for (const auto &bb : blocks)
+        n += bb->insts.size();
+    return n;
+}
+
+const Function *
+Program::findFunction(const std::string &name) const
+{
+    for (const auto &mod : modules) {
+        for (const auto &fn : mod->functions) {
+            if (fn->name == name)
+                return fn.get();
+        }
+    }
+    return nullptr;
+}
+
+size_t
+Program::functionCount() const
+{
+    size_t n = 0;
+    for (const auto &mod : modules)
+        n += mod->functions.size();
+    return n;
+}
+
+size_t
+Program::blockCount() const
+{
+    size_t n = 0;
+    for (const auto &mod : modules)
+        for (const auto &fn : mod->functions)
+            n += fn->blocks.size();
+    return n;
+}
+
+size_t
+Program::instCount() const
+{
+    size_t n = 0;
+    for (const auto &mod : modules)
+        for (const auto &fn : mod->functions)
+            n += fn->instCount();
+    return n;
+}
+
+} // namespace propeller::ir

@@ -1,0 +1,172 @@
+#ifndef PROPELLER_IR_IR_H
+#define PROPELLER_IR_IR_H
+
+/**
+ * @file
+ * The mini intermediate representation (IR).
+ *
+ * Substitute for optimized LLVM IR (paper Phase 1).  A Program is a set of
+ * Modules (translation units — the unit of distributed build actions); each
+ * Module holds Functions made of BasicBlocks with explicit control flow.
+ *
+ * The IR is already "optimized": Propeller never transforms IR semantics,
+ * it only re-runs code generation with different *layout* directives, so
+ * the IR here is the stable cached artifact the paper's Phase 4 retrieves
+ * from the distributed build cache.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace propeller::ir {
+
+/** IR instruction kinds; lowered 1:1 to ISA instructions by codegen. */
+enum class InstKind : uint8_t {
+    Work,     ///< Generic ALU work (3-byte encoding).
+    WorkWide, ///< Generic wide ALU work (6-byte encoding).
+    Load,     ///< Memory read.
+    Store,    ///< Memory write.
+    Call,     ///< Direct call to another function.
+    CondBr,   ///< Two-way conditional terminator.
+    Br,       ///< Unconditional terminator.
+    Ret,      ///< Return terminator.
+};
+
+/**
+ * One IR instruction.  A flat struct rather than a class hierarchy: the IR
+ * is generated and consumed by machines, and millions of instances exist
+ * for the warehouse-scale workloads, so compactness matters.
+ */
+struct Inst
+{
+    InstKind kind = InstKind::Work;
+    uint8_t reg = 0;  ///< Register operand for work/memory ops.
+    uint32_t imm = 0; ///< Immediate / displacement for work/memory ops.
+
+    /** Call: index of the callee in Program::functionIndex ordering. */
+    std::string callee;
+
+    // --- CondBr fields -----------------------------------------------
+    uint32_t trueTarget = 0;  ///< BB id taken with probability bias/256.
+    uint32_t falseTarget = 0; ///< BB id taken otherwise.
+    uint8_t bias = 0;         ///< P(trueTarget) in 1/256 units.
+    uint32_t branchId = 0;    ///< Program-unique, layout-invariant id.
+
+    /**
+     * Deterministic loop-style direction: trueTarget on all but every
+     * bias-th execution (bias is the trip count, >= 2).
+     */
+    bool periodic = false;
+
+    // --- Br field -----------------------------------------------------
+    uint32_t target = 0; ///< BB id of the unconditional successor.
+
+    bool
+    isTerminator() const
+    {
+        return kind == InstKind::CondBr || kind == InstKind::Br ||
+               kind == InstKind::Ret;
+    }
+};
+
+/** Factory helpers for readable construction code. */
+Inst makeWork(uint8_t reg, uint32_t imm);
+Inst makeWorkWide(uint8_t reg, uint32_t imm);
+Inst makeLoad(uint8_t reg, uint32_t disp);
+Inst makeStore(uint8_t reg, uint32_t disp);
+Inst makeCall(std::string callee);
+Inst makeCondBr(uint32_t true_target, uint32_t false_target, uint8_t bias,
+                uint32_t branch_id);
+
+/** Loop back-edge: trueTarget on all but every trip_count-th execution. */
+Inst makeLoopBr(uint32_t true_target, uint32_t false_target,
+                uint8_t trip_count, uint32_t branch_id);
+Inst makeBr(uint32_t target);
+Inst makeRet();
+
+/**
+ * A basic block: straight-line instructions ending in one terminator.
+ *
+ * The id is stable across all code layouts — it is the identity carried
+ * through the BB address map so that hardware profile addresses can be
+ * mapped back to machine basic blocks (paper section 3.2).
+ */
+struct BasicBlock
+{
+    uint32_t id = 0;
+    std::vector<Inst> insts;
+
+    /** Landing-pad blocks get the section 4.5 treatment in codegen. */
+    bool isLandingPad = false;
+
+    const Inst &terminator() const { return insts.back(); }
+
+    /** BB ids this block can transfer control to (excluding calls). */
+    std::vector<uint32_t> successors() const;
+};
+
+/**
+ * A function: an ordered list of basic blocks; the first block is the
+ * entry.  Block order is the *original* (compiler-chosen) layout, which is
+ * what the baseline binary uses.
+ */
+struct Function
+{
+    std::string name;
+    std::vector<std::unique_ptr<BasicBlock>> blocks;
+
+    /**
+     * Hand-written assembly marker (paper sections 1.1/5.8): codegen emits
+     * this function as a raw blob with embedded data, which disassembly
+     * driven optimizers mis-parse.
+     */
+    bool isHandAsm = false;
+
+    /**
+     * Subject to startup integrity checking (FIPS-140-2 analogue, paper
+     * section 5.8): the build registers a content hash of this function's
+     * final bytes, and the machine verifies it at startup.  Binary
+     * rewriting that moves the code without re-registering breaks it.
+     */
+    bool hasIntegrityCheck = false;
+
+    BasicBlock &entry() { return *blocks.front(); }
+    const BasicBlock &entry() const { return *blocks.front(); }
+
+    /** Find a block by id; nullptr if absent. */
+    const BasicBlock *findBlock(uint32_t id) const;
+
+    /** Total instruction count across all blocks. */
+    size_t instCount() const;
+};
+
+/** A translation unit: the granularity of build actions and caching. */
+struct Module
+{
+    std::string name;
+    std::vector<std::unique_ptr<Function>> functions;
+
+    /** Bytes of read-only data this module contributes ("other" in Fig 6). */
+    uint64_t rodataBytes = 0;
+};
+
+/** A whole program: the input to the 4-phase Propeller workflow. */
+struct Program
+{
+    std::string name;
+    std::vector<std::unique_ptr<Module>> modules;
+    std::string entryFunction;
+
+    /** Find a function by name anywhere in the program; nullptr if absent. */
+    const Function *findFunction(const std::string &name) const;
+
+    size_t functionCount() const;
+    size_t blockCount() const;
+    size_t instCount() const;
+};
+
+} // namespace propeller::ir
+
+#endif // PROPELLER_IR_IR_H

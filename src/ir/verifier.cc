@@ -1,0 +1,108 @@
+#include "ir/verifier.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace propeller::ir {
+
+namespace {
+
+void
+verifyFunction(const Function &fn, const std::string &mod_name,
+               const std::unordered_set<std::string> &all_functions,
+               std::unordered_set<uint32_t> &branch_ids,
+               std::vector<std::string> &errors)
+{
+    auto err = [&](const std::string &msg) {
+        errors.push_back(mod_name + "/" + fn.name + ": " + msg);
+    };
+
+    if (fn.blocks.empty()) {
+        err("function has no blocks");
+        return;
+    }
+    if (fn.entry().isLandingPad)
+        err("entry block is a landing pad");
+
+    std::unordered_set<uint32_t> ids;
+    for (const auto &bb : fn.blocks) {
+        if (!ids.insert(bb->id).second)
+            err("duplicate block id " + std::to_string(bb->id));
+    }
+
+    for (const auto &bb : fn.blocks) {
+        const std::string where = "bb" + std::to_string(bb->id);
+        if (bb->insts.empty()) {
+            err(where + ": empty block");
+            continue;
+        }
+        for (size_t i = 0; i + 1 < bb->insts.size(); ++i) {
+            if (bb->insts[i].isTerminator())
+                err(where + ": terminator before end of block");
+        }
+        const Inst &term = bb->insts.back();
+        if (!term.isTerminator()) {
+            err(where + ": block does not end with a terminator");
+            continue;
+        }
+        for (uint32_t succ : bb->successors()) {
+            if (!ids.count(succ)) {
+                err(where + ": branch to unknown block " +
+                    std::to_string(succ));
+            }
+        }
+        if (term.kind == InstKind::CondBr) {
+            if (!branch_ids.insert(term.branchId).second) {
+                err(where + ": duplicate branch id " +
+                    std::to_string(term.branchId));
+            }
+        }
+        for (const Inst &inst : bb->insts) {
+            if (inst.kind == InstKind::Call &&
+                !all_functions.count(inst.callee)) {
+                err(where + ": call to unknown function '" + inst.callee +
+                    "'");
+            }
+        }
+    }
+}
+
+} // namespace
+
+std::vector<std::string>
+verify(const Program &program)
+{
+    std::vector<std::string> errors;
+
+    std::unordered_set<std::string> function_names;
+    std::unordered_set<std::string> module_names;
+    for (const auto &mod : program.modules) {
+        if (mod->name.empty())
+            errors.push_back("unnamed module");
+        if (!module_names.insert(mod->name).second)
+            errors.push_back("duplicate module name '" + mod->name + "'");
+        for (const auto &fn : mod->functions) {
+            if (fn->name.empty())
+                errors.push_back(mod->name + ": unnamed function");
+            if (!function_names.insert(fn->name).second) {
+                errors.push_back("duplicate function name '" + fn->name +
+                                 "'");
+            }
+        }
+    }
+
+    std::unordered_set<uint32_t> branch_ids;
+    for (const auto &mod : program.modules) {
+        for (const auto &fn : mod->functions)
+            verifyFunction(*fn, mod->name, function_names, branch_ids,
+                           errors);
+    }
+
+    if (!function_names.count(program.entryFunction)) {
+        errors.push_back("entry function '" + program.entryFunction +
+                         "' not found");
+    }
+    return errors;
+}
+
+} // namespace propeller::ir

@@ -1,0 +1,40 @@
+#ifndef PROPELLER_IR_VERIFIER_H
+#define PROPELLER_IR_VERIFIER_H
+
+/**
+ * @file
+ * Structural validation of IR programs.
+ *
+ * The workload generator, the examples and the tests all construct IR; the
+ * verifier guarantees the invariants codegen and the simulator rely on.
+ */
+
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace propeller::ir {
+
+/**
+ * Verify structural invariants of @p program.
+ *
+ * Checked invariants:
+ *  - every module and function is named; names are unique program-wide;
+ *  - every function has at least one block; the entry block is not a
+ *    landing pad;
+ *  - block ids are unique within each function;
+ *  - every block ends with exactly one terminator, and no terminator
+ *    appears before the end;
+ *  - branch targets reference existing blocks in the same function;
+ *  - every call resolves to a function in the program;
+ *  - conditional-branch ids are unique program-wide;
+ *  - the entry function exists.
+ *
+ * @return a list of human-readable violations; empty means valid.
+ */
+std::vector<std::string> verify(const Program &program);
+
+} // namespace propeller::ir
+
+#endif // PROPELLER_IR_VERIFIER_H

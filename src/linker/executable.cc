@@ -1,0 +1,15 @@
+#include "linker/executable.h"
+
+namespace propeller::linker {
+
+const FuncRange *
+Executable::findSymbol(const std::string &name) const
+{
+    for (const auto &range : symbols) {
+        if (range.name == name)
+            return &range;
+    }
+    return nullptr;
+}
+
+} // namespace propeller::linker

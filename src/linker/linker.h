@@ -1,0 +1,99 @@
+#ifndef PROPELLER_LINKER_LINKER_H
+#define PROPELLER_LINKER_LINKER_H
+
+/**
+ * @file
+ * The linker.
+ *
+ * Substitute for lld with the basic-block-sections support of paper
+ * section 4.  Responsibilities:
+ *
+ *  - gather text sections from all input objects;
+ *  - order them by the symbol ordering file (ld_prof.txt, paper 3.4); the
+ *    remainder keeps input order;
+ *  - run the unified branch sizing / relaxation pass (paper 4.2): pick
+ *    short vs. near encodings for every branch site and delete explicit
+ *    fall-through jumps whose target ends up immediately next — all without
+ *    disassembling a single instruction (branch sites are relocations);
+ *  - resolve every relocation and emit the final image;
+ *  - produce the absolute-address BB map, symbol ranges, integrity-check
+ *    table and the Figure 6 size breakdown.
+ */
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "elf/object.h"
+#include "linker/executable.h"
+#include "support/memory_meter.h"
+
+namespace propeller::linker {
+
+/** Link options. */
+struct Options
+{
+    /** Output binary name. */
+    std::string outputName = "a.out";
+
+    /** Entry function symbol. */
+    std::string entrySymbol;
+
+    /**
+     * Symbol ordering file contents (ld_prof.txt): text sections whose
+     * symbol appears here are laid out first, in this order.
+     */
+    std::vector<std::string> symbolOrder;
+
+    /** Run the relaxation pass (fall-through deletion + shrinking). */
+    bool relax = true;
+
+    /** Base virtual address of the text image. */
+    uint64_t textBase = 0x400000;
+
+    /** Map text on 2 MiB huge pages (2 MiB-aligns the base). */
+    bool hugePagesText = false;
+
+    /**
+     * Drop .bb_addr_map sections of these input objects from the size
+     * accounting (the paper's linker drops metadata of cached cold objects
+     * in the final relink, section 3.4).
+     */
+    const std::set<std::string> *dropAddrMapsOf = nullptr;
+
+    /** Drop all .bb_addr_map sections (plain baseline binaries). */
+    bool stripAddrMaps = false;
+
+    /**
+     * Keep static relocations in the output (--emit-relocs), required by
+     * BOLT's metadata binaries; counted in the Figure 6 "relocs" bucket.
+     */
+    bool emitRelocs = false;
+
+    /** Modelled memory meter to charge (optional). */
+    MemoryMeter *meter = nullptr;
+};
+
+/** Link-time statistics. */
+struct LinkStats
+{
+    uint64_t inputBytes = 0;      ///< Serialized size of all inputs.
+    uint32_t sectionsLinked = 0;  ///< Text sections placed.
+    uint32_t fallThroughsDeleted = 0;
+    uint32_t branchesShrunk = 0;  ///< Near forms relaxed to short.
+    uint32_t relaxIterations = 0;
+    uint64_t peakMemory = 0;      ///< Modelled peak bytes.
+};
+
+/**
+ * Link @p objects into an executable.
+ *
+ * Asserts on unresolved symbols or duplicate section symbols — in this
+ * closed world those are always producer bugs.
+ */
+Executable link(const std::vector<elf::ObjectFile> &objects,
+                const Options &opts, LinkStats *stats = nullptr);
+
+} // namespace propeller::linker
+
+#endif // PROPELLER_LINKER_LINKER_H

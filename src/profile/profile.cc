@@ -1,0 +1,88 @@
+#include "profile/profile.h"
+
+#include <cassert>
+
+#include "support/leb128.h"
+
+namespace propeller::profile {
+
+uint64_t
+Profile::sizeInBytes() const
+{
+    // Header + per-sample payload; LBR records are 16 bytes each in the
+    // perf ring buffer format.
+    uint64_t bytes = 64;
+    for (const auto &sample : samples)
+        bytes += 8 + sample.count * 16ull;
+    return bytes;
+}
+
+std::vector<uint8_t>
+Profile::serialize() const
+{
+    std::vector<uint8_t> out;
+    encodeUleb128(binaryHash, out);
+    encodeUleb128(totalRetired, out);
+    encodeUleb128(samples.size(), out);
+    for (const auto &sample : samples) {
+        out.push_back(sample.count);
+        for (unsigned i = 0; i < sample.count; ++i) {
+            encodeUleb128(sample.records[i].from, out);
+            encodeUleb128(sample.records[i].to, out);
+        }
+    }
+    return out;
+}
+
+Profile
+Profile::deserialize(const std::vector<uint8_t> &data)
+{
+    Profile p;
+    size_t pos = 0;
+    auto next = [&]() {
+        auto v = decodeUleb128(data, pos);
+        assert(v && "truncated profile");
+        return *v;
+    };
+    p.binaryHash = next();
+    p.totalRetired = next();
+    uint64_t n = next();
+    p.samples.reserve(n);
+    for (uint64_t s = 0; s < n; ++s) {
+        LbrSample sample;
+        assert(pos < data.size());
+        sample.count = data[pos++];
+        assert(sample.count <= kLbrDepth);
+        for (unsigned i = 0; i < sample.count; ++i) {
+            sample.records[i].from = next();
+            sample.records[i].to = next();
+        }
+        p.samples.push_back(sample);
+    }
+    assert(pos == data.size());
+    return p;
+}
+
+AggregatedProfile
+aggregate(const Profile &profile)
+{
+    AggregatedProfile agg;
+    for (const auto &sample : profile.samples) {
+        for (unsigned i = 0; i < sample.count; ++i) {
+            const BranchRecord &rec = sample.records[i];
+            ++agg.branches[AggregatedProfile::key(rec.from, rec.to)];
+            ++agg.totalBranchEvents;
+            if (i + 1 < sample.count) {
+                // Straight-line execution between this branch's target and
+                // the next branch's source.
+                const BranchRecord &next = sample.records[i + 1];
+                if (next.from >= rec.to) {
+                    ++agg.ranges[AggregatedProfile::key(rec.to, next.from)];
+                }
+            }
+        }
+    }
+    return agg;
+}
+
+} // namespace propeller::profile

@@ -1,0 +1,110 @@
+#ifndef PROPELLER_PROFILE_PROFILE_H
+#define PROPELLER_PROFILE_PROFILE_H
+
+/**
+ * @file
+ * Hardware sample profiles.
+ *
+ * Substitute for perf.data with Intel Last Branch Records (paper section
+ * 3.3).  The machine simulator snapshots its 32-entry LBR ring every
+ * sampling period; each snapshot is the (source, destination) address pairs
+ * of the most recently retired taken branches, exactly the payload Linux
+ * perf delivers.  The same profile object drives both Propeller's Phase 3
+ * whole-program analysis and BOLT's perf2bolt conversion, matching the
+ * paper's fairness methodology (section 5).
+ */
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace propeller::profile {
+
+/** Source/destination address pair of one retired taken branch. */
+struct BranchRecord
+{
+    uint64_t from = 0; ///< Address of the branch instruction.
+    uint64_t to = 0;   ///< Address of the target instruction.
+
+    bool operator==(const BranchRecord &) const = default;
+};
+
+/** Number of LBR entries per sample (Intel Skylake). */
+constexpr unsigned kLbrDepth = 32;
+
+/**
+ * One LBR snapshot: up to 32 records ordered oldest first.  Early samples
+ * taken before the ring fills carry fewer records.
+ */
+struct LbrSample
+{
+    std::array<BranchRecord, kLbrDepth> records{};
+    uint8_t count = 0;
+};
+
+/** A full profiling session ("perf.data"). */
+struct Profile
+{
+    uint64_t binaryHash = 0;    ///< Identity of the profiled binary.
+    uint64_t totalRetired = 0;  ///< Instructions retired while profiling.
+    std::vector<LbrSample> samples;
+
+    /** Serialized size in bytes (what profile conversion must read). */
+    uint64_t sizeInBytes() const;
+
+    std::vector<uint8_t> serialize() const;
+    static Profile deserialize(const std::vector<uint8_t> &data);
+};
+
+/**
+ * Aggregated form: branch edge counts plus fall-through ranges.
+ *
+ * A fall-through range (to_i .. from_{i+1}) between consecutive LBR
+ * records covers the straight-line instructions executed between two taken
+ * branches; walking those ranges recovers fall-through edge counts without
+ * disassembly (paper section 3.3).
+ */
+struct AggregatedProfile
+{
+    /** (from << 32 | to-offset) keyed taken-branch counts. */
+    std::unordered_map<uint64_t, uint64_t> branches;
+
+    /** (start << 32 | end-offset) keyed fall-through range counts. */
+    std::unordered_map<uint64_t, uint64_t> ranges;
+
+    uint64_t totalBranchEvents = 0;
+
+    /** Pack two text addresses into one key (text is < 4 GiB). */
+    static uint64_t
+    key(uint64_t a, uint64_t b)
+    {
+        return (a << 32) | (b & 0xffffffffull);
+    }
+
+    static uint64_t keyFrom(uint64_t k) { return k >> 32; }
+    static uint64_t keyTo(uint64_t k) { return k & 0xffffffffull; }
+};
+
+/** Aggregate raw LBR samples into edge and range counts. */
+AggregatedProfile aggregate(const Profile &profile);
+
+/**
+ * PEBS-style data-cache miss profile (for the paper's section 3.5
+ * software-prefetch extension): sampled miss counts per load site.
+ */
+struct MissProfile
+{
+    std::unordered_map<uint16_t, uint64_t> siteMisses;
+    uint64_t totalSamples = 0;
+
+    uint64_t
+    sizeInBytes() const
+    {
+        return 32 + siteMisses.size() * 10ull;
+    }
+};
+
+} // namespace propeller::profile
+
+#endif // PROPELLER_PROFILE_PROFILE_H

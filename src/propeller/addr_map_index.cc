@@ -1,0 +1,123 @@
+#include "propeller/addr_map_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace propeller::core {
+
+BlockRef
+AddrMapIndex::toRef(const Interval &iv)
+{
+    BlockRef ref;
+    ref.funcIndex = iv.funcIndex;
+    ref.bbId = iv.bbId;
+    ref.blockStart = iv.start;
+    ref.blockEnd = iv.end;
+    ref.flags = iv.flags;
+    return ref;
+}
+
+AddrMapIndex::AddrMapIndex(const linker::Executable &exe)
+{
+    std::unordered_map<std::string, uint32_t> func_index;
+    for (const auto &map : exe.bbAddrMap) {
+        auto [it, inserted] = func_index.emplace(
+            map.function, static_cast<uint32_t>(functionNames_.size()));
+        if (inserted) {
+            functionNames_.push_back(map.function);
+            entryBlocks_.push_back(0);
+        }
+        for (const auto &block : map.blocks) {
+            intervals_.push_back({block.address, block.address + block.size,
+                                  it->second, block.bbId, block.flags});
+        }
+    }
+    // Stable sort: zero-size blocks (fall-through-only blocks whose
+    // encoding is empty) share their successor's address and must keep
+    // their layout order so range walks traverse them deterministically.
+    std::stable_sort(intervals_.begin(), intervals_.end(),
+                     [](const Interval &a, const Interval &b) {
+                         return a.start < b.start;
+                     });
+
+    funcIntervals_.resize(functionNames_.size());
+    for (uint32_t i = 0; i < intervals_.size(); ++i)
+        funcIntervals_[intervals_[i].funcIndex].push_back(i);
+
+    // The entry block of each function sits at its primary symbol address
+    // (the primary cluster begins with the entry block; a landing-pad nop
+    // prefix never applies to it).  The entry block may have an empty
+    // encoding (a lone fall-through branch), so take the *first* block in
+    // layout order at that address rather than the containing interval.
+    for (const auto &sym : exe.symbols) {
+        if (!sym.isPrimary)
+            continue;
+        auto it = func_index.find(sym.parentFunction);
+        if (it == func_index.end())
+            continue;
+        for (uint32_t idx : funcIntervals_[it->second]) {
+            if (intervals_[idx].start == sym.start) {
+                entryBlocks_[it->second] = intervals_[idx].bbId;
+                break;
+            }
+        }
+    }
+}
+
+std::optional<BlockRef>
+AddrMapIndex::lookup(uint64_t addr) const
+{
+    auto it = std::upper_bound(
+        intervals_.begin(), intervals_.end(), addr,
+        [](uint64_t a, const Interval &iv) { return a < iv.start; });
+    if (it == intervals_.begin())
+        return std::nullopt;
+    --it;
+    // Ties put zero-size blocks before the non-empty block at the same
+    // address, so it-1 is the block that actually contains addr.
+    if (addr >= it->end)
+        return std::nullopt;
+    BlockRef ref = toRef(*it);
+    ref.intervalIndex = static_cast<uint32_t>(it - intervals_.begin());
+    return ref;
+}
+
+std::optional<BlockRef>
+AddrMapIndex::next(const BlockRef &ref) const
+{
+    uint32_t idx = ref.intervalIndex + 1;
+    if (idx >= intervals_.size())
+        return std::nullopt;
+    BlockRef out = toRef(intervals_[idx]);
+    out.intervalIndex = idx;
+    return out;
+}
+
+std::vector<BlockRef>
+AddrMapIndex::blocksOf(uint32_t func_index) const
+{
+    std::vector<BlockRef> blocks;
+    blocks.reserve(funcIntervals_[func_index].size());
+    for (uint32_t i : funcIntervals_[func_index]) {
+        BlockRef ref = toRef(intervals_[i]);
+        ref.intervalIndex = i;
+        blocks.push_back(ref);
+    }
+    return blocks;
+}
+
+std::optional<BlockRef>
+AddrMapIndex::block(uint32_t func_index, uint32_t bb_id) const
+{
+    for (uint32_t i : funcIntervals_[func_index]) {
+        if (intervals_[i].bbId == bb_id) {
+            BlockRef ref = toRef(intervals_[i]);
+            ref.intervalIndex = i;
+            return ref;
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace propeller::core

@@ -1,0 +1,100 @@
+#ifndef PROPELLER_PROPELLER_ADDR_MAP_INDEX_H
+#define PROPELLER_PROPELLER_ADDR_MAP_INDEX_H
+
+/**
+ * @file
+ * Address-to-basic-block resolution (paper section 3.3).
+ *
+ * Builds a sorted interval index over the executable's BB address map so
+ * that LBR sample addresses can be mapped to (function, machine basic
+ * block) pairs in O(log n) — the disassembly-free alternative to BOLT's
+ * address resolution.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "linker/executable.h"
+
+namespace propeller::core {
+
+/** Resolution result: which block contains an address. */
+struct BlockRef
+{
+    uint32_t funcIndex = 0; ///< Index into AddrMapIndex::functionNames().
+    uint32_t bbId = 0;
+    uint64_t blockStart = 0;
+    uint64_t blockEnd = 0;
+    uint8_t flags = 0;
+
+    /** Position in the global layout order (for next()). */
+    uint32_t intervalIndex = 0;
+
+    bool operator==(const BlockRef &) const = default;
+};
+
+/** Sorted interval index over an executable's BB address map. */
+class AddrMapIndex
+{
+  public:
+    explicit AddrMapIndex(const linker::Executable &exe);
+
+    /** Resolve @p addr to the block containing it. */
+    std::optional<BlockRef> lookup(uint64_t addr) const;
+
+    /** Block following @p ref in address order (for range walks). */
+    std::optional<BlockRef> next(const BlockRef &ref) const;
+
+    /** All blocks of a function, in address order. */
+    std::vector<BlockRef> blocksOf(uint32_t func_index) const;
+
+    /** Resolve a specific (function, block id) pair. */
+    std::optional<BlockRef> block(uint32_t func_index, uint32_t bb_id) const;
+
+    const std::vector<std::string> &functionNames() const
+    {
+        return functionNames_;
+    }
+
+    /** Entry block id of function @p func_index (lowest block address of
+     *  the primary range is not necessarily the entry; this is the block
+     *  at the function symbol address). */
+    uint32_t entryBlock(uint32_t func_index) const
+    {
+        return entryBlocks_[func_index];
+    }
+
+    size_t blockCount() const { return intervals_.size(); }
+
+    /** Modelled in-memory footprint in bytes. */
+    uint64_t
+    footprint() const
+    {
+        return intervals_.size() * sizeof(Interval) +
+               functionNames_.size() * 48;
+    }
+
+  private:
+    struct Interval
+    {
+        uint64_t start;
+        uint64_t end;
+        uint32_t funcIndex;
+        uint32_t bbId;
+        uint8_t flags;
+    };
+
+    static BlockRef toRef(const Interval &iv);
+
+    std::vector<Interval> intervals_; ///< Sorted by start address.
+    std::vector<std::string> functionNames_;
+    std::vector<uint32_t> entryBlocks_;
+    /** Per function: interval indices in address order. */
+    std::vector<std::vector<uint32_t>> funcIntervals_;
+};
+
+} // namespace propeller::core
+
+#endif // PROPELLER_PROPELLER_ADDR_MAP_INDEX_H

@@ -1,0 +1,33 @@
+#include "propeller/dcfg.h"
+
+namespace propeller::core {
+
+uint64_t
+FunctionDcfg::totalWeight() const
+{
+    uint64_t total = 0;
+    for (const auto &edge : edges)
+        total += edge.weight;
+    return total;
+}
+
+int
+WholeProgramDcfg::findFunction(const std::string &name) const
+{
+    for (size_t i = 0; i < functions.size(); ++i) {
+        if (functions[i].function == name)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+uint64_t
+WholeProgramDcfg::footprint() const
+{
+    uint64_t bytes = 64 + callEdges.size() * sizeof(CallEdge);
+    for (const auto &fn : functions)
+        bytes += fn.footprint();
+    return bytes;
+}
+
+} // namespace propeller::core

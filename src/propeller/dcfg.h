@@ -1,0 +1,90 @@
+#ifndef PROPELLER_PROPELLER_DCFG_H
+#define PROPELLER_PROPELLER_DCFG_H
+
+/**
+ * @file
+ * Dynamic control flow graphs (paper section 3.3).
+ *
+ * A DCFG is built *incrementally from profile samples* — one node per
+ * machine basic block observed in (or adjacent to) LBR records, one edge
+ * per observed branch or inferred fall-through.  Reconstructing control
+ * flow this way requires no disassembly: block identity and extent come
+ * from the BB address map.  Keeping only sampled (hot) blocks is what
+ * bounds Propeller's whole-program-analysis memory (Figure 4).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace propeller::core {
+
+/** One machine basic block observed in the profile. */
+struct DcfgNode
+{
+    uint32_t bbId = 0;
+    uint32_t size = 0;    ///< Byte size from the BB address map.
+    uint64_t freq = 0;    ///< Execution count estimate.
+    uint8_t flags = 0;    ///< elf::BbFlags.
+};
+
+/** Edge kinds distinguished by the mapper. */
+enum class EdgeKind : uint8_t {
+    Branch,      ///< Observed taken branch (LBR record).
+    FallThrough, ///< Inferred from an LBR fall-through range.
+};
+
+/** A weighted intra-function control flow edge. */
+struct DcfgEdge
+{
+    uint32_t fromNode = 0; ///< Index into FunctionDcfg::nodes.
+    uint32_t toNode = 0;
+    uint64_t weight = 0;
+    EdgeKind kind = EdgeKind::Branch;
+};
+
+/** Per-function dynamic CFG. */
+struct FunctionDcfg
+{
+    std::string function;
+    std::vector<DcfgNode> nodes;
+    std::vector<DcfgEdge> edges;
+    uint32_t entryNode = 0; ///< Index of the entry block's node.
+
+    /** Total sampled events in this function. */
+    uint64_t totalWeight() const;
+
+    /** Modelled in-memory footprint in bytes. */
+    uint64_t
+    footprint() const
+    {
+        return 64 + function.size() + nodes.size() * sizeof(DcfgNode) +
+               edges.size() * sizeof(DcfgEdge);
+    }
+};
+
+/** A weighted inter-procedural call edge. */
+struct CallEdge
+{
+    uint32_t callerDcfg = 0; ///< Index into WholeProgramDcfg::functions.
+    uint32_t callerNode = 0; ///< Node index inside the caller's DCFG.
+    uint32_t calleeDcfg = 0;
+    uint64_t weight = 0;
+};
+
+/** The whole-program dynamic CFG. */
+struct WholeProgramDcfg
+{
+    std::vector<FunctionDcfg> functions;
+    std::vector<CallEdge> callEdges;
+
+    /** Find a function's DCFG index by name; -1 if not sampled. */
+    int findFunction(const std::string &name) const;
+
+    /** Modelled in-memory footprint in bytes. */
+    uint64_t footprint() const;
+};
+
+} // namespace propeller::core
+
+#endif // PROPELLER_PROPELLER_DCFG_H

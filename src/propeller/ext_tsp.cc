@@ -1,0 +1,427 @@
+#include "propeller/ext_tsp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+#include <unordered_map>
+
+namespace propeller::core {
+
+namespace {
+
+double
+edgeScore(uint64_t src_end, uint64_t dst_start, uint64_t weight,
+          const ExtTspOptions &opts)
+{
+    double w = static_cast<double>(weight);
+    if (dst_start == src_end)
+        return w * opts.fallthroughWeight;
+    if (dst_start > src_end) {
+        uint64_t d = dst_start - src_end;
+        if (d <= opts.forwardDistance) {
+            return w * opts.forwardWeight *
+                   (1.0 - static_cast<double>(d) / opts.forwardDistance);
+        }
+        return 0.0;
+    }
+    uint64_t d = src_end - dst_start;
+    if (d <= opts.backwardDistance) {
+        return w * opts.backwardWeight *
+               (1.0 - static_cast<double>(d) / opts.backwardDistance);
+    }
+    return 0.0;
+}
+
+/** Greedy chain-merging solver state. */
+class Solver
+{
+  public:
+    Solver(const std::vector<LayoutNode> &nodes,
+           const std::vector<LayoutEdge> &edges, uint32_t entry,
+           const ExtTspOptions &opts, ExtTspStats &stats)
+        : nodes_(nodes), edges_(edges), entry_(entry), opts_(opts),
+          stats_(stats), nodeChain_(nodes.size()),
+          offsetScratch_(nodes.size(), 0), epochOf_(nodes.size(), 0)
+    {
+    }
+
+    std::vector<uint32_t> solve();
+
+  private:
+    struct Chain
+    {
+        std::vector<uint32_t> blocks;
+        uint64_t size = 0;
+        uint64_t freq = 0;
+        double selfScore = 0.0;
+        bool alive = true;
+        bool hasEntry = false;
+        std::vector<uint32_t> internalEdges; ///< Edge indices inside.
+    };
+
+    struct Pair
+    {
+        uint32_t a = 0; ///< Chain ids, a < b.
+        uint32_t b = 0;
+        std::vector<uint32_t> crossEdges;
+        double bestGain = 0.0;
+        // Best merge description: order type and split position.
+        int mergeType = 0; ///< 0: A+B, 1: B+A, 2: A1 B A2 (split at pos).
+        uint32_t splitPos = 0;
+        uint64_t version = 0;
+    };
+
+    static uint64_t
+    pairKey(uint32_t a, uint32_t b)
+    {
+        if (a > b)
+            std::swap(a, b);
+        return (static_cast<uint64_t>(a) << 32) | b;
+    }
+
+    /** Score all of @p edge_lists under the concatenated block sequence. */
+    double scoreSequence(const std::vector<const std::vector<uint32_t> *>
+                             &block_runs,
+                         const Pair &pair);
+
+    void evaluatePair(Pair &pair);
+    void applyMerge(Pair &pair);
+    std::vector<uint32_t> finalOrder();
+
+    const std::vector<LayoutNode> &nodes_;
+    const std::vector<LayoutEdge> &edges_;
+    uint32_t entry_;
+    const ExtTspOptions &opts_;
+    ExtTspStats &stats_;
+
+    std::vector<Chain> chains_;
+    std::vector<uint32_t> nodeChain_;
+    std::unordered_map<uint64_t, Pair> pairs_;
+    /** Chain id -> pair keys that may involve it (lazily filtered). */
+    std::unordered_map<uint32_t, std::vector<uint64_t>> neighbors_;
+
+    // Scratch offset table with epoch stamping (no per-eval clearing).
+    std::vector<uint64_t> offsetScratch_;
+    std::vector<uint64_t> epochOf_;
+    uint64_t epoch_ = 0;
+};
+
+double
+Solver::scoreSequence(
+    const std::vector<const std::vector<uint32_t> *> &block_runs,
+    const Pair &pair)
+{
+    ++stats_.candidateEvals;
+    ++epoch_;
+    uint64_t offset = 0;
+    for (const auto *run : block_runs) {
+        for (uint32_t n : *run) {
+            offsetScratch_[n] = offset;
+            epochOf_[n] = epoch_;
+            offset += nodes_[n].size;
+        }
+    }
+    auto scoreEdges = [&](const std::vector<uint32_t> &edge_list) {
+        double total = 0.0;
+        for (uint32_t e : edge_list) {
+            const LayoutEdge &edge = edges_[e];
+            assert(epochOf_[edge.from] == epoch_ &&
+                   epochOf_[edge.to] == epoch_);
+            total += edgeScore(
+                offsetScratch_[edge.from] + nodes_[edge.from].size,
+                offsetScratch_[edge.to], edge.weight, opts_);
+        }
+        return total;
+    };
+    double total = scoreEdges(chains_[pair.a].internalEdges) +
+                   scoreEdges(chains_[pair.b].internalEdges) +
+                   scoreEdges(pair.crossEdges);
+    return total;
+}
+
+void
+Solver::evaluatePair(Pair &pair)
+{
+    Chain &x = chains_[pair.a];
+    Chain &y = chains_[pair.b];
+    double base = x.selfScore + y.selfScore;
+
+    pair.bestGain = 0.0;
+    pair.mergeType = -1;
+
+    auto consider = [&](int type, uint32_t split, double score) {
+        double gain = score - base;
+        if (gain > pair.bestGain + 1e-12) {
+            pair.bestGain = gain;
+            pair.mergeType = type;
+            pair.splitPos = split;
+        }
+    };
+
+    // Type 0: X then Y (disallowed only when Y holds the entry block).
+    if (!y.hasEntry)
+        consider(0, 0, scoreSequence({&x.blocks, &y.blocks}, pair));
+    // Type 1: Y then X.
+    if (!x.hasEntry)
+        consider(1, 0, scoreSequence({&y.blocks, &x.blocks}, pair));
+    // Type 2: X1 Y X2 (split X); keeps X's head first, so entry is safe
+    // as long as Y has no entry.
+    if (!y.hasEntry && x.blocks.size() >= 2 &&
+        x.blocks.size() <= opts_.maxSplitChainLen) {
+        std::vector<uint32_t> x1;
+        std::vector<uint32_t> x2(x.blocks.begin(), x.blocks.end());
+        x1.reserve(x.blocks.size());
+        for (uint32_t i = 1; i < x.blocks.size(); ++i) {
+            x1.push_back(x2.front());
+            x2.erase(x2.begin());
+            consider(2, i, scoreSequence({&x1, &y.blocks, &x2}, pair));
+        }
+    }
+}
+
+void
+Solver::applyMerge(Pair &pair)
+{
+    ++stats_.merges;
+    Chain &x = chains_[pair.a];
+    Chain &y = chains_[pair.b];
+
+    std::vector<uint32_t> merged;
+    merged.reserve(x.blocks.size() + y.blocks.size());
+    switch (pair.mergeType) {
+      case 0:
+        merged = x.blocks;
+        merged.insert(merged.end(), y.blocks.begin(), y.blocks.end());
+        break;
+      case 1:
+        merged = y.blocks;
+        merged.insert(merged.end(), x.blocks.begin(), x.blocks.end());
+        break;
+      case 2:
+        merged.assign(x.blocks.begin(), x.blocks.begin() + pair.splitPos);
+        merged.insert(merged.end(), y.blocks.begin(), y.blocks.end());
+        merged.insert(merged.end(), x.blocks.begin() + pair.splitPos,
+                      x.blocks.end());
+        break;
+      default:
+        assert(false && "applying a pair with no profitable merge");
+    }
+
+    x.selfScore = x.selfScore + y.selfScore + pair.bestGain;
+    x.blocks = std::move(merged);
+    x.size += y.size;
+    x.freq += y.freq;
+    x.hasEntry = x.hasEntry || y.hasEntry;
+    x.internalEdges.insert(x.internalEdges.end(),
+                           y.internalEdges.begin(), y.internalEdges.end());
+    x.internalEdges.insert(x.internalEdges.end(), pair.crossEdges.begin(),
+                           pair.crossEdges.end());
+    y.alive = false;
+    for (uint32_t n : x.blocks)
+        nodeChain_[n] = pair.a;
+}
+
+std::vector<uint32_t>
+Solver::finalOrder()
+{
+    // Entry chain first, then by decreasing execution density.
+    std::vector<uint32_t> alive;
+    for (uint32_t c = 0; c < chains_.size(); ++c) {
+        if (chains_[c].alive)
+            alive.push_back(c);
+    }
+    std::sort(alive.begin(), alive.end(), [&](uint32_t a, uint32_t b) {
+        const Chain &ca = chains_[a];
+        const Chain &cb = chains_[b];
+        if (ca.hasEntry != cb.hasEntry)
+            return ca.hasEntry;
+        double da = static_cast<double>(ca.freq) /
+                    static_cast<double>(std::max<uint64_t>(ca.size, 1));
+        double db = static_cast<double>(cb.freq) /
+                    static_cast<double>(std::max<uint64_t>(cb.size, 1));
+        if (da != db)
+            return da > db;
+        return a < b;
+    });
+
+    std::vector<uint32_t> order;
+    order.reserve(nodes_.size());
+    for (uint32_t c : alive) {
+        for (uint32_t n : chains_[c].blocks)
+            order.push_back(n);
+    }
+    return order;
+}
+
+std::vector<uint32_t>
+Solver::solve()
+{
+    size_t n = nodes_.size();
+    chains_.resize(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        Chain &chain = chains_[i];
+        chain.blocks = {i};
+        chain.size = std::max<uint64_t>(nodes_[i].size, 1);
+        chain.freq = nodes_[i].freq;
+        chain.hasEntry = (i == entry_);
+        nodeChain_[i] = i;
+    }
+
+    // Distribute edges: self edges are internal, the rest form pairs.
+    for (uint32_t e = 0; e < edges_.size(); ++e) {
+        const LayoutEdge &edge = edges_[e];
+        if (edge.from == edge.to) {
+            chains_[edge.from].internalEdges.push_back(e);
+            // Self-loop score with the block alone.
+            chains_[edge.from].selfScore += edgeScore(
+                nodes_[edge.from].size, 0, edge.weight, opts_);
+            continue;
+        }
+        uint64_t key = pairKey(edge.from, edge.to);
+        auto [it, inserted] = pairs_.try_emplace(key);
+        Pair &pair = it->second;
+        pair.a = std::min(edge.from, edge.to);
+        pair.b = std::max(edge.from, edge.to);
+        pair.crossEdges.push_back(e);
+        if (inserted) {
+            neighbors_[pair.a].push_back(key);
+            neighbors_[pair.b].push_back(key);
+        }
+    }
+
+    // Initial evaluation of all pairs.
+    using HeapItem = std::tuple<double, uint64_t, uint64_t>;
+    std::priority_queue<HeapItem> heap;
+    for (auto &[key, pair] : pairs_) {
+        evaluatePair(pair);
+        if (opts_.useLazyHeap && pair.bestGain > 0)
+            heap.push({pair.bestGain, key, pair.version});
+    }
+
+    while (true) {
+        Pair *best = nullptr;
+        if (opts_.useLazyHeap) {
+            // Logarithmic retrieval with lazy invalidation.
+            while (!heap.empty()) {
+                auto [gain, key, version] = heap.top();
+                heap.pop();
+                ++stats_.retrievals;
+                auto it = pairs_.find(key);
+                if (it == pairs_.end() || it->second.version != version ||
+                    it->second.bestGain <= 0) {
+                    continue;
+                }
+                best = &it->second;
+                break;
+            }
+            if (!best)
+                break;
+        } else {
+            // Vanilla retrieval: full scan per merge step.
+            ++stats_.retrievals;
+            double best_gain = 0.0;
+            for (auto &[key, pair] : pairs_) {
+                if (pair.bestGain > best_gain + 1e-12) {
+                    best_gain = pair.bestGain;
+                    best = &pair;
+                }
+            }
+            if (!best)
+                break;
+        }
+
+        uint32_t into = best->a;
+        uint32_t from = best->b;
+        applyMerge(*best);
+        pairs_.erase(pairKey(into, from));
+
+        // Re-route pairs touching `from` into `into`, using the adjacency
+        // lists (which may contain stale keys; filter on use).
+        std::vector<uint64_t> from_keys = std::move(neighbors_[from]);
+        neighbors_.erase(from);
+        for (uint64_t key : from_keys) {
+            auto it = pairs_.find(key);
+            if (it == pairs_.end())
+                continue;
+            Pair moved = std::move(it->second);
+            if (moved.a != from && moved.b != from)
+                continue; // Stale adjacency entry.
+            pairs_.erase(it);
+            uint32_t other = (moved.a == from) ? moved.b : moved.a;
+            if (other == into)
+                continue; // Became internal (defensive).
+            uint64_t new_key = pairKey(into, other);
+            auto [tit, inserted] = pairs_.try_emplace(new_key);
+            Pair &target = tit->second;
+            target.a = std::min(into, other);
+            target.b = std::max(into, other);
+            target.crossEdges.insert(target.crossEdges.end(),
+                                     moved.crossEdges.begin(),
+                                     moved.crossEdges.end());
+            if (inserted) {
+                neighbors_[target.a].push_back(new_key);
+                neighbors_[target.b].push_back(new_key);
+            }
+        }
+        // Re-evaluate every pair still touching `into`.
+        std::vector<uint64_t> &into_keys = neighbors_[into];
+        std::vector<uint64_t> fresh;
+        fresh.reserve(into_keys.size());
+        for (uint64_t key : into_keys) {
+            auto it = pairs_.find(key);
+            if (it == pairs_.end())
+                continue;
+            Pair &pair = it->second;
+            if (pair.a != into && pair.b != into)
+                continue; // Stale.
+            fresh.push_back(key);
+            ++pair.version;
+            evaluatePair(pair);
+            if (opts_.useLazyHeap && pair.bestGain > 0)
+                heap.push({pair.bestGain, key, pair.version});
+        }
+        into_keys = std::move(fresh);
+    }
+
+    std::vector<uint32_t> order = finalOrder();
+    stats_.finalScore = extTspScore(nodes_, edges_, order, opts_);
+    return order;
+}
+
+} // namespace
+
+double
+extTspScore(const std::vector<LayoutNode> &nodes,
+            const std::vector<LayoutEdge> &edges,
+            const std::vector<uint32_t> &order, const ExtTspOptions &opts)
+{
+    std::vector<uint64_t> offset(nodes.size(), 0);
+    uint64_t cursor = 0;
+    for (uint32_t n : order) {
+        offset[n] = cursor;
+        cursor += nodes[n].size;
+    }
+    double total = 0.0;
+    for (const auto &edge : edges) {
+        total += edgeScore(offset[edge.from] + nodes[edge.from].size,
+                           offset[edge.to], edge.weight, opts);
+    }
+    return total;
+}
+
+std::vector<uint32_t>
+extTspOrder(const std::vector<LayoutNode> &nodes,
+            const std::vector<LayoutEdge> &edges, uint32_t entry,
+            const ExtTspOptions &opts, ExtTspStats *stats_out)
+{
+    assert(entry < nodes.size());
+    ExtTspStats local;
+    Solver solver(nodes, edges, entry, opts, local);
+    std::vector<uint32_t> order = solver.solve();
+    if (stats_out)
+        *stats_out = local;
+    return order;
+}
+
+} // namespace propeller::core

@@ -1,0 +1,111 @@
+#include "propeller/hfsort.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace propeller::core {
+
+std::vector<uint32_t>
+hfsortOrder(const std::vector<HfsortNode> &nodes,
+            const std::vector<HfsortArc> &arcs, const HfsortOptions &opts)
+{
+    size_t n = nodes.size();
+
+    // For each callee: its heaviest caller.
+    std::vector<int64_t> best_caller(n, -1);
+    std::vector<uint64_t> best_weight(n, 0);
+    for (const auto &arc : arcs) {
+        if (arc.caller == arc.callee)
+            continue;
+        if (arc.weight > best_weight[arc.callee]) {
+            best_weight[arc.callee] = arc.weight;
+            best_caller[arc.callee] = arc.caller;
+        }
+    }
+
+    struct Cluster
+    {
+        std::vector<uint32_t> funcs;
+        uint64_t size = 0;
+        uint64_t samples = 0;
+        bool frozen = false;
+    };
+    std::vector<Cluster> clusters(n);
+    std::vector<uint32_t> cluster_of(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        clusters[i].funcs = {i};
+        clusters[i].size = std::max<uint64_t>(nodes[i].size, 1);
+        clusters[i].samples = nodes[i].samples;
+        cluster_of[i] = i;
+    }
+
+    // Process by decreasing hotness.
+    std::vector<uint32_t> by_heat(n);
+    for (uint32_t i = 0; i < n; ++i)
+        by_heat[i] = i;
+    std::sort(by_heat.begin(), by_heat.end(), [&](uint32_t a, uint32_t b) {
+        if (nodes[a].samples != nodes[b].samples)
+            return nodes[a].samples > nodes[b].samples;
+        return a < b;
+    });
+
+    for (uint32_t f : by_heat) {
+        if (nodes[f].samples == 0)
+            break; // Cold tail; never merged.
+        int64_t caller = best_caller[f];
+        if (caller < 0)
+            continue;
+        if (best_weight[f] <
+            static_cast<uint64_t>(opts.arcThreshold *
+                                  static_cast<double>(nodes[f].samples))) {
+            continue;
+        }
+        uint32_t cf = cluster_of[f];
+        uint32_t cc = cluster_of[static_cast<uint32_t>(caller)];
+        if (cf == cc)
+            continue;
+        Cluster &dst = clusters[cc];
+        Cluster &src = clusters[cf];
+        if (dst.size + src.size > opts.maxClusterSize)
+            continue;
+        // The callee's cluster must start with the callee (C3 invariant:
+        // functions are appended in call order).
+        if (src.funcs.front() != f)
+            continue;
+        for (uint32_t member : src.funcs) {
+            cluster_of[member] = cc;
+            dst.funcs.push_back(member);
+        }
+        dst.size += src.size;
+        dst.samples += src.samples;
+        src.funcs.clear();
+    }
+
+    // Emit clusters by decreasing density.
+    std::vector<uint32_t> alive;
+    for (uint32_t c = 0; c < n; ++c) {
+        if (!clusters[c].funcs.empty())
+            alive.push_back(c);
+    }
+    std::sort(alive.begin(), alive.end(), [&](uint32_t a, uint32_t b) {
+        const Cluster &ca = clusters[a];
+        const Cluster &cb = clusters[b];
+        double da = static_cast<double>(ca.samples) /
+                    static_cast<double>(ca.size);
+        double db = static_cast<double>(cb.samples) /
+                    static_cast<double>(cb.size);
+        if (da != db)
+            return da > db;
+        return a < b;
+    });
+
+    std::vector<uint32_t> order;
+    order.reserve(n);
+    for (uint32_t c : alive) {
+        for (uint32_t f : clusters[c].funcs)
+            order.push_back(f);
+    }
+    return order;
+}
+
+} // namespace propeller::core

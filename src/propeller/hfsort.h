@@ -1,0 +1,53 @@
+#ifndef PROPELLER_PROPELLER_HFSORT_H
+#define PROPELLER_PROPELLER_HFSORT_H
+
+/**
+ * @file
+ * C3 (call-chain clustering) function ordering — the "hfsort" algorithm
+ * BOLT uses for -reorder-functions=hfsort, also used by Propeller to order
+ * hot function primary sections in the global symbol order.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace propeller::core {
+
+/** A function in the call-graph ordering problem. */
+struct HfsortNode
+{
+    uint64_t size = 1;    ///< Bytes of hot text.
+    uint64_t samples = 0; ///< Execution frequency.
+};
+
+/** A directed caller->callee arc with call count. */
+struct HfsortArc
+{
+    uint32_t caller = 0;
+    uint32_t callee = 0;
+    uint64_t weight = 0;
+};
+
+/** Options for C3 clustering. */
+struct HfsortOptions
+{
+    /** Stop growing a cluster past this many bytes (page-locality bound). */
+    uint64_t maxClusterSize = 4096;
+    /** Ignore arcs lighter than this fraction of the callee's samples. */
+    double arcThreshold = 0.1;
+};
+
+/**
+ * Order functions by C3: process functions by decreasing hotness, merging
+ * each into its hottest caller's cluster when profitable; emit clusters by
+ * decreasing density.
+ *
+ * @return a permutation of node indices (hot first).
+ */
+std::vector<uint32_t> hfsortOrder(const std::vector<HfsortNode> &nodes,
+                                  const std::vector<HfsortArc> &arcs,
+                                  const HfsortOptions &opts = {});
+
+} // namespace propeller::core
+
+#endif // PROPELLER_PROPELLER_HFSORT_H

@@ -1,0 +1,371 @@
+#include "propeller/layout.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "propeller/hfsort.h"
+
+namespace propeller::core {
+
+namespace {
+
+/** Hot node indices of one function under the hotness threshold. */
+std::vector<char>
+hotMask(const FunctionDcfg &fn, const LayoutOptions &opts)
+{
+    uint64_t max_freq = 0;
+    for (const auto &node : fn.nodes)
+        max_freq = std::max(max_freq, node.freq);
+    uint64_t threshold = static_cast<uint64_t>(
+        opts.hotThresholdFraction * static_cast<double>(max_freq));
+    std::vector<char> hot(fn.nodes.size(), 0);
+    for (size_t i = 0; i < fn.nodes.size(); ++i)
+        hot[i] = fn.nodes[i].freq > threshold ||
+                 (fn.nodes[i].freq > 0 && threshold == 0);
+    hot[fn.entryNode] = 1; // The entry block anchors the primary cluster.
+    return hot;
+}
+
+void
+accumulate(ExtTspStats &total, const ExtTspStats &one)
+{
+    total.merges += one.merges;
+    total.candidateEvals += one.candidateEvals;
+    total.retrievals += one.retrievals;
+    total.finalScore += one.finalScore;
+}
+
+/** Shared context for both strategies. */
+struct Ctx
+{
+    const WholeProgramDcfg &dcfg;
+    const AddrMapIndex &index;
+    const LayoutOptions &opts;
+    std::unordered_map<std::string, uint32_t> funcIndexByName;
+
+    explicit Ctx(const WholeProgramDcfg &d, const AddrMapIndex &i,
+                 const LayoutOptions &o)
+        : dcfg(d), index(i), opts(o)
+    {
+        for (size_t f = 0; f < i.functionNames().size(); ++f)
+            funcIndexByName.emplace(i.functionNames()[f],
+                                    static_cast<uint32_t>(f));
+    }
+
+    /** Cold block ids of @p fn, in original (address) order. */
+    std::vector<uint32_t>
+    coldBlocks(const FunctionDcfg &fn, const std::vector<char> &hot) const
+    {
+        std::unordered_set<uint32_t> hot_ids;
+        for (size_t i = 0; i < fn.nodes.size(); ++i) {
+            if (hot[i])
+                hot_ids.insert(fn.nodes[i].bbId);
+        }
+        std::vector<uint32_t> cold;
+        uint32_t func_index = funcIndexByName.at(fn.function);
+        for (const auto &ref : index.blocksOf(func_index)) {
+            if (!hot_ids.count(ref.bbId))
+                cold.push_back(ref.bbId);
+        }
+        return cold;
+    }
+};
+
+void
+intraProceduralLayout(const Ctx &ctx, LayoutResult &result)
+{
+    for (const auto &fn : ctx.dcfg.functions) {
+        std::vector<char> hot = hotMask(fn, ctx.opts);
+
+        // Build the hot-subgraph layout problem.
+        std::vector<LayoutNode> nodes;
+        std::vector<uint32_t> node_bb;
+        std::vector<int> hot_index(fn.nodes.size(), -1);
+        for (size_t i = 0; i < fn.nodes.size(); ++i) {
+            if (!hot[i])
+                continue;
+            hot_index[i] = static_cast<int>(nodes.size());
+            nodes.push_back({std::max<uint64_t>(fn.nodes[i].size, 1),
+                             fn.nodes[i].freq});
+            node_bb.push_back(fn.nodes[i].bbId);
+        }
+        std::vector<LayoutEdge> edges;
+        for (const auto &edge : fn.edges) {
+            int a = hot_index[edge.fromNode];
+            int b = hot_index[edge.toNode];
+            if (a >= 0 && b >= 0) {
+                edges.push_back({static_cast<uint32_t>(a),
+                                 static_cast<uint32_t>(b), edge.weight});
+            }
+        }
+
+        std::vector<uint32_t> hot_order_idx;
+        if (ctx.opts.reorderBlocks) {
+            ExtTspStats stats;
+            hot_order_idx = extTspOrder(
+                nodes, edges,
+                static_cast<uint32_t>(hot_index[fn.entryNode]),
+                ctx.opts.extTsp, &stats);
+            accumulate(result.extTspStats, stats);
+        } else {
+            // Keep original (address) order of the hot blocks.
+            uint32_t func_index = ctx.funcIndexByName.at(fn.function);
+            std::unordered_map<uint32_t, uint32_t> idx_of_bb;
+            for (size_t i = 0; i < node_bb.size(); ++i)
+                idx_of_bb.emplace(node_bb[i], static_cast<uint32_t>(i));
+            // Entry first, then address order.
+            hot_order_idx.push_back(hot_index[fn.entryNode]);
+            for (const auto &ref : ctx.index.blocksOf(func_index)) {
+                auto it = idx_of_bb.find(ref.bbId);
+                if (it == idx_of_bb.end())
+                    continue;
+                if (it->second ==
+                    static_cast<uint32_t>(hot_index[fn.entryNode]))
+                    continue;
+                hot_order_idx.push_back(it->second);
+            }
+        }
+
+        std::vector<uint32_t> hot_order;
+        hot_order.reserve(hot_order_idx.size());
+        for (uint32_t i : hot_order_idx)
+            hot_order.push_back(node_bb[i]);
+        assert(!hot_order.empty() &&
+               hot_order.front() == fn.nodes[fn.entryNode].bbId);
+
+        std::vector<uint32_t> cold = ctx.coldBlocks(fn, hot);
+
+        codegen::ClusterSpec spec;
+        if (!cold.empty() && ctx.opts.splitFunctions) {
+            spec.clusters.push_back(std::move(hot_order));
+            spec.coldIndex = 1;
+            spec.clusters.push_back(std::move(cold));
+        } else {
+            hot_order.insert(hot_order.end(), cold.begin(), cold.end());
+            spec.clusters.push_back(std::move(hot_order));
+        }
+        result.ccProf.clusters.emplace(fn.function, std::move(spec));
+        result.hotFunctions.push_back(fn.function);
+    }
+
+    // Global order: C3 over the hot function call graph.
+    std::vector<HfsortNode> fnodes(ctx.dcfg.functions.size());
+    for (size_t f = 0; f < ctx.dcfg.functions.size(); ++f) {
+        const FunctionDcfg &fn = ctx.dcfg.functions[f];
+        uint64_t hot_size = 0;
+        uint64_t samples = 0;
+        for (const auto &node : fn.nodes) {
+            if (node.freq > 0) {
+                hot_size += node.size;
+                samples += node.freq;
+            }
+        }
+        fnodes[f].size = std::max<uint64_t>(hot_size, 1);
+        fnodes[f].samples = samples;
+    }
+    std::vector<HfsortArc> arcs;
+    for (const auto &call : ctx.dcfg.callEdges)
+        arcs.push_back({call.callerDcfg, call.calleeDcfg, call.weight});
+
+    for (uint32_t f : hfsortOrder(fnodes, arcs)) {
+        result.ldProf.symbolOrder.push_back(
+            ctx.dcfg.functions[f].function);
+    }
+    // Cold clusters stay unlisted: the linker leaves them in input order,
+    // far from the hot text placed first.
+}
+
+void
+interProceduralLayout(const Ctx &ctx, LayoutResult &result)
+{
+    // ---- Build the whole-program layout problem -------------------------
+    struct GlobalNode
+    {
+        uint32_t dcfgIdx;
+        uint32_t nodeIdx;
+    };
+    std::vector<LayoutNode> nodes;
+    std::vector<GlobalNode> origin;
+    std::vector<std::vector<int>> global_index(ctx.dcfg.functions.size());
+    std::vector<std::vector<char>> hot_masks(ctx.dcfg.functions.size());
+
+    for (size_t f = 0; f < ctx.dcfg.functions.size(); ++f) {
+        const FunctionDcfg &fn = ctx.dcfg.functions[f];
+        hot_masks[f] = hotMask(fn, ctx.opts);
+        global_index[f].assign(fn.nodes.size(), -1);
+        for (size_t i = 0; i < fn.nodes.size(); ++i) {
+            if (!hot_masks[f][i])
+                continue;
+            global_index[f][i] = static_cast<int>(nodes.size());
+            nodes.push_back({std::max<uint64_t>(fn.nodes[i].size, 1),
+                             fn.nodes[i].freq});
+            origin.push_back({static_cast<uint32_t>(f),
+                              static_cast<uint32_t>(i)});
+        }
+    }
+
+    std::vector<LayoutEdge> edges;
+    for (size_t f = 0; f < ctx.dcfg.functions.size(); ++f) {
+        for (const auto &edge : ctx.dcfg.functions[f].edges) {
+            int a = global_index[f][edge.fromNode];
+            int b = global_index[f][edge.toNode];
+            if (a >= 0 && b >= 0) {
+                edges.push_back({static_cast<uint32_t>(a),
+                                 static_cast<uint32_t>(b), edge.weight});
+            }
+        }
+    }
+    for (const auto &call : ctx.dcfg.callEdges) {
+        int a = global_index[call.callerDcfg][call.callerNode];
+        int b = global_index[call.calleeDcfg]
+                            [ctx.dcfg.functions[call.calleeDcfg].entryNode];
+        if (a >= 0 && b >= 0) {
+            // Call edges are damped: a call's locality benefit is weaker
+            // than a fall-through's (the return path goes the other way),
+            // and undamped call weights over-fragment functions.
+            edges.push_back({static_cast<uint32_t>(a),
+                             static_cast<uint32_t>(b),
+                             std::max<uint64_t>(call.weight / 2, 1)});
+        }
+    }
+
+    // Pin the program entry ("main" when sampled, else hottest function).
+    int entry_global = -1;
+    int main_dcfg = ctx.dcfg.findFunction("main");
+    if (main_dcfg >= 0) {
+        entry_global =
+            global_index[main_dcfg]
+                        [ctx.dcfg.functions[main_dcfg].entryNode];
+    }
+    if (entry_global < 0) {
+        uint64_t best = 0;
+        for (size_t f = 0; f < ctx.dcfg.functions.size(); ++f) {
+            const FunctionDcfg &fn = ctx.dcfg.functions[f];
+            uint64_t w = fn.totalWeight();
+            int g = global_index[f][fn.entryNode];
+            if (g >= 0 && (entry_global < 0 || w > best)) {
+                best = w;
+                entry_global = g;
+            }
+        }
+    }
+    assert(entry_global >= 0 && "no hot entry block in the whole program");
+
+    ExtTspStats stats;
+    std::vector<uint32_t> order =
+        extTspOrder(nodes, edges, static_cast<uint32_t>(entry_global),
+                    ctx.opts.extTsp, &stats);
+    accumulate(result.extTspStats, stats);
+
+    // ---- Cut the global chain into per-function runs --------------------
+    struct Run
+    {
+        uint32_t dcfgIdx;
+        std::vector<uint32_t> bbIds;
+        bool dead = false;
+    };
+    std::vector<Run> runs;
+    for (uint32_t g : order) {
+        const GlobalNode &gn = origin[g];
+        uint32_t bb = ctx.dcfg.functions[gn.dcfgIdx].nodes[gn.nodeIdx].bbId;
+        if (runs.empty() || runs.back().dcfgIdx != gn.dcfgIdx)
+            runs.push_back({gn.dcfgIdx, {}, false});
+        runs.back().bbIds.push_back(bb);
+    }
+
+    // Per function: locate the primary run (contains the entry block) and
+    // list the other runs in global order.
+    std::vector<int> primary_run(ctx.dcfg.functions.size(), -1);
+    for (size_t r = 0; r < runs.size(); ++r) {
+        const FunctionDcfg &fn = ctx.dcfg.functions[runs[r].dcfgIdx];
+        uint32_t entry_bb = fn.nodes[fn.entryNode].bbId;
+        for (uint32_t bb : runs[r].bbIds) {
+            if (bb == entry_bb) {
+                primary_run[runs[r].dcfgIdx] = static_cast<int>(r);
+                break;
+            }
+        }
+    }
+
+    // Splitting a function is only worth a section when the fragment has
+    // substance (paper 3.4: extra clusters are created "when profitable"):
+    // fold singleton runs back into their function's primary run.
+    for (size_t r = 0; r < runs.size(); ++r) {
+        Run &run = runs[r];
+        if (static_cast<int>(r) == primary_run[run.dcfgIdx] ||
+            run.bbIds.size() >= ctx.opts.interProcMinRunBlocks) {
+            continue;
+        }
+        Run &primary = runs[primary_run[run.dcfgIdx]];
+        primary.bbIds.insert(primary.bbIds.end(), run.bbIds.begin(),
+                             run.bbIds.end());
+        run.dead = true;
+    }
+
+    // Build cluster specs; non-primary runs are numbered in global order,
+    // matching codegen's cluster symbol naming.
+    std::vector<std::string> run_symbol(runs.size());
+    std::vector<size_t> numeric_counter(ctx.dcfg.functions.size(), 0);
+    std::vector<codegen::ClusterSpec> specs(ctx.dcfg.functions.size());
+
+    // First pass: primaries (entry moved to the front of its run).
+    for (size_t f = 0; f < ctx.dcfg.functions.size(); ++f) {
+        const FunctionDcfg &fn = ctx.dcfg.functions[f];
+        uint32_t entry_bb = fn.nodes[fn.entryNode].bbId;
+        assert(primary_run[f] >= 0 && "hot function lost its entry run");
+        Run &run = runs[primary_run[f]];
+        auto it = std::find(run.bbIds.begin(), run.bbIds.end(), entry_bb);
+        std::rotate(run.bbIds.begin(), it, it + 1);
+        specs[f].clusters.push_back(run.bbIds);
+        run_symbol[primary_run[f]] = fn.function;
+    }
+    // Second pass: secondary runs in global order.
+    for (size_t r = 0; r < runs.size(); ++r) {
+        uint32_t f = runs[r].dcfgIdx;
+        if (runs[r].dead || static_cast<int>(r) == primary_run[f])
+            continue;
+        specs[f].clusters.push_back(runs[r].bbIds);
+        run_symbol[r] = ctx.dcfg.functions[f].function + "." +
+                        std::to_string(++numeric_counter[f]);
+    }
+    // Cold clusters last.
+    for (size_t f = 0; f < ctx.dcfg.functions.size(); ++f) {
+        const FunctionDcfg &fn = ctx.dcfg.functions[f];
+        std::vector<uint32_t> cold = ctx.coldBlocks(fn, hot_masks[f]);
+        if (!cold.empty() && ctx.opts.splitFunctions) {
+            specs[f].coldIndex = static_cast<int>(specs[f].clusters.size());
+            specs[f].clusters.push_back(std::move(cold));
+        } else if (!cold.empty()) {
+            auto &primary = specs[f].clusters.front();
+            primary.insert(primary.end(), cold.begin(), cold.end());
+        }
+        result.ccProf.clusters.emplace(fn.function, std::move(specs[f]));
+        result.hotFunctions.push_back(fn.function);
+    }
+
+    // Global symbol order: every surviving run in chain order.
+    for (size_t r = 0; r < runs.size(); ++r) {
+        if (!runs[r].dead)
+            result.ldProf.symbolOrder.push_back(run_symbol[r]);
+    }
+}
+
+} // namespace
+
+LayoutResult
+computeLayout(const WholeProgramDcfg &dcfg, const AddrMapIndex &index,
+              const LayoutOptions &opts)
+{
+    LayoutResult result;
+    Ctx ctx(dcfg, index, opts);
+    if (opts.interProcedural) {
+        interProceduralLayout(ctx, result);
+    } else {
+        intraProceduralLayout(ctx, result);
+    }
+    return result;
+}
+
+} // namespace propeller::core

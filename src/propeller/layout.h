@@ -1,0 +1,82 @@
+#ifndef PROPELLER_PROPELLER_LAYOUT_H
+#define PROPELLER_PROPELLER_LAYOUT_H
+
+/**
+ * @file
+ * Code layout computation: turns the whole-program DCFG into per-function
+ * basic block cluster directives (cc_prof) and a global symbol order
+ * (ld_prof).
+ *
+ * Two strategies, as in the paper:
+ *
+ *  - **intra-procedural** (section 3.3/4.6, the mode evaluated in the
+ *    paper): Ext-TSP orders each function's hot blocks independently; cold
+ *    blocks split into a ".cold" cluster; the global order is C3/hfsort
+ *    over hot function primary sections, cold clusters drift to the end;
+ *
+ *  - **inter-procedural** (section 4.7): Ext-TSP runs once over the whole
+ *    program graph including call edges; the resulting global chain is cut
+ *    into per-function section runs, which lets a multi-modal function be
+ *    split around its callees.
+ */
+
+#include <string>
+#include <vector>
+
+#include "propeller/addr_map_index.h"
+#include "propeller/dcfg.h"
+#include "propeller/directives.h"
+#include "propeller/ext_tsp.h"
+
+namespace propeller::core {
+
+/** Layout strategy options. */
+struct LayoutOptions
+{
+    /** Extract cold blocks into ".cold" clusters (paper section 4.6). */
+    bool splitFunctions = true;
+
+    /**
+     * A block is hot if its frequency exceeds this fraction of the
+     * function's hottest block (0 = any sampled block is hot).
+     */
+    double hotThresholdFraction = 0.0;
+
+    /** Use inter-procedural layout (section 4.7). */
+    bool interProcedural = false;
+
+    /**
+     * Inter-procedural only: fold non-primary section runs shorter than
+     * this many blocks back into the primary (splitting is only worth a
+     * section "when profitable", section 3.4).  Set to 1 to keep every
+     * run.
+     */
+    uint32_t interProcMinRunBlocks = 3;
+
+    /** Reorder hot blocks with Ext-TSP (off = keep original order). */
+    bool reorderBlocks = true;
+
+    ExtTspOptions extTsp;
+};
+
+/** Result of layout computation. */
+struct LayoutResult
+{
+    CcProfile ccProf;
+    LdProfile ldProf;
+
+    /** Functions whose objects must be re-generated in Phase 4. */
+    std::vector<std::string> hotFunctions;
+
+    /** Aggregate Ext-TSP statistics. */
+    ExtTspStats extTspStats;
+};
+
+/** Compute the layout from a DCFG and the metadata binary's address map. */
+LayoutResult computeLayout(const WholeProgramDcfg &dcfg,
+                           const AddrMapIndex &index,
+                           const LayoutOptions &opts = {});
+
+} // namespace propeller::core
+
+#endif // PROPELLER_PROPELLER_LAYOUT_H

@@ -1,0 +1,64 @@
+#include "propeller/prefetch.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace propeller::core {
+
+PrefetchMap
+computePrefetchDirectives(const profile::MissProfile &misses,
+                          const PrefetchOptions &opts)
+{
+    std::vector<std::pair<uint64_t, uint16_t>> ranked;
+    ranked.reserve(misses.siteMisses.size());
+    for (const auto &[site, count] : misses.siteMisses) {
+        if (count >= opts.minMissSamples)
+            ranked.push_back({count, site});
+    }
+    std::sort(ranked.rbegin(), ranked.rend());
+    if (ranked.size() > opts.maxSites)
+        ranked.resize(opts.maxSites);
+
+    PrefetchMap map;
+    for (const auto &[count, site] : ranked)
+        map.emplace(site, opts.lookahead);
+    return map;
+}
+
+std::string
+serializePrefetchDirectives(const PrefetchMap &map)
+{
+    std::ostringstream os;
+    for (const auto &[site, lookahead] : map)
+        os << site << " " << static_cast<unsigned>(lookahead) << "\n";
+    return os.str();
+}
+
+bool
+parsePrefetchDirectives(const std::string &text, PrefetchMap &out)
+{
+    PrefetchMap result;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        unsigned site = 0;
+        unsigned lookahead = 0;
+        if (!(ls >> site >> lookahead) || site > 0xffff ||
+            lookahead > 0xff) {
+            return false;
+        }
+        std::string rest;
+        if (ls >> rest)
+            return false;
+        result.emplace(static_cast<uint16_t>(site),
+                       static_cast<uint8_t>(lookahead));
+    }
+    out = std::move(result);
+    return true;
+}
+
+} // namespace propeller::core

@@ -1,0 +1,58 @@
+#ifndef PROPELLER_PROPELLER_PREFETCH_H
+#define PROPELLER_PROPELLER_PREFETCH_H
+
+/**
+ * @file
+ * Profile-guided post-link software prefetch insertion — the extension
+ * the paper sketches in section 3.5:
+ *
+ *   "The whole-program analysis of cache miss profiles determine prefetch
+ *    insertion points.  A summary-based directive can then drive the
+ *    distributed code generation actions that modify the objects and
+ *    insert prefetch instructions."
+ *
+ * The whole-program part ranks load sites by sampled data-cache misses
+ * and emits a summary directive file (pf_prof.txt); the distributed part
+ * is codegen::Options::prefetches, which makes each affected backend
+ * action emit a Prefetch instruction ahead of the targeted loads.  Only
+ * objects containing targeted sites change, so the content cache keeps
+ * every other object.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "profile/profile.h"
+
+namespace propeller::core {
+
+/** Directive set: load-site id -> prefetch lookahead (in accesses). */
+using PrefetchMap = std::map<uint16_t, uint8_t>;
+
+/** Whole-program prefetch selection options. */
+struct PrefetchOptions
+{
+    /** Ignore sites with fewer sampled misses than this. */
+    uint64_t minMissSamples = 4;
+
+    /** Insert prefetches for at most this many (hottest) sites. */
+    uint32_t maxSites = 128;
+
+    /** Lookahead distance, in site accesses. */
+    uint8_t lookahead = 4;
+};
+
+/** Rank miss sites and produce the prefetch directives. */
+PrefetchMap computePrefetchDirectives(const profile::MissProfile &misses,
+                                      const PrefetchOptions &opts = {});
+
+/** pf_prof.txt: one "site lookahead" pair per line. */
+std::string serializePrefetchDirectives(const PrefetchMap &map);
+
+/** Parse the text form; returns false on malformed input. */
+bool parsePrefetchDirectives(const std::string &text, PrefetchMap &out);
+
+} // namespace propeller::core
+
+#endif // PROPELLER_PROPELLER_PREFETCH_H

@@ -1,0 +1,262 @@
+#include "propeller/profile_mapper.h"
+
+#include <unordered_map>
+
+namespace propeller::core {
+
+namespace {
+
+/** Incremental DCFG builder keyed by (function, block id). */
+class DcfgBuilder
+{
+  public:
+    explicit DcfgBuilder(const AddrMapIndex &index) : index_(index) {}
+
+    uint32_t
+    dcfgOf(uint32_t func_index)
+    {
+        auto [it, inserted] =
+            dcfgIndex_.emplace(func_index, graph_.functions.size());
+        if (inserted) {
+            FunctionDcfg dcfg;
+            dcfg.function = index_.functionNames()[func_index];
+            graph_.functions.push_back(std::move(dcfg));
+        }
+        return static_cast<uint32_t>(it->second);
+    }
+
+    uint32_t
+    nodeOf(uint32_t dcfg_index, const BlockRef &ref)
+    {
+        uint64_t key = (static_cast<uint64_t>(dcfg_index) << 32) | ref.bbId;
+        auto [it, inserted] =
+            nodeIndex_.emplace(key, graph_.functions[dcfg_index].nodes.size());
+        if (inserted) {
+            DcfgNode node;
+            node.bbId = ref.bbId;
+            node.size = static_cast<uint32_t>(ref.blockEnd - ref.blockStart);
+            node.flags = ref.flags;
+            graph_.functions[dcfg_index].nodes.push_back(node);
+        }
+        return static_cast<uint32_t>(it->second);
+    }
+
+    void
+    addEdge(uint32_t dcfg_index, uint32_t from, uint32_t to, uint64_t w,
+            EdgeKind kind)
+    {
+        uint64_t key = (static_cast<uint64_t>(dcfg_index) << 40) |
+                       (static_cast<uint64_t>(from) << 20) | to;
+        auto [it, inserted] =
+            edgeIndex_.emplace(key, graph_.functions[dcfg_index].edges.size());
+        if (inserted) {
+            graph_.functions[dcfg_index].edges.push_back(
+                DcfgEdge{from, to, w, kind});
+        } else {
+            graph_.functions[dcfg_index].edges[it->second].weight += w;
+        }
+    }
+
+    /**
+     * Extra node flow from call/return records.  Blocks whose only
+     * taken-branch activity is calls (e.g. straight-line dispatchers)
+     * would otherwise have no intra-function edges and be misclassified
+     * as cold.
+     */
+    void
+    addExtraFlow(uint32_t dcfg_index, uint32_t node, uint64_t w,
+                 bool incoming)
+    {
+        uint64_t key = (static_cast<uint64_t>(dcfg_index) << 32) | node;
+        (incoming ? extraIn_ : extraOut_)[key] += w;
+    }
+
+    uint64_t
+    extraFlow(uint32_t dcfg_index, uint32_t node, bool incoming) const
+    {
+        uint64_t key = (static_cast<uint64_t>(dcfg_index) << 32) | node;
+        const auto &map = incoming ? extraIn_ : extraOut_;
+        auto it = map.find(key);
+        return it == map.end() ? 0 : it->second;
+    }
+
+    void
+    addCallEdge(uint32_t caller_dcfg, uint32_t caller_node,
+                uint32_t callee_dcfg, uint64_t w)
+    {
+        uint64_t key = (static_cast<uint64_t>(caller_dcfg) << 40) |
+                       (static_cast<uint64_t>(caller_node) << 20) |
+                       callee_dcfg;
+        auto [it, inserted] =
+            callIndex_.emplace(key, graph_.callEdges.size());
+        if (inserted) {
+            graph_.callEdges.push_back(
+                CallEdge{caller_dcfg, caller_node, callee_dcfg, w});
+        } else {
+            graph_.callEdges[it->second].weight += w;
+        }
+    }
+
+    WholeProgramDcfg take() { return std::move(graph_); }
+
+  private:
+    const AddrMapIndex &index_;
+    WholeProgramDcfg graph_;
+    std::unordered_map<uint32_t, size_t> dcfgIndex_;
+    std::unordered_map<uint64_t, size_t> nodeIndex_;
+    std::unordered_map<uint64_t, size_t> edgeIndex_;
+    std::unordered_map<uint64_t, size_t> callIndex_;
+    std::unordered_map<uint64_t, uint64_t> extraIn_;
+    std::unordered_map<uint64_t, uint64_t> extraOut_;
+};
+
+} // namespace
+
+WholeProgramDcfg
+buildDcfg(const profile::AggregatedProfile &agg, const AddrMapIndex &index,
+          MapperStats *stats_out)
+{
+    MapperStats stats;
+    DcfgBuilder builder(index);
+
+    // ---- Taken-branch records -> branch and call edges ------------------
+    for (const auto &[key, weight] : agg.branches) {
+        uint64_t from = profile::AggregatedProfile::keyFrom(key);
+        uint64_t to = profile::AggregatedProfile::keyTo(key) |
+                      (from & 0xffffffff00000000ull);
+        auto rf = index.lookup(from);
+        auto rt = index.lookup(to);
+        if (!rf || !rt) {
+            ++stats.unmappedRecords;
+            continue;
+        }
+        if (rf->funcIndex == rt->funcIndex) {
+            if (to == rt->blockStart) {
+                uint32_t d = builder.dcfgOf(rf->funcIndex);
+                builder.addEdge(d, builder.nodeOf(d, *rf),
+                                builder.nodeOf(d, *rt), weight,
+                                EdgeKind::Branch);
+                stats.branchEdges += weight;
+            } else {
+                // Only returns land mid-block within one function.
+                stats.returnRecords += weight;
+            }
+        } else if (to == rt->blockStart &&
+                   rt->bbId == index.entryBlock(rt->funcIndex)) {
+            uint32_t caller = builder.dcfgOf(rf->funcIndex);
+            uint32_t callee = builder.dcfgOf(rt->funcIndex);
+            uint32_t caller_node = builder.nodeOf(caller, *rf);
+            builder.addCallEdge(caller, caller_node, callee, weight);
+            builder.addExtraFlow(caller, caller_node, weight, false);
+            stats.callEdges += weight;
+        } else {
+            // Cross-function return (to the instruction after a call):
+            // credits the returning block's out-flow and the call-site
+            // block's in-flow, so call-heavy straight-line blocks are
+            // recognized as hot.
+            uint32_t from_d = builder.dcfgOf(rf->funcIndex);
+            uint32_t to_d = builder.dcfgOf(rt->funcIndex);
+            builder.addExtraFlow(from_d, builder.nodeOf(from_d, *rf),
+                                 weight, false);
+            builder.addExtraFlow(to_d, builder.nodeOf(to_d, *rt), weight,
+                                 true);
+            stats.returnRecords += weight;
+        }
+    }
+
+    // ---- Fall-through ranges -> fall-through edges -----------------------
+    constexpr int kMaxWalk = 512;
+    for (const auto &[key, weight] : agg.ranges) {
+        uint64_t start = profile::AggregatedProfile::keyFrom(key);
+        uint64_t end = profile::AggregatedProfile::keyTo(key) |
+                       (start & 0xffffffff00000000ull);
+        auto cur = index.lookup(start);
+        if (!cur || end < start) {
+            ++stats.unmappedRecords;
+            continue;
+        }
+        int steps = 0;
+        while (end >= cur->blockEnd) {
+            if (++steps > kMaxWalk) {
+                ++stats.rangeWalkTruncated;
+                break;
+            }
+            auto nxt = index.next(*cur);
+            if (!nxt || nxt->funcIndex != cur->funcIndex ||
+                nxt->blockStart != cur->blockEnd) {
+                // Gap or function boundary: inconsistent range (e.g. the
+                // sample raced a migration); drop the rest.
+                ++stats.rangeWalkTruncated;
+                break;
+            }
+            uint32_t d = builder.dcfgOf(cur->funcIndex);
+            builder.addEdge(d, builder.nodeOf(d, *cur),
+                            builder.nodeOf(d, *nxt), weight,
+                            EdgeKind::FallThrough);
+            stats.fallThroughEdges += weight;
+            cur = nxt;
+        }
+    }
+
+    WholeProgramDcfg graph = builder.take();
+
+    // ---- Entry nodes -----------------------------------------------------
+    // Resolve each sampled function's entry node, inserting it if the
+    // entry block itself never appeared in a record (sparse sampling).
+    std::unordered_map<std::string, uint32_t> func_index_by_name;
+    for (size_t i = 0; i < index.functionNames().size(); ++i)
+        func_index_by_name.emplace(index.functionNames()[i],
+                                   static_cast<uint32_t>(i));
+    for (auto &fn : graph.functions) {
+        uint32_t func_index = func_index_by_name.at(fn.function);
+        uint32_t entry_bb = index.entryBlock(func_index);
+        int entry_node = -1;
+        for (size_t n = 0; n < fn.nodes.size(); ++n) {
+            if (fn.nodes[n].bbId == entry_bb) {
+                entry_node = static_cast<int>(n);
+                break;
+            }
+        }
+        if (entry_node < 0) {
+            auto ref = index.block(func_index, entry_bb);
+            DcfgNode node;
+            node.bbId = entry_bb;
+            if (ref)
+                node.size =
+                    static_cast<uint32_t>(ref->blockEnd - ref->blockStart);
+            entry_node = static_cast<int>(fn.nodes.size());
+            fn.nodes.push_back(node);
+        }
+        fn.entryNode = static_cast<uint32_t>(entry_node);
+    }
+
+    // ---- Node frequencies -------------------------------------------------
+    for (size_t d = 0; d < graph.functions.size(); ++d) {
+        FunctionDcfg &fn = graph.functions[d];
+        std::vector<uint64_t> in(fn.nodes.size(), 0);
+        std::vector<uint64_t> out(fn.nodes.size(), 0);
+        for (const auto &edge : fn.edges) {
+            out[edge.fromNode] += edge.weight;
+            in[edge.toNode] += edge.weight;
+        }
+        for (size_t i = 0; i < fn.nodes.size(); ++i) {
+            uint32_t di = static_cast<uint32_t>(d);
+            uint32_t ni = static_cast<uint32_t>(i);
+            in[i] += builder.extraFlow(di, ni, true);
+            out[i] += builder.extraFlow(di, ni, false);
+            fn.nodes[i].freq = std::max(in[i], out[i]);
+        }
+    }
+    // Entry nodes execute at least as often as they are called.
+    for (const auto &call : graph.callEdges) {
+        FunctionDcfg &callee = graph.functions[call.calleeDcfg];
+        DcfgNode &entry = callee.nodes[callee.entryNode];
+        entry.freq = std::max(entry.freq, call.weight);
+    }
+
+    if (stats_out)
+        *stats_out = stats;
+    return graph;
+}
+
+} // namespace propeller::core

@@ -1,0 +1,39 @@
+#ifndef PROPELLER_PROPELLER_PROFILE_MAPPER_H
+#define PROPELLER_PROPELLER_PROFILE_MAPPER_H
+
+/**
+ * @file
+ * Mapping aggregated LBR profiles onto machine basic blocks (section 3.3).
+ *
+ * Taken-branch records become branch edges; the straight-line gaps between
+ * consecutive LBR records are walked block-by-block through the address
+ * map to recover fall-through edge counts.  Cross-function records whose
+ * destination is a function entry become call edges.  Everything is done
+ * through the BB address map — no instruction bytes are inspected.
+ */
+
+#include "profile/profile.h"
+#include "propeller/addr_map_index.h"
+#include "propeller/dcfg.h"
+
+namespace propeller::core {
+
+/** Mapper statistics (also used for memory accounting). */
+struct MapperStats
+{
+    uint64_t branchEdges = 0;
+    uint64_t fallThroughEdges = 0;
+    uint64_t callEdges = 0;
+    uint64_t returnRecords = 0;   ///< Records mapped to returns (ignored).
+    uint64_t unmappedRecords = 0; ///< Records outside the address map.
+    uint64_t rangeWalkTruncated = 0;
+};
+
+/** Build the whole-program DCFG from an aggregated profile. */
+WholeProgramDcfg buildDcfg(const profile::AggregatedProfile &agg,
+                           const AddrMapIndex &index,
+                           MapperStats *stats = nullptr);
+
+} // namespace propeller::core
+
+#endif // PROPELLER_PROPELLER_PROFILE_MAPPER_H

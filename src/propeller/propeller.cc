@@ -1,0 +1,56 @@
+#include "propeller/propeller.h"
+
+namespace propeller::core {
+
+WpaResult
+runWholeProgramAnalysis(const linker::Executable &metadata_exe,
+                        const profile::Profile &prof,
+                        const LayoutOptions &opts, MemoryMeter *meter)
+{
+    WpaResult result;
+    MemoryMeter local;
+
+    // Reading and decoding the raw profile (chunked reading could lower
+    // this, as the paper notes in section 5.1).
+    result.stats.profileBytes = prof.sizeInBytes();
+    local.charge(result.stats.profileBytes * 2);
+
+    // Aggregation maps (branch and fall-through counts).
+    profile::AggregatedProfile agg = profile::aggregate(prof);
+    local.charge((agg.branches.size() + agg.ranges.size()) * 48);
+
+    // The BB address map interval index.
+    AddrMapIndex index(metadata_exe);
+    result.stats.indexFootprint = index.footprint();
+    local.charge(result.stats.indexFootprint);
+
+    // The whole-program DCFG: proportional to *sampled* code only — this
+    // is the design property that bounds Phase 3 memory (section 3.5).
+    WholeProgramDcfg dcfg = buildDcfg(agg, index, &result.stats.mapper);
+    result.stats.dcfgFootprint = dcfg.footprint();
+    local.charge(result.stats.dcfgFootprint);
+
+    // Layout computation working set (chains, pairs, heap).
+    uint64_t hot_nodes = 0;
+    for (const auto &fn : dcfg.functions)
+        hot_nodes += fn.nodes.size();
+    {
+        ScopedCharge working(local, hot_nodes * 160);
+        LayoutResult layout = computeLayout(dcfg, index, opts);
+        result.ccProf = std::move(layout.ccProf);
+        result.ldProf = std::move(layout.ldProf);
+        result.hotFunctions = std::move(layout.hotFunctions);
+        result.stats.extTsp = layout.extTspStats;
+    }
+
+    result.stats.hotFunctions =
+        static_cast<uint32_t>(result.hotFunctions.size());
+    result.stats.peakMemory = local.peak();
+    if (meter) {
+        meter->charge(result.stats.peakMemory);
+        meter->release(result.stats.peakMemory);
+    }
+    return result;
+}
+
+} // namespace propeller::core

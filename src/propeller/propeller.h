@@ -1,0 +1,60 @@
+#ifndef PROPELLER_PROPELLER_PROPELLER_H
+#define PROPELLER_PROPELLER_PROPELLER_H
+
+/**
+ * @file
+ * Phase 3: profile conversion and whole-program analysis (paper 3.3).
+ *
+ * This is the standalone tool of Table 1 ("create_llvm_prof" in the real
+ * system): it consumes the metadata binary's BB address map and the raw
+ * LBR profile, builds the whole-program dynamic CFG, computes code layout
+ * and emits cc_prof / ld_prof plus the list of hot functions whose objects
+ * Phase 4 must regenerate.  Peak memory is the quantity Figure 4 compares
+ * against BOLT's perf2bolt.
+ */
+
+#include "linker/executable.h"
+#include "profile/profile.h"
+#include "propeller/layout.h"
+#include "propeller/profile_mapper.h"
+#include "support/memory_meter.h"
+
+namespace propeller::core {
+
+/** Whole-program-analysis statistics (Figure 4 inputs). */
+struct WpaStats
+{
+    uint64_t peakMemory = 0;      ///< Modelled peak bytes of Phase 3.
+    uint64_t profileBytes = 0;    ///< Raw profile size read.
+    uint64_t dcfgFootprint = 0;   ///< In-memory DCFG bytes.
+    uint64_t indexFootprint = 0;  ///< Address map index bytes.
+    uint32_t hotFunctions = 0;
+    MapperStats mapper;
+    ExtTspStats extTsp;
+};
+
+/** Phase 3 outputs. */
+struct WpaResult
+{
+    CcProfile ccProf;
+    LdProfile ldProf;
+    std::vector<std::string> hotFunctions;
+    WpaStats stats;
+};
+
+/**
+ * Run profile conversion + whole-program analysis.
+ *
+ * @param metadata_exe the Phase 2 binary with BB address map metadata.
+ * @param prof         LBR samples collected while running it.
+ * @param opts         layout strategy.
+ * @param meter        optional external phase meter (pulsed with the peak).
+ */
+WpaResult runWholeProgramAnalysis(const linker::Executable &metadata_exe,
+                                  const profile::Profile &prof,
+                                  const LayoutOptions &opts = {},
+                                  MemoryMeter *meter = nullptr);
+
+} // namespace propeller::core
+
+#endif // PROPELLER_PROPELLER_PROPELLER_H

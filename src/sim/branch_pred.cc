@@ -1,0 +1,62 @@
+#include "sim/branch_pred.h"
+
+namespace propeller::sim {
+
+BranchPredictor::BranchPredictor(uint32_t ghist_bits, uint32_t btb_sets,
+                                 uint32_t btb_ways, uint32_t ras_depth)
+    : mask_((1u << ghist_bits) - 1), pht_(1u << ghist_bits, 1),
+      // BTB is indexed at instruction granularity (block shift 0).
+      btb_(btb_sets, btb_ways, 0), ras_(ras_depth, 0), rasDepth_(ras_depth)
+{
+}
+
+bool
+BranchPredictor::predictConditional(uint64_t pc) const
+{
+    return pht_[phtIndex(pc)] >= 2;
+}
+
+void
+BranchPredictor::updateConditional(uint64_t pc, bool taken)
+{
+    uint8_t &ctr = pht_[phtIndex(pc)];
+    if (taken) {
+        if (ctr < 3)
+            ++ctr;
+    } else {
+        if (ctr > 0)
+            --ctr;
+    }
+}
+
+bool
+BranchPredictor::btbAccess(uint64_t pc)
+{
+    return btb_.access(pc);
+}
+
+void
+BranchPredictor::pushReturn(uint64_t addr)
+{
+    ras_[rasTop_ % rasDepth_] = addr;
+    ++rasTop_;
+}
+
+bool
+BranchPredictor::popReturn(uint64_t actual)
+{
+    if (rasTop_ == 0)
+        return false;
+    --rasTop_;
+    return ras_[rasTop_ % rasDepth_] == actual;
+}
+
+void
+BranchPredictor::reset()
+{
+    std::fill(pht_.begin(), pht_.end(), 1);
+    btb_.reset();
+    rasTop_ = 0;
+}
+
+} // namespace propeller::sim

@@ -1,0 +1,53 @@
+#include "sim/itlb.h"
+
+namespace propeller::sim {
+
+namespace {
+
+constexpr uint32_t kPageShift4k = 12;
+constexpr uint32_t kPageShift2m = 21;
+
+uint32_t
+setsFor(uint32_t entries, uint32_t ways)
+{
+    uint32_t sets = entries / ways;
+    return sets == 0 ? 1 : sets;
+}
+
+} // namespace
+
+Itlb::Itlb(uint32_t entries4k, uint32_t ways4k, uint32_t entries2m,
+           uint32_t stlb_entries, uint32_t stlb_ways)
+    : tlb4k_(setsFor(entries4k, ways4k), ways4k, kPageShift4k),
+      // The 2 MiB array is small and fully associative.
+      tlb2m_(1, entries2m, kPageShift2m),
+      stlb4k_(setsFor(stlb_entries, stlb_ways), stlb_ways, kPageShift4k),
+      // STLB holds a limited number of 2 MiB entries too.
+      stlb2m_(1, 16, kPageShift2m)
+{
+}
+
+ItlbResult
+Itlb::access(uint64_t addr, bool huge_page)
+{
+    ItlbResult result;
+    SetAssocCache &l1 = huge_page ? tlb2m_ : tlb4k_;
+    SetAssocCache &l2 = huge_page ? stlb2m_ : stlb4k_;
+    if (l1.access(addr))
+        return result;
+    result.l1Miss = true;
+    if (!l2.access(addr))
+        result.stlbMiss = true;
+    return result;
+}
+
+void
+Itlb::reset()
+{
+    tlb4k_.reset();
+    tlb2m_.reset();
+    stlb4k_.reset();
+    stlb2m_.reset();
+}
+
+} // namespace propeller::sim

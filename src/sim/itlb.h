@@ -1,0 +1,59 @@
+#ifndef PROPELLER_SIM_ITLB_H
+#define PROPELLER_SIM_ITLB_H
+
+/**
+ * @file
+ * Instruction TLB hierarchy: first-level iTLB (separate 4 KiB and 2 MiB
+ * entry arrays, as on Skylake) backed by a shared second-level STLB.
+ *
+ * Huge-page text (the Search benchmark in the paper's section 5.5) maps
+ * code with 2 MiB pages: 8 entries then cover 16 MiB of code, which is why
+ * hot-text shrinking by Propeller/BOLT nearly eliminates stalled iTLB
+ * misses (T2) there.
+ */
+
+#include <cstdint>
+
+#include "sim/caches.h"
+
+namespace propeller::sim {
+
+/** Result of one iTLB lookup. */
+struct ItlbResult
+{
+    bool l1Miss = false;   ///< Missed the first-level iTLB (event T1).
+    bool stlbMiss = false; ///< Also missed the STLB: page walk (event T2).
+};
+
+/** Two-level instruction TLB. */
+class Itlb
+{
+  public:
+    /**
+     * @param entries4k  first-level 4 KiB-page entries.
+     * @param ways4k     associativity of the 4 KiB array.
+     * @param entries2m  first-level 2 MiB-page entries (fully associative).
+     * @param stlb_entries second-level TLB entries.
+     * @param stlb_ways    second-level TLB associativity.
+     */
+    Itlb(uint32_t entries4k, uint32_t ways4k, uint32_t entries2m,
+         uint32_t stlb_entries, uint32_t stlb_ways);
+
+    /**
+     * Translate the page of @p addr.
+     * @param huge_page text is mapped with 2 MiB pages.
+     */
+    ItlbResult access(uint64_t addr, bool huge_page);
+
+    void reset();
+
+  private:
+    SetAssocCache tlb4k_;
+    SetAssocCache tlb2m_;
+    SetAssocCache stlb4k_;
+    SetAssocCache stlb2m_;
+};
+
+} // namespace propeller::sim
+
+#endif // PROPELLER_SIM_ITLB_H

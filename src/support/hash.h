@@ -1,0 +1,74 @@
+#ifndef PROPELLER_SUPPORT_HASH_H
+#define PROPELLER_SUPPORT_HASH_H
+
+/**
+ * @file
+ * Content hashing for the distributed build cache.
+ *
+ * The build system substrate (src/build) keys artifacts by content hash,
+ * mirroring the content-addressed caching the paper's distributed build
+ * system relies on.  FNV-1a/64 is sufficient for our artifact counts and is
+ * fully deterministic.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace propeller {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+/** FNV-1a over a byte range, chained from @p seed. */
+inline uint64_t
+fnv1a(const void *data, size_t len, uint64_t seed = kFnvOffset)
+{
+    const auto *p = static_cast<const uint8_t *>(data);
+    uint64_t h = seed;
+    for (size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+/** FNV-1a over a string view. */
+inline uint64_t
+fnv1a(std::string_view s, uint64_t seed = kFnvOffset)
+{
+    return fnv1a(s.data(), s.size(), seed);
+}
+
+/** FNV-1a over a byte vector. */
+inline uint64_t
+fnv1a(const std::vector<uint8_t> &v, uint64_t seed = kFnvOffset)
+{
+    return fnv1a(v.data(), v.size(), seed);
+}
+
+/** Chain a 64-bit value into a running hash. */
+inline uint64_t
+hashCombine(uint64_t h, uint64_t v)
+{
+    return fnv1a(&v, sizeof(v), h);
+}
+
+/** Render a hash as a fixed-width hex digest for cache keys. */
+inline std::string
+hashDigest(uint64_t h)
+{
+    static const char *digits = "0123456789abcdef";
+    std::string s(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        s[i] = digits[h & 0xf];
+        h >>= 4;
+    }
+    return s;
+}
+
+} // namespace propeller
+
+#endif // PROPELLER_SUPPORT_HASH_H

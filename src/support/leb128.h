@@ -1,0 +1,68 @@
+#ifndef PROPELLER_SUPPORT_LEB128_H
+#define PROPELLER_SUPPORT_LEB128_H
+
+/**
+ * @file
+ * ULEB128 variable-length integer encoding.
+ *
+ * The real SHT_LLVM_BB_ADDR_MAP section encodes offsets and sizes as
+ * ULEB128; our .bb_addr_map section (src/elf/bb_addr_map.h) does the same so
+ * that the binary-size numbers in Figure 6 have realistic metadata overhead.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace propeller {
+
+/** Append the ULEB128 encoding of @p value to @p out. */
+inline void
+encodeUleb128(uint64_t value, std::vector<uint8_t> &out)
+{
+    do {
+        uint8_t byte = value & 0x7f;
+        value >>= 7;
+        if (value != 0)
+            byte |= 0x80;
+        out.push_back(byte);
+    } while (value != 0);
+}
+
+/**
+ * Decode a ULEB128 value from @p data starting at @p pos.
+ *
+ * On success advances @p pos past the encoded bytes and returns the value;
+ * returns std::nullopt on truncated or oversized input.
+ */
+inline std::optional<uint64_t>
+decodeUleb128(const std::vector<uint8_t> &data, size_t &pos)
+{
+    uint64_t result = 0;
+    unsigned shift = 0;
+    while (pos < data.size()) {
+        uint8_t byte = data[pos++];
+        if (shift >= 64)
+            return std::nullopt;
+        result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0)
+            return result;
+        shift += 7;
+    }
+    return std::nullopt;
+}
+
+/** Size in bytes of the ULEB128 encoding of @p value. */
+inline size_t
+uleb128Size(uint64_t value)
+{
+    size_t n = 1;
+    while (value >>= 7)
+        ++n;
+    return n;
+}
+
+} // namespace propeller
+
+#endif // PROPELLER_SUPPORT_LEB128_H

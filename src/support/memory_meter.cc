@@ -1,0 +1,14 @@
+#include "support/memory_meter.h"
+
+#include <cassert>
+
+namespace propeller {
+
+void
+MemoryMeter::release(uint64_t bytes)
+{
+    assert(bytes <= live_ && "releasing more modelled memory than is live");
+    live_ -= bytes;
+}
+
+} // namespace propeller

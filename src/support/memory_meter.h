@@ -1,0 +1,99 @@
+#ifndef PROPELLER_SUPPORT_MEMORY_METER_H
+#define PROPELLER_SUPPORT_MEMORY_METER_H
+
+/**
+ * @file
+ * Modelled memory accounting.
+ *
+ * The paper evaluates peak resident memory of each optimization phase
+ * (Figures 4 and 5).  Host RSS is noisy and does not scale the way the real
+ * tools scale, so every major data structure in this reproduction reports a
+ * deterministic footprint in bytes and charges it to a MemoryMeter.  Peak
+ * charges per named phase are what the benches report.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace propeller {
+
+/**
+ * Tracks modelled live and peak memory in bytes.
+ *
+ * Components charge() bytes when they materialize a data structure and
+ * release() them when it is destroyed.  The meter records the high-water
+ * mark.  ScopedCharge provides RAII charging for temporaries.
+ */
+class MemoryMeter
+{
+  public:
+    MemoryMeter() = default;
+
+    /** Charge @p bytes of modelled memory. */
+    void
+    charge(uint64_t bytes)
+    {
+        live_ += bytes;
+        if (live_ > peak_)
+            peak_ = live_;
+    }
+
+    /** Release @p bytes previously charged. */
+    void release(uint64_t bytes);
+
+    /** Currently live modelled bytes. */
+    uint64_t live() const { return live_; }
+
+    /** High-water mark of modelled bytes. */
+    uint64_t peak() const { return peak_; }
+
+    /** Reset live and peak counts to zero. */
+    void
+    reset()
+    {
+        live_ = 0;
+        peak_ = 0;
+    }
+
+    /**
+     * Forget the recorded peak but keep the live charge.  Useful when one
+     * meter tracks several consecutive phases.
+     */
+    void resetPeak() { peak_ = live_; }
+
+  private:
+    uint64_t live_ = 0;
+    uint64_t peak_ = 0;
+};
+
+/** RAII charge on a MemoryMeter; releases on destruction. */
+class ScopedCharge
+{
+  public:
+    ScopedCharge(MemoryMeter &meter, uint64_t bytes)
+        : meter_(meter), bytes_(bytes)
+    {
+        meter_.charge(bytes_);
+    }
+
+    ~ScopedCharge() { meter_.release(bytes_); }
+
+    ScopedCharge(const ScopedCharge &) = delete;
+    ScopedCharge &operator=(const ScopedCharge &) = delete;
+
+    /** Grow the scoped charge by @p extra bytes. */
+    void
+    add(uint64_t extra)
+    {
+        meter_.charge(extra);
+        bytes_ += extra;
+    }
+
+  private:
+    MemoryMeter &meter_;
+    uint64_t bytes_;
+};
+
+} // namespace propeller
+
+#endif // PROPELLER_SUPPORT_MEMORY_METER_H

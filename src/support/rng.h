@@ -1,0 +1,109 @@
+#ifndef PROPELLER_SUPPORT_RNG_H
+#define PROPELLER_SUPPORT_RNG_H
+
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Everything in this reproduction must be bit-reproducible across runs and
+ * hosts, so we use our own SplitMix64-based generators instead of
+ * std::mt19937 (whose distributions are implementation-defined).
+ */
+
+#include <cstdint>
+
+namespace propeller {
+
+/** One round of the SplitMix64 output mix; a good stateless 64-bit mixer. */
+inline uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Mix two 64-bit values into one; used for keyed decisions. */
+inline uint64_t
+mix64(uint64_t a, uint64_t b)
+{
+    return mix64(a ^ (mix64(b) + 0x9e3779b97f4a7c15ull));
+}
+
+/** Mix three 64-bit values into one. */
+inline uint64_t
+mix64(uint64_t a, uint64_t b, uint64_t c)
+{
+    return mix64(mix64(a, b), c);
+}
+
+/**
+ * Small, fast, deterministic PRNG (SplitMix64 stream).
+ *
+ * Not cryptographic; statistically fine for workload synthesis and
+ * sampling jitter.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed) : state_(mix64(seed)) {}
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        state_ += 0x9e3779b97f4a7c15ull;
+        uint64_t x = state_;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+        return x ^ (x >> 31);
+    }
+
+    /** Uniform integer in [0, bound); bound must be nonzero. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        // Multiply-shift reduction; bias is negligible for our bounds.
+        return static_cast<uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    uint64_t
+    range(uint64_t lo, uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Geometric-ish heavy-tailed draw in [lo, hi]: smaller values are more
+     * likely.  Used to synthesize realistic size distributions (most
+     * functions are small, a few are huge).
+     */
+    uint64_t
+    skewed(uint64_t lo, uint64_t hi)
+    {
+        double u = uniform();
+        // Square the uniform draw twice to skew the mass toward lo.
+        double s = u * u;
+        return lo + static_cast<uint64_t>(s * static_cast<double>(hi - lo));
+    }
+
+  private:
+    uint64_t state_;
+};
+
+} // namespace propeller
+
+#endif // PROPELLER_SUPPORT_RNG_H

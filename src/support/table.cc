@@ -1,0 +1,152 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <cstdint>
+#include <sstream>
+
+namespace propeller {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    assert(row.size() == header_.size() && "row arity must match header");
+    rows_.push_back(std::move(row));
+}
+
+void
+Table::addSeparator()
+{
+    rows_.emplace_back();
+}
+
+namespace {
+
+// A cell is right-aligned if it looks like a number (possibly with sign,
+// percent, or unit suffix).
+bool
+looksNumeric(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    char c = s[0];
+    return std::isdigit(static_cast<unsigned char>(c)) || c == '+' ||
+           c == '-' || c == '~';
+}
+
+} // namespace
+
+std::string
+Table::render() const
+{
+    size_t ncols = header_.size();
+    std::vector<size_t> widths(ncols);
+    for (size_t i = 0; i < ncols; ++i)
+        widths[i] = header_[i].size();
+    for (const auto &row : rows_) {
+        if (row.empty())
+            continue;
+        for (size_t i = 0; i < ncols; ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    }
+
+    auto renderRow = [&](const std::vector<std::string> &row,
+                         std::ostringstream &os) {
+        os << "|";
+        for (size_t i = 0; i < ncols; ++i) {
+            const std::string &cell = row[i];
+            size_t pad = widths[i] - cell.size();
+            os << ' ';
+            if (looksNumeric(cell) && i > 0) {
+                os << std::string(pad, ' ') << cell;
+            } else {
+                os << cell << std::string(pad, ' ');
+            }
+            os << " |";
+        }
+        os << "\n";
+    };
+
+    auto renderSep = [&](std::ostringstream &os) {
+        os << "+";
+        for (size_t i = 0; i < ncols; ++i)
+            os << std::string(widths[i] + 2, '-') << "+";
+        os << "\n";
+    };
+
+    std::ostringstream os;
+    renderSep(os);
+    renderRow(header_, os);
+    renderSep(os);
+    for (const auto &row : rows_) {
+        if (row.empty()) {
+            renderSep(os);
+        } else {
+            renderRow(row, os);
+        }
+    }
+    renderSep(os);
+    return os.str();
+}
+
+void
+BarChart::addBar(std::string label, double value, std::string display)
+{
+    bars_.push_back({std::move(label), value, std::move(display)});
+}
+
+std::string
+BarChart::render() const
+{
+    size_t label_w = 0;
+    double max_v = 0.0;
+    for (const auto &b : bars_) {
+        label_w = std::max(label_w, b.label.size());
+        max_v = std::max(max_v, b.value);
+    }
+    std::ostringstream os;
+    for (const auto &b : bars_) {
+        int len = 0;
+        if (max_v > 0.0)
+            len = static_cast<int>(b.value / max_v * width_ + 0.5);
+        os << "  " << b.label << std::string(label_w - b.label.size(), ' ')
+           << " |" << std::string(len, '#') << " " << b.display << "\n";
+    }
+    return os.str();
+}
+
+std::string
+renderHeatMap(const std::vector<std::vector<uint64_t>> &cells,
+              const std::string &y_label, const std::string &x_label)
+{
+    static const char *shades = " .:-=+*#%@";
+    uint64_t max_v = 0;
+    for (const auto &row : cells)
+        for (uint64_t v : row)
+            max_v = std::max(max_v, v);
+
+    std::ostringstream os;
+    os << "  (" << y_label << " rows, " << x_label
+       << " columns; darker = more accesses)\n";
+    // Print highest addresses first, like the paper's figures.
+    for (auto it = cells.rbegin(); it != cells.rend(); ++it) {
+        os << "  |";
+        for (uint64_t v : *it) {
+            int idx = 0;
+            if (max_v > 0 && v > 0) {
+                // Log-ish scale so sparse accesses remain visible.
+                double f = static_cast<double>(v) / static_cast<double>(max_v);
+                idx = 1 + static_cast<int>(f * 8.0 + 0.5);
+                idx = std::min(idx, 9);
+            }
+            os << shades[idx];
+        }
+        os << "|\n";
+    }
+    return os.str();
+}
+
+} // namespace propeller

@@ -1,0 +1,82 @@
+#ifndef PROPELLER_SUPPORT_TABLE_H
+#define PROPELLER_SUPPORT_TABLE_H
+
+/**
+ * @file
+ * ASCII table and bar-chart rendering for the bench harness.
+ *
+ * Every bench binary regenerates one table or figure of the paper; these
+ * helpers render them in a consistent, diff-friendly form.
+ */
+
+#include <string>
+#include <vector>
+
+namespace propeller {
+
+/**
+ * Simple column-aligned ASCII table.
+ *
+ * Usage:
+ *   Table t({"Benchmark", "Text", "#Funcs"});
+ *   t.addRow({"Clang", "72 MB", "160 K"});
+ *   std::cout << t.render();
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append a data row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator line. */
+    void addSeparator();
+
+    /** Render the table to a string, right-aligning numeric-ish cells. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> header_;
+    // Separator rows are encoded as empty vectors.
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * Horizontal bar chart: one labelled bar per entry, scaled to the maximum
+ * value.  Used for the figure benches (e.g. peak-memory comparisons).
+ */
+class BarChart
+{
+  public:
+    /** @param width maximum bar width in characters. */
+    explicit BarChart(int width = 50) : width_(width) {}
+
+    /** Add one bar; @p display is the text shown after the bar. */
+    void addBar(std::string label, double value, std::string display);
+
+    std::string render() const;
+
+  private:
+    struct Bar
+    {
+        std::string label;
+        double value;
+        std::string display;
+    };
+
+    int width_;
+    std::vector<Bar> bars_;
+};
+
+/**
+ * ASCII heat map (address-bucket rows x time-bucket columns) used by the
+ * Figure 7 bench to render instruction-access heat maps.
+ */
+std::string renderHeatMap(const std::vector<std::vector<uint64_t>> &cells,
+                          const std::string &y_label,
+                          const std::string &x_label);
+
+} // namespace propeller
+
+#endif // PROPELLER_SUPPORT_TABLE_H

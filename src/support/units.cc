@@ -1,0 +1,84 @@
+#include "support/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace propeller {
+
+namespace {
+
+std::string
+scaled(double value, const char *suffix)
+{
+    char buf[64];
+    if (value >= 100.0 || std::floor(value) == value) {
+        std::snprintf(buf, sizeof(buf), "%.0f %s", value, suffix);
+    } else if (value >= 10.0) {
+        std::snprintf(buf, sizeof(buf), "%.1f %s", value, suffix);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.2f %s", value, suffix);
+    }
+    return buf;
+}
+
+} // namespace
+
+std::string
+formatBytes(uint64_t bytes)
+{
+    constexpr double kKb = 1024.0;
+    constexpr double kMb = kKb * 1024.0;
+    constexpr double kGb = kMb * 1024.0;
+    double b = static_cast<double>(bytes);
+    if (b >= kGb)
+        return scaled(b / kGb, "GB");
+    if (b >= kMb)
+        return scaled(b / kMb, "MB");
+    if (b >= kKb)
+        return scaled(b / kKb, "KB");
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+    return buf;
+}
+
+std::string
+formatCount(uint64_t count)
+{
+    double c = static_cast<double>(count);
+    if (c >= 1e6)
+        return scaled(c / 1e6, "M");
+    if (c >= 1e3)
+        return scaled(c / 1e3, "K");
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(count));
+    return buf;
+}
+
+std::string
+formatPercentDelta(double ratio)
+{
+    char buf[32];
+    double pct = ratio * 100.0;
+    std::snprintf(buf, sizeof(buf), "%+.1f%%", pct);
+    return buf;
+}
+
+std::string
+formatPercent(double fraction, int decimals)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+    return buf;
+}
+
+std::string
+formatFixed(double value, int decimals)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+} // namespace propeller

@@ -1,0 +1,32 @@
+#ifndef PROPELLER_SUPPORT_UNITS_H
+#define PROPELLER_SUPPORT_UNITS_H
+
+/**
+ * @file
+ * Human-readable formatting of byte counts, large counts and percentages
+ * for the bench harness tables.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace propeller {
+
+/** Format bytes as "413 MB", "2.6 GB", "34 KB" etc. (paper-style units). */
+std::string formatBytes(uint64_t bytes);
+
+/** Format a count as "1.7 M", "160 K", "80". */
+std::string formatCount(uint64_t count);
+
+/** Format a ratio as a signed percentage, e.g. "+7.3%" / "-2.0%". */
+std::string formatPercentDelta(double ratio);
+
+/** Format a fraction (0..1) as "67%". */
+std::string formatPercent(double fraction, int decimals = 0);
+
+/** Format a double with fixed decimals. */
+std::string formatFixed(double value, int decimals);
+
+} // namespace propeller
+
+#endif // PROPELLER_SUPPORT_UNITS_H

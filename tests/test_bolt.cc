@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Unit tests for the BOLT baseline: disassembly, CFG reconstruction,
+ * profile conversion and the monolithic rewriter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bolt/bolt.h"
+#include "bolt/disassembler.h"
+#include "build/workflow.h"
+#include "codegen/codegen.h"
+#include "linker/linker.h"
+#include "sim/machine.h"
+#include "test_util.h"
+
+namespace propeller::bolt {
+namespace {
+
+linker::Executable
+linkTiny(bool with_handasm = false)
+{
+    ir::Program program = test::tinyProgram();
+    if (with_handasm)
+        program.modules[0]->functions[0]->isHandAsm = true;
+    linker::Options lopts;
+    lopts.entrySymbol = "main";
+    lopts.emitRelocs = true;
+    return linker::link(codegen::compileProgram(program, {}), lopts);
+}
+
+TEST(Disassembler, DiscoversAndDecodesFunctions)
+{
+    linker::Executable exe = linkTiny();
+    auto funcs = disassembleBinary(exe);
+    ASSERT_EQ(funcs.size(), 2u);
+    for (const auto &fn : funcs) {
+        EXPECT_TRUE(fn.ok) << fn.name;
+        EXPECT_FALSE(fn.insts.empty());
+        EXPECT_FALSE(fn.blocks.empty());
+        // Instructions tile the range exactly.
+        uint64_t covered = 0;
+        for (const auto &bi : fn.insts)
+            covered += bi.inst.size();
+        EXPECT_EQ(covered, fn.end - fn.start);
+        // Blocks tile the range exactly.
+        EXPECT_EQ(fn.blocks.front().start, fn.start);
+        for (size_t b = 0; b + 1 < fn.blocks.size(); ++b)
+            EXPECT_EQ(fn.blocks[b].end, fn.blocks[b + 1].start);
+        EXPECT_EQ(fn.blocks.back().end, fn.end);
+    }
+}
+
+TEST(Disassembler, BlockAtResolvesAddresses)
+{
+    linker::Executable exe = linkTiny();
+    auto funcs = disassembleBinary(exe);
+    const BoltFunction &fn = funcs[0];
+    EXPECT_EQ(fn.blockAt(fn.start), 0);
+    EXPECT_EQ(fn.blockAt(fn.end), -1);
+    EXPECT_GE(fn.blockAt(fn.end - 1), 0);
+}
+
+TEST(Disassembler, HandAsmEmbeddedDataFailsDecoding)
+{
+    linker::Executable exe = linkTiny(true);
+    auto funcs = disassembleBinary(exe);
+    bool saw_failure = false;
+    for (const auto &fn : funcs) {
+        if (fn.name == "work") {
+            EXPECT_FALSE(fn.ok)
+                << "embedded data must defeat linear disassembly";
+            saw_failure = true;
+        }
+    }
+    EXPECT_TRUE(saw_failure);
+}
+
+TEST(Disassembler, FootprintScalesWithCode)
+{
+    linker::Executable exe = linkTiny();
+    auto funcs = disassembleBinary(exe);
+    for (const auto &fn : funcs)
+        EXPECT_GT(fn.footprint(), fn.insts.size() * 56);
+}
+
+profile::Profile
+profileOf(const linker::Executable &exe)
+{
+    sim::MachineOptions opts;
+    opts.seed = 5;
+    opts.maxInstructions = 300'000;
+    opts.collectLbr = true;
+    opts.lbrSamplePeriod = 1'000;
+    sim::RunResult r = sim::run(exe, opts);
+    return r.profile;
+}
+
+TEST(Perf2Bolt, ConvertsAndChargesMemory)
+{
+    linker::Executable exe = linkTiny();
+    profile::Profile prof = profileOf(exe);
+    BoltStats stats;
+    MemoryMeter meter;
+    BoltProfile converted = convertProfile(exe, prof, &stats, &meter);
+    EXPECT_FALSE(converted.agg.branches.empty());
+    EXPECT_GT(stats.convertPeakMemory, exe.text.size())
+        << "conversion disassembles the whole binary";
+    EXPECT_GT(stats.disassembledInsts, 0u);
+    EXPECT_EQ(meter.peak(), stats.convertPeakMemory);
+    EXPECT_EQ(meter.live(), 0u);
+}
+
+TEST(Perf2Bolt, SelectiveProcessingCutsMemory)
+{
+    // Lightning-BOLT selective processing (paper section 5.1): resolve
+    // sampled functions from the symbol table and disassemble only those.
+    workload::WorkloadConfig cfg = test::smallConfig(61);
+    cfg.name = "selective";
+    buildsys::Workflow wf(cfg);
+    BoltStats full;
+    convertProfile(wf.boltInputBinary(), wf.profile(), &full);
+    BoltStats lite;
+    convertProfile(wf.boltInputBinary(), wf.profile(), &lite, nullptr,
+                   /*selective=*/true);
+    EXPECT_LT(lite.convertPeakMemory, full.convertPeakMemory);
+    EXPECT_LT(lite.disassembledInsts, full.disassembledInsts);
+    EXPECT_GT(lite.disassembledInsts, 0u);
+}
+
+TEST(BoltOptimize, RewrittenBinaryRunsIdenticalWork)
+{
+    linker::Executable exe = linkTiny();
+    profile::Profile prof = profileOf(exe);
+    BoltProfile converted = convertProfile(exe, prof);
+    BoltStats stats;
+    linker::Executable bo = optimize(exe, converted, {}, &stats);
+
+    sim::MachineOptions opts;
+    opts.seed = 5;
+    opts.maxInstructions = 100'000;
+    sim::RunResult base = sim::run(exe, opts);
+    sim::RunResult bolted = sim::run(bo, opts);
+    ASSERT_TRUE(bolted.startupOk);
+    ASSERT_FALSE(bolted.fault) << "fault at " << std::hex << bolted.faultPc;
+    EXPECT_EQ(base.counters.logicalInstructions,
+              bolted.counters.logicalInstructions);
+    EXPECT_EQ(base.counters.condBranches, bolted.counters.condBranches);
+    EXPECT_EQ(base.counters.calls, bolted.counters.calls);
+}
+
+TEST(BoltOptimize, NewSegmentIs2MAligned)
+{
+    linker::Executable exe = linkTiny();
+    BoltProfile converted = convertProfile(exe, profileOf(exe));
+    BoltStats stats;
+    linker::Executable bo = optimize(exe, converted, {}, &stats);
+    EXPECT_GT(stats.newTextBytes, 0u);
+    // The entry moved to the new segment, which starts 2M-aligned past
+    // the original text.
+    EXPECT_GE(bo.entryAddress, 2ull * 1024 * 1024);
+    EXPECT_GT(bo.text.size(), exe.text.size())
+        << "original text is retained";
+}
+
+TEST(BoltOptimize, AlignmentCanBeDisabled)
+{
+    linker::Executable exe = linkTiny();
+    BoltProfile converted = convertProfile(exe, profileOf(exe));
+    BoltOptions opts;
+    opts.alignTextTo2M = false;
+    linker::Executable bo = optimize(exe, converted, opts);
+    EXPECT_LT(bo.text.size(), 2ull * 1024 * 1024);
+}
+
+TEST(BoltOptimize, SymbolsUpdatedToNewSegment)
+{
+    linker::Executable exe = linkTiny();
+    BoltProfile converted = convertProfile(exe, profileOf(exe));
+    linker::Executable bo = optimize(exe, converted, {});
+    const linker::FuncRange *range = bo.findSymbol("main");
+    ASSERT_NE(range, nullptr);
+    EXPECT_GT(range->start, exe.textEnd());
+}
+
+TEST(BoltOptimize, LiteModeSkipsColdFunctions)
+{
+    linker::Executable exe = linkTiny();
+    BoltProfile converted = convertProfile(exe, profileOf(exe));
+    BoltOptions lite;
+    lite.lite = true;
+    BoltStats lite_stats;
+    optimize(exe, converted, lite, &lite_stats);
+    BoltStats full_stats;
+    optimize(exe, converted, {}, &full_stats);
+    EXPECT_LE(lite_stats.functionsProcessed,
+              full_stats.functionsProcessed);
+    EXPECT_LE(lite_stats.newTextBytes, full_stats.newTextBytes);
+}
+
+TEST(BoltOptimize, HandAsmFunctionStaysInPlace)
+{
+    linker::Executable exe = linkTiny(true);
+    BoltProfile converted = convertProfile(exe, profileOf(exe));
+    BoltStats stats;
+    linker::Executable bo = optimize(exe, converted, {}, &stats);
+    EXPECT_GT(stats.functionsSkipped, 0u);
+    const linker::FuncRange *work = bo.findSymbol("work");
+    ASSERT_NE(work, nullptr);
+    EXPECT_LT(work->start, exe.textEnd())
+        << "non-disassemblable function keeps its old address";
+
+    // The binary must still run correctly (calls into old text).
+    sim::MachineOptions opts;
+    opts.maxInstructions = 50'000;
+    sim::RunResult r = sim::run(bo, opts);
+    EXPECT_TRUE(r.startupOk);
+    EXPECT_FALSE(r.fault);
+}
+
+TEST(BoltOptimize, IntegrityChecksCopiedVerbatim)
+{
+    ir::Program program = test::tinyProgram();
+    program.modules[0]->functions[0]->hasIntegrityCheck = true;
+    linker::Options lopts;
+    lopts.entrySymbol = "main";
+    lopts.emitRelocs = true;
+    linker::Executable exe =
+        linker::link(codegen::compileProgram(program, {}), lopts);
+
+    BoltProfile converted = convertProfile(exe, profileOf(exe));
+    linker::Executable bo = optimize(exe, converted, {});
+    ASSERT_EQ(bo.integrityChecks.size(), 1u);
+    EXPECT_EQ(bo.integrityChecks[0].expectedHash,
+              exe.integrityChecks[0].expectedHash);
+
+    sim::MachineOptions opts;
+    opts.maxInstructions = 1'000;
+    EXPECT_FALSE(sim::run(bo, opts).startupOk)
+        << "moved code no longer matches the baked-in constant";
+}
+
+TEST(BoltOptimize, ReducesTakenBranches)
+{
+    workload::WorkloadConfig cfg = test::smallConfig(21);
+    cfg.name = "bolttest";
+    buildsys::Workflow wf(cfg);
+    sim::MachineOptions opts = workload::evalOptions(cfg);
+    sim::RunResult base = sim::run(wf.baseline(), opts);
+    linker::Executable bo = wf.boltBinary();
+    sim::RunResult bolted = sim::run(bo, opts);
+    EXPECT_LT(bolted.counters.takenBranches, base.counters.takenBranches);
+}
+
+TEST(BoltOptimize, MemoryScalesWithWholeBinary)
+{
+    workload::WorkloadConfig cfg = test::smallConfig(31);
+    cfg.name = "boltmem";
+    buildsys::Workflow wf(cfg);
+    bolt::BoltStats stats;
+    wf.boltBinary({}, &stats);
+    // BOLT's peak includes per-instruction state for the entire binary.
+    EXPECT_GT(stats.optPeakMemory,
+              wf.baseline().text.size() * 2)
+        << "disassembly-driven memory must dominate binary size";
+}
+
+} // namespace
+} // namespace propeller::bolt

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Unit tests for the distributed build system substrate: the artifact
+ * cache, cost model, phase reports and caching behaviour across the
+ * 4-phase workflow.
+ */
+
+#include <gtest/gtest.h>
+
+#include "build/cache.h"
+#include "build/workflow.h"
+#include "test_util.h"
+
+namespace propeller::buildsys {
+namespace {
+
+TEST(ArtifactCache, HitMissAccounting)
+{
+    ArtifactCache cache;
+    EXPECT_EQ(cache.lookup(1), nullptr);
+    cache.put(1, {1, 2, 3});
+    const auto *hit = cache.lookup(1);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->size(), 3u);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().entries, 1u);
+    EXPECT_EQ(cache.stats().storedBytes, 3u);
+    EXPECT_DOUBLE_EQ(cache.stats().hitRate(), 0.5);
+}
+
+TEST(ArtifactCache, ContainsDoesNotCount)
+{
+    ArtifactCache cache;
+    cache.put(9, {0});
+    EXPECT_TRUE(cache.contains(9));
+    EXPECT_FALSE(cache.contains(10));
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(CostModel, MakespanCombinesParallelismAndCriticalPath)
+{
+    CostModel cost;
+    cost.actionOverheadSec = 0.0;
+    std::vector<double> costs = {10, 10, 10, 10};
+    // 4 actions on 2 workers: 40/2 + max(10) = 30.
+    EXPECT_DOUBLE_EQ(cost.makespan(costs, 2), 30.0);
+    // Unlimited workers: dominated by the longest action.
+    EXPECT_NEAR(cost.makespan(costs, 4000), 10.0, 0.1);
+}
+
+class WorkflowTest : public ::testing::Test
+{
+  protected:
+    static Workflow &
+    wf()
+    {
+        static Workflow instance(test::smallConfig(55));
+        return instance;
+    }
+};
+
+TEST_F(WorkflowTest, PhaseReportsExist)
+{
+    wf().baseline();
+    wf().propellerBinary();
+    for (const char *name :
+         {"phase1", "phase2.codegen", "phase2.link", "phase3.collect",
+          "phase3.wpa", "phase4.codegen", "phase4.link",
+          "baseline.link"}) {
+        EXPECT_TRUE(wf().hasReport(name)) << name;
+        if (wf().hasReport(name)) {
+            const PhaseReport &report = wf().report(name);
+            EXPECT_GE(report.makespanSec, 0.0) << name;
+        }
+    }
+}
+
+TEST_F(WorkflowTest, Phase4HitRateMatchesColdObjects)
+{
+    wf().propellerBinary();
+    const PhaseReport &codegen = wf().report("phase4.codegen");
+    size_t modules = wf().program().modules.size();
+    EXPECT_EQ(codegen.actions + codegen.cacheHits, modules);
+    EXPECT_EQ(wf().coldObjects().size(), codegen.cacheHits);
+    // Most objects are cold (the paper's ~10-33% hot objects).
+    EXPECT_GT(codegen.cacheHits, modules / 3);
+}
+
+TEST_F(WorkflowTest, RelinkCheaperThanBaselineLink)
+{
+    wf().baseline();
+    wf().propellerBinary();
+    // Cached cold inputs stream cheaper than fresh distributed outputs.
+    EXPECT_LT(wf().report("phase4.link").makespanSec,
+              wf().report("baseline.link").makespanSec);
+}
+
+TEST_F(WorkflowTest, WpaWithinActionMemoryLimit)
+{
+    wf().propellerBinary();
+    EXPECT_FALSE(wf().report("phase3.wpa").memoryLimitExceeded);
+    EXPECT_FALSE(wf().report("phase4.link").memoryLimitExceeded);
+}
+
+TEST_F(WorkflowTest, InstrumentedBuildModelled)
+{
+    PhaseReport report = wf().instrumentedBuildReport();
+    EXPECT_GT(report.makespanSec, 0.0);
+    EXPECT_GT(report.actions, 0u);
+}
+
+TEST_F(WorkflowTest, CacheHitRateHighAfterFullPipeline)
+{
+    wf().propellerBinary();
+    // Re-request everything: all lookups now hit.
+    const auto &stats_before = wf().cacheStats();
+    EXPECT_GT(stats_before.hits, 0u);
+}
+
+TEST(WorkflowDeterminism, IdenticalBinariesAcrossInstances)
+{
+    Workflow a(test::smallConfig(77));
+    Workflow b(test::smallConfig(77));
+    EXPECT_EQ(a.baseline().text, b.baseline().text);
+    EXPECT_EQ(a.propellerBinary().text, b.propellerBinary().text);
+    EXPECT_EQ(a.propellerBinary().entryAddress,
+              b.propellerBinary().entryAddress);
+}
+
+TEST(WorkflowBinaries, MetadataLargerThanBaseline)
+{
+    Workflow wf(test::smallConfig(88));
+    uint64_t base = wf.baseline().fileSize();
+    uint64_t pm = wf.metadataBinary().fileSize();
+    uint64_t bm = wf.boltInputBinary().fileSize();
+    EXPECT_GT(pm, base) << "PM carries .bb_addr_map";
+    EXPECT_GT(bm, base) << "BM carries .rela";
+    // Metadata binaries share the same text image.
+    EXPECT_EQ(wf.metadataBinary().text, wf.baseline().text);
+    EXPECT_EQ(wf.boltInputBinary().text, wf.baseline().text);
+}
+
+TEST(WorkflowBinaries, PropellerBinaryNearBaselineSize)
+{
+    Workflow wf(test::smallConfig(99));
+    uint64_t base = wf.baseline().sizes.text;
+    uint64_t po = wf.propellerBinary().sizes.text;
+    EXPECT_LT(po, base * 115 / 100)
+        << "PO text must stay within a few percent of baseline";
+}
+
+TEST(WorkflowReports, BoltReportsPopulated)
+{
+    Workflow wf(test::smallConfig(66));
+    wf.propellerBinary(); // Runs the WPA for the comparison below.
+    bolt::BoltStats stats;
+    wf.boltBinary({}, &stats);
+    EXPECT_TRUE(wf.hasReport("bolt.convert"));
+    EXPECT_TRUE(wf.hasReport("bolt.opt"));
+    EXPECT_GT(wf.report("bolt.opt").peakActionMemory,
+              wf.report("phase3.wpa").peakActionMemory)
+        << "monolithic BOLT must out-consume Propeller's WPA";
+}
+
+} // namespace
+} // namespace propeller::buildsys

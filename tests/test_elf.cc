@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Unit tests for the object file format: section sizing, BB address map
+ * encoding, serialization round-trips and content hashing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "elf/object.h"
+#include "support/leb128.h"
+#include "support/rng.h"
+
+namespace propeller::elf {
+namespace {
+
+Section
+textSectionWithSites()
+{
+    Section sec;
+    sec.name = ".text.f";
+    sec.type = SectionType::Text;
+    sec.alignment = 16;
+
+    TextPiece p1;
+    p1.block = BlockMark{0, kBbFallThrough};
+    p1.bytes = {1, 2, 3};
+    BranchSite call;
+    call.op = isa::Opcode::Call;
+    call.targetSymbol = "g";
+    call.targetBb = kSectionStart;
+    p1.site = call;
+    sec.pieces.push_back(p1);
+
+    TextPiece p2;
+    p2.bytes = {4, 5};
+    BranchSite jcc;
+    jcc.op = isa::Opcode::JccNear;
+    jcc.bias = 77;
+    jcc.branchId = 9;
+    jcc.targetSymbol = "f";
+    jcc.targetBb = 3;
+    p2.site = jcc;
+    sec.pieces.push_back(p2);
+    return sec;
+}
+
+TEST(Section, SizeSumsBytesAndSites)
+{
+    Section sec = textSectionWithSites();
+    // 3 bytes + call(5) + 2 bytes + jcc near(11) = 21.
+    EXPECT_EQ(sec.size(), 21u);
+    EXPECT_EQ(sec.relocationCount(), 2u);
+}
+
+TEST(Section, NonTextSizeIsRawBytes)
+{
+    Section sec;
+    sec.type = SectionType::RoData;
+    sec.bytes.assign(100, 0);
+    EXPECT_EQ(sec.size(), 100u);
+    EXPECT_EQ(sec.relocationCount(), 0u);
+}
+
+TEST(FrameDescriptor, SizeGrowsWithSavedRegs)
+{
+    FrameDescriptor small{"f", 64, 1};
+    FrameDescriptor big{"f", 64, 6};
+    EXPECT_LT(small.byteSize(), big.byteSize());
+    EXPECT_EQ(small.byteSize(), 24u + 8u + 2u);
+}
+
+TEST(SizeBreakdown, BucketsByType)
+{
+    ObjectFile obj;
+    obj.name = "m.o";
+    obj.sections.push_back(textSectionWithSites());
+    obj.symbols.push_back({"f", 0, SymbolKind::Function, "f"});
+
+    Section eh;
+    eh.name = ".eh_frame";
+    eh.type = SectionType::EhFrame;
+    eh.bytes.assign(40, 0);
+    obj.sections.push_back(eh);
+
+    Section ro;
+    ro.name = ".rodata";
+    ro.type = SectionType::RoData;
+    ro.bytes.assign(10, 0);
+    obj.sections.push_back(ro);
+
+    auto b = obj.sizeBreakdown();
+    EXPECT_EQ(b.text, 21u);
+    EXPECT_EQ(b.ehFrame, 40u);
+    EXPECT_EQ(b.other, 10u);
+    EXPECT_EQ(b.relocs, 2 * kRelaEntrySize);
+    EXPECT_EQ(b.total(), 21u + 40u + 10u + 48u);
+}
+
+TEST(SizeBreakdown, AccumulateOperator)
+{
+    ObjectFile::SizeBreakdown a{10, 2, 3, 4, 5, 6};
+    ObjectFile::SizeBreakdown b{1, 1, 1, 1, 1, 1};
+    a += b;
+    EXPECT_EQ(a.text, 11u);
+    EXPECT_EQ(a.debug, 6u);
+    EXPECT_EQ(a.total(), 36u);
+}
+
+TEST(BbAddrMap, EncodeDecodeRoundtrip)
+{
+    std::vector<FunctionAddrMap> maps;
+    FunctionAddrMap fn;
+    fn.functionName = "foo";
+    BbRange range;
+    range.sectionSymbol = "foo";
+    range.blocks = {{0, 0, 12, kBbFallThrough}, {3, 12, 7, kBbReturns}};
+    fn.ranges.push_back(range);
+    BbRange cold;
+    cold.sectionSymbol = "foo.cold";
+    cold.blocks = {{7, 0, 30, kBbLandingPad}};
+    fn.ranges.push_back(cold);
+    maps.push_back(fn);
+
+    bool ok = false;
+    auto decoded = decodeAddrMaps(encodeAddrMaps(maps), &ok);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(decoded, maps);
+    EXPECT_EQ(decoded[0].blockCount(), 3u);
+}
+
+TEST(BbAddrMap, RandomizedRoundtrip)
+{
+    Rng rng(123);
+    for (int iter = 0; iter < 20; ++iter) {
+        std::vector<FunctionAddrMap> maps;
+        uint32_t n_funcs = 1 + rng.below(5);
+        for (uint32_t f = 0; f < n_funcs; ++f) {
+            FunctionAddrMap fn;
+            fn.functionName = "fn_" + std::to_string(rng.next() % 1000);
+            uint32_t n_ranges = 1 + rng.below(3);
+            for (uint32_t r = 0; r < n_ranges; ++r) {
+                BbRange range;
+                range.sectionSymbol =
+                    fn.functionName + "." + std::to_string(r);
+                uint32_t offset = 0;
+                uint32_t n_blocks = 1 + rng.below(8);
+                for (uint32_t b = 0; b < n_blocks; ++b) {
+                    uint32_t size =
+                        static_cast<uint32_t>(rng.below(100000));
+                    range.blocks.push_back(
+                        {static_cast<uint32_t>(rng.below(1 << 20)), offset,
+                         size, static_cast<uint8_t>(rng.below(8))});
+                    offset += size;
+                }
+                fn.ranges.push_back(std::move(range));
+            }
+            maps.push_back(std::move(fn));
+        }
+        bool ok = false;
+        EXPECT_EQ(decodeAddrMaps(encodeAddrMaps(maps), &ok), maps);
+        EXPECT_TRUE(ok);
+    }
+}
+
+TEST(BbAddrMap, FuzzedBytesNeverCrash)
+{
+    Rng rng(0xf22);
+    for (int iter = 0; iter < 500; ++iter) {
+        std::vector<uint8_t> junk(rng.below(64));
+        for (auto &b : junk)
+            b = static_cast<uint8_t>(rng.next());
+        bool ok = true;
+        auto decoded = decodeAddrMaps(junk, &ok);
+        if (ok) {
+            // Rarely valid by chance; must still be structurally sound.
+            for (const auto &map : decoded)
+                for (const auto &range : map.ranges)
+                    for (size_t b = 0; b + 1 < range.blocks.size(); ++b)
+                        EXPECT_EQ(range.blocks[b].offset +
+                                      range.blocks[b].size,
+                                  range.blocks[b + 1].offset);
+        }
+    }
+}
+
+TEST(BbAddrMap, HostileCountsRejected)
+{
+    // A ULEB-encoded astronomically large function count must fail fast
+    // instead of reserving terabytes.
+    std::vector<uint8_t> hostile;
+    encodeUleb128(0xffffffffffffull, hostile);
+    bool ok = true;
+    decodeAddrMaps(hostile, &ok);
+    EXPECT_FALSE(ok);
+}
+
+TEST(BbAddrMap, MalformedInputRejected)
+{
+    std::vector<FunctionAddrMap> maps(1);
+    maps[0].functionName = "f";
+    maps[0].ranges.push_back({"f", {{0, 0, 5, 0}}});
+    std::vector<uint8_t> bytes = encodeAddrMaps(maps);
+
+    bool ok = true;
+    std::vector<uint8_t> truncated(bytes.begin(), bytes.end() - 2);
+    decodeAddrMaps(truncated, &ok);
+    EXPECT_FALSE(ok);
+
+    ok = true;
+    std::vector<uint8_t> padded = bytes;
+    padded.push_back(0);
+    decodeAddrMaps(padded, &ok);
+    EXPECT_FALSE(ok) << "trailing bytes must be rejected";
+}
+
+ObjectFile
+sampleObject()
+{
+    ObjectFile obj;
+    obj.name = "mod_0001.o";
+    obj.sections.push_back(textSectionWithSites());
+    Section handasm;
+    handasm.name = ".text.h";
+    handasm.type = SectionType::Text;
+    handasm.isHandAsm = true;
+    TextPiece blob;
+    blob.bytes = {0x30, 0x31, 0x32};
+    handasm.pieces.push_back(blob);
+    obj.sections.push_back(handasm);
+
+    obj.symbols.push_back({"f", 0, SymbolKind::Function, "f"});
+    obj.symbols.push_back({"h", 1, SymbolKind::Function, "h"});
+
+    FunctionAddrMap map;
+    map.functionName = "f";
+    map.ranges.push_back({"f", {{0, 0, 8, 0}, {3, 8, 13, kBbReturns}}});
+    obj.addrMaps.push_back(map);
+
+    obj.frames.push_back({"f", 21, 3});
+    obj.integrityCheckedFunctions.push_back("f");
+    return obj;
+}
+
+TEST(Serialize, RoundtripPreservesEverything)
+{
+    ObjectFile obj = sampleObject();
+    ObjectFile copy = ObjectFile::deserialize(obj.serialize());
+
+    EXPECT_EQ(copy.name, obj.name);
+    ASSERT_EQ(copy.sections.size(), obj.sections.size());
+    EXPECT_EQ(copy.sections[0].name, obj.sections[0].name);
+    EXPECT_EQ(copy.sections[0].size(), obj.sections[0].size());
+    EXPECT_EQ(copy.sections[1].isHandAsm, true);
+    ASSERT_EQ(copy.sections[0].pieces.size(), 2u);
+    ASSERT_TRUE(copy.sections[0].pieces[0].block.has_value());
+    EXPECT_EQ(copy.sections[0].pieces[0].block->bbId, 0u);
+    ASSERT_TRUE(copy.sections[0].pieces[1].site.has_value());
+    EXPECT_EQ(copy.sections[0].pieces[1].site->targetBb, 3u);
+    EXPECT_EQ(copy.sections[0].pieces[1].site->bias, 77);
+    ASSERT_EQ(copy.symbols.size(), 2u);
+    EXPECT_EQ(copy.symbols[1].parentFunction, "h");
+    EXPECT_EQ(copy.addrMaps, obj.addrMaps);
+    ASSERT_EQ(copy.frames.size(), 1u);
+    EXPECT_EQ(copy.frames[0].savedRegs, 3);
+    EXPECT_EQ(copy.integrityCheckedFunctions, obj.integrityCheckedFunctions);
+}
+
+TEST(Serialize, ContentHashStableAndSensitive)
+{
+    ObjectFile obj = sampleObject();
+    uint64_t h1 = obj.contentHash();
+    EXPECT_EQ(h1, sampleObject().contentHash()) << "hash must be stable";
+    obj.sections[0].pieces[0].bytes[0] ^= 1;
+    EXPECT_NE(obj.contentHash(), h1) << "hash must see content changes";
+}
+
+TEST(Serialize, DeserializeOfSerializeIsFixpoint)
+{
+    ObjectFile obj = sampleObject();
+    std::vector<uint8_t> once = obj.serialize();
+    std::vector<uint8_t> twice = ObjectFile::deserialize(once).serialize();
+    EXPECT_EQ(once, twice);
+}
+
+TEST(ObjectFile, FindSection)
+{
+    ObjectFile obj = sampleObject();
+    EXPECT_EQ(obj.findSection(".text.f"), 0);
+    EXPECT_EQ(obj.findSection(".text.h"), 1);
+    EXPECT_EQ(obj.findSection(".missing"), -1);
+}
+
+TEST(ObjectFile, SizeInBytesTracksContent)
+{
+    ObjectFile obj = sampleObject();
+    uint64_t before = obj.sizeInBytes();
+    Section ro;
+    ro.name = ".rodata";
+    ro.type = SectionType::RoData;
+    ro.bytes.assign(1000, 0);
+    obj.sections.push_back(ro);
+    EXPECT_GT(obj.sizeInBytes(), before + 999);
+}
+
+} // namespace
+} // namespace propeller::elf

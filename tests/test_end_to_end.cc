@@ -1,0 +1,152 @@
+/**
+ * @file
+ * End-to-end integration tests: the full 4-phase Propeller workflow, the
+ * BOLT path, and the cross-binary invariants the evaluation relies on
+ * (identical logical execution across layouts, performance improvements,
+ * startup integrity behaviour).
+ */
+
+#include <gtest/gtest.h>
+
+#include "build/workflow.h"
+#include "sim/machine.h"
+#include "test_util.h"
+
+namespace propeller {
+namespace {
+
+using buildsys::Workflow;
+using test::smallConfig;
+
+class EndToEndTest : public ::testing::Test
+{
+  protected:
+    static Workflow &
+    workflow()
+    {
+        static Workflow wf(smallConfig());
+        return wf;
+    }
+};
+
+TEST_F(EndToEndTest, BaselineRuns)
+{
+    const linker::Executable &exe = workflow().baseline();
+    sim::RunResult run =
+        sim::run(exe, workload::evalOptions(workflow().config()));
+    EXPECT_TRUE(run.startupOk);
+    EXPECT_FALSE(run.fault) << "fault at pc " << run.faultPc;
+    EXPECT_GT(run.counters.instructions, 100'000u);
+}
+
+TEST_F(EndToEndTest, MetadataBinaryMatchesBaselinePerformance)
+{
+    sim::MachineOptions opts = workload::evalOptions(workflow().config());
+    sim::RunResult base = sim::run(workflow().baseline(), opts);
+    sim::RunResult meta = sim::run(workflow().metadataBinary(), opts);
+    // The metadata section is not loaded: identical text, identical run.
+    EXPECT_EQ(base.counters.instructions, meta.counters.instructions);
+    EXPECT_EQ(base.counters.cycles(), meta.counters.cycles());
+}
+
+TEST_F(EndToEndTest, ProfileHasSamples)
+{
+    const profile::Profile &prof = workflow().profile();
+    EXPECT_GT(prof.samples.size(), 20u);
+    EXPECT_GT(prof.totalRetired, 0u);
+}
+
+TEST_F(EndToEndTest, PropellerBinaryExecutesIdenticalWork)
+{
+    sim::MachineOptions opts = workload::evalOptions(workflow().config());
+    sim::RunResult base = sim::run(workflow().baseline(), opts);
+    sim::RunResult prop = sim::run(workflow().propellerBinary(), opts);
+    ASSERT_TRUE(prop.startupOk);
+    ASSERT_FALSE(prop.fault) << "fault at pc " << prop.faultPc;
+    // Layout-invariant branch semantics: identical logical work (total
+    // retired differs by exactly the layout-dependent jumps and padding).
+    EXPECT_EQ(base.counters.logicalInstructions,
+              prop.counters.logicalInstructions);
+    EXPECT_EQ(base.counters.condBranches, prop.counters.condBranches);
+    EXPECT_EQ(base.counters.calls, prop.counters.calls);
+    EXPECT_EQ(base.counters.returns, prop.counters.returns);
+}
+
+TEST_F(EndToEndTest, PropellerImprovesPerformance)
+{
+    sim::MachineOptions opts = workload::evalOptions(workflow().config());
+    sim::RunResult base = sim::run(workflow().baseline(), opts);
+    sim::RunResult prop = sim::run(workflow().propellerBinary(), opts);
+    // Code layout must reduce cycles and taken branches.
+    EXPECT_LT(prop.counters.cycles(), base.counters.cycles());
+    EXPECT_LT(prop.counters.takenBranches, base.counters.takenBranches);
+}
+
+TEST_F(EndToEndTest, Phase4ReusesColdObjects)
+{
+    workflow().propellerBinary();
+    const buildsys::PhaseReport &codegen =
+        workflow().report("phase4.codegen");
+    EXPECT_GT(codegen.cacheHits, 0u) << "cold objects must be cache hits";
+    EXPECT_GT(codegen.actions, 0u) << "hot objects must be regenerated";
+    EXPECT_LT(codegen.actions,
+              workflow().program().modules.size());
+}
+
+TEST_F(EndToEndTest, BoltBinaryExecutesIdenticalWorkAndImproves)
+{
+    sim::MachineOptions opts = workload::evalOptions(workflow().config());
+    sim::RunResult base = sim::run(workflow().baseline(), opts);
+    linker::Executable bo = workflow().boltBinary();
+    sim::RunResult bolt = sim::run(bo, opts);
+    ASSERT_TRUE(bolt.startupOk); // testapp has no integrity checks.
+    ASSERT_FALSE(bolt.fault) << "fault at pc " << bolt.faultPc;
+    EXPECT_EQ(base.counters.logicalInstructions,
+              bolt.counters.logicalInstructions);
+    EXPECT_EQ(base.counters.condBranches, bolt.counters.condBranches);
+    EXPECT_LT(bolt.counters.cycles(), base.counters.cycles());
+}
+
+TEST_F(EndToEndTest, BoltBinaryIsLarger)
+{
+    linker::Executable bo = workflow().boltBinary();
+    EXPECT_GT(bo.fileSize(), workflow().baseline().fileSize());
+    // Propeller's optimized binary stays close to baseline size.
+    EXPECT_LT(workflow().propellerBinary().sizes.text,
+              bo.sizes.text / 2);
+}
+
+TEST_F(EndToEndTest, IntegrityCheckedAppCrashesUnderBoltNotPropeller)
+{
+    workload::WorkloadConfig cfg = smallConfig(77);
+    cfg.name = "checkedapp";
+    cfg.integrityCheckedFunctions = 2;
+    Workflow wf(cfg);
+
+    sim::MachineOptions opts = workload::evalOptions(cfg);
+    sim::RunResult base = sim::run(wf.baseline(), opts);
+    EXPECT_TRUE(base.startupOk);
+
+    sim::RunResult prop = sim::run(wf.propellerBinary(), opts);
+    EXPECT_TRUE(prop.startupOk) << "relinking regenerates the constants";
+
+    linker::Executable bo = wf.boltBinary();
+    sim::RunResult bolt = sim::run(bo, opts);
+    EXPECT_FALSE(bolt.startupOk)
+        << "binary rewriting must trip the startup integrity check";
+}
+
+TEST_F(EndToEndTest, IterativePropellerStillCorrect)
+{
+    sim::MachineOptions opts = workload::evalOptions(workflow().config());
+    sim::RunResult base = sim::run(workflow().baseline(), opts);
+    linker::Executable po2 = workflow().iterativePropellerBinary();
+    sim::RunResult iter = sim::run(po2, opts);
+    ASSERT_TRUE(iter.startupOk);
+    ASSERT_FALSE(iter.fault);
+    EXPECT_EQ(base.counters.logicalInstructions,
+              iter.counters.logicalInstructions);
+}
+
+} // namespace
+} // namespace propeller

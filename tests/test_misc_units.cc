@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Coverage for the remaining small units: DCFG containers, address-map
+ * index footprints, Ext-TSP option variants, hfsort thresholds, machine
+ * cache-line straddling, DSB behaviour and chart edge cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include "build/workflow.h"
+#include "codegen/codegen.h"
+#include "linker/linker.h"
+#include "propeller/addr_map_index.h"
+#include "propeller/dcfg.h"
+#include "propeller/ext_tsp.h"
+#include "propeller/hfsort.h"
+#include "sim/machine.h"
+#include "support/table.h"
+#include "test_util.h"
+
+namespace propeller {
+namespace {
+
+TEST(Dcfg, FootprintsScaleWithContent)
+{
+    core::FunctionDcfg fn;
+    fn.function = "f";
+    uint64_t empty = fn.footprint();
+    fn.nodes.resize(10);
+    fn.edges.resize(20);
+    EXPECT_GT(fn.footprint(), empty);
+
+    core::WholeProgramDcfg graph;
+    graph.functions.push_back(fn);
+    graph.callEdges.resize(5);
+    EXPECT_GT(graph.footprint(), fn.footprint());
+    EXPECT_EQ(graph.findFunction("f"), 0);
+    EXPECT_EQ(graph.findFunction("g"), -1);
+}
+
+TEST(Dcfg, TotalWeightSumsEdges)
+{
+    core::FunctionDcfg fn;
+    fn.nodes.resize(2);
+    fn.edges = {{0, 1, 10, core::EdgeKind::Branch},
+                {1, 0, 5, core::EdgeKind::FallThrough}};
+    EXPECT_EQ(fn.totalWeight(), 15u);
+}
+
+TEST(AddrMapIndex, FootprintNonZero)
+{
+    ir::Program program = test::tinyProgram();
+    codegen::Options copts;
+    copts.emitAddrMapSection = true;
+    linker::Options lopts;
+    lopts.entrySymbol = "main";
+    linker::Executable exe =
+        linker::link(codegen::compileProgram(program, copts), lopts);
+    core::AddrMapIndex index(exe);
+    EXPECT_GT(index.footprint(), index.blockCount() * 16);
+}
+
+TEST(ExtTsp, CustomWeightsChangeScores)
+{
+    std::vector<core::LayoutNode> nodes = {{10, 1}, {10, 1}};
+    std::vector<core::LayoutEdge> edges = {{0, 1, 100}};
+    core::ExtTspOptions heavy;
+    heavy.fallthroughWeight = 2.0;
+    EXPECT_DOUBLE_EQ(core::extTspScore(nodes, edges, {0, 1}, heavy),
+                     200.0);
+    core::ExtTspOptions narrow;
+    narrow.forwardDistance = 4; // The 10-byte gap falls outside.
+    EXPECT_DOUBLE_EQ(core::extTspScore(nodes, edges, {1, 0},
+                                       core::ExtTspOptions{}),
+                     core::extTspScore(nodes, edges, {1, 0}, narrow))
+        << "backward scoring unaffected by the forward window";
+}
+
+TEST(ExtTsp, SplitMergeBeatsConcatWhenProfitable)
+{
+    // Chain X = [0,1] with a heavy edge 0 -> 2 -> 1: inserting node 2
+    // inside X (split merge) scores higher than appending it.
+    std::vector<core::LayoutNode> nodes = {{8, 10}, {8, 10}, {8, 10}};
+    std::vector<core::LayoutEdge> edges = {
+        {0, 1, 5}, {0, 2, 100}, {2, 1, 100}};
+    auto order = core::extTspOrder(nodes, edges, 0);
+    EXPECT_EQ(order, (std::vector<uint32_t>{0, 2, 1}));
+}
+
+TEST(Hfsort, ArcThresholdFiltersWeakCallers)
+{
+    core::HfsortOptions opts;
+    opts.arcThreshold = 0.9; // Only near-exclusive callers cluster.
+    std::vector<core::HfsortNode> nodes = {{64, 1000}, {64, 500}};
+    std::vector<core::HfsortArc> weak = {{0, 1, 100}}; // 100 < 0.9*500.
+    auto order = core::hfsortOrder(nodes, weak, opts);
+    EXPECT_EQ(order, (std::vector<uint32_t>{0, 1}))
+        << "no merge, plain hotness order";
+
+    std::vector<core::HfsortArc> strong = {{0, 1, 490}};
+    order = core::hfsortOrder(nodes, strong, opts);
+    EXPECT_EQ(order, (std::vector<uint32_t>{0, 1}))
+        << "merged cluster preserves call order";
+}
+
+TEST(Machine, StraddlingInstructionsTouchTwoLines)
+{
+    // A run on any binary: the straddle path is exercised whenever an
+    // instruction crosses a 64-byte boundary; verify determinism holds
+    // and no counters go inconsistent.
+    ir::Program program = test::tinyProgram();
+    linker::Options lopts;
+    lopts.entrySymbol = "main";
+    linker::Executable exe =
+        linker::link(codegen::compileProgram(program, {}), lopts);
+    sim::MachineOptions opts;
+    opts.maxInstructions = 30'000;
+    sim::RunResult r = sim::run(exe, opts);
+    EXPECT_GE(r.counters.dsbAccesses, r.counters.instructions);
+    EXPECT_LE(r.counters.l1iMisses, r.counters.instructions * 2);
+}
+
+TEST(Machine, DsbMissesDropOnceWarm)
+{
+    ir::Program program = test::tinyProgram();
+    linker::Options lopts;
+    lopts.entrySymbol = "main";
+    linker::Executable exe =
+        linker::link(codegen::compileProgram(program, {}), lopts);
+    sim::MachineOptions opts;
+    opts.maxInstructions = 100'000;
+    sim::RunResult r = sim::run(exe, opts);
+    // The tiny loop fits the DSB: misses are a vanishing fraction.
+    EXPECT_LT(r.counters.dsbMisses, r.counters.dsbAccesses / 100);
+}
+
+TEST(Charts, EmptyAndZeroInputsAreSafe)
+{
+    BarChart chart(10);
+    EXPECT_TRUE(chart.render().empty());
+    chart.addBar("zero", 0.0, "0");
+    EXPECT_NE(chart.render().find("zero"), std::string::npos);
+
+    std::vector<std::vector<uint64_t>> empty_cells;
+    EXPECT_FALSE(renderHeatMap(empty_cells, "a", "t").empty());
+    std::vector<std::vector<uint64_t>> zeros(2,
+                                             std::vector<uint64_t>(3, 0));
+    std::string out = renderHeatMap(zeros, "a", "t");
+    EXPECT_NE(out.find("|   |"), std::string::npos);
+}
+
+TEST(Charts, TableWithOnlyHeader)
+{
+    Table t({"A", "B"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("| A"), std::string::npos);
+}
+
+TEST(MapperStats, TruncationAndReturnsReported)
+{
+    buildsys::Workflow wf(test::smallConfig(47));
+    const core::WpaResult &wpa = wf.wpa();
+    // Calls return mid-block constantly: returnRecords must be large.
+    EXPECT_GT(wpa.stats.mapper.returnRecords, 0u);
+    EXPECT_EQ(wpa.stats.mapper.unmappedRecords, 0u)
+        << "every sample address must resolve through the address map";
+}
+
+} // namespace
+} // namespace propeller

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Property tests over randomly generated workloads (parameterized by
+ * seed): the invariants every optimizer path must preserve, checked on
+ * eight different synthetic programs end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "build/workflow.h"
+#include "ir/verifier.h"
+#include "sim/machine.h"
+#include "test_util.h"
+
+namespace propeller {
+namespace {
+
+class PipelineProperties : public ::testing::TestWithParam<uint64_t>
+{
+  protected:
+    workload::WorkloadConfig
+    config() const
+    {
+        workload::WorkloadConfig cfg = test::smallConfig(GetParam());
+        cfg.name = "prop" + std::to_string(GetParam());
+        // Vary the structure knobs with the seed for diversity.
+        cfg.coldPathDensity = 0.2 + 0.03 * (GetParam() % 7);
+        cfg.pgoStaleness = 0.1 + 0.05 * (GetParam() % 5);
+        cfg.integrityCheckedFunctions = GetParam() % 2;
+        return cfg;
+    }
+};
+
+TEST_P(PipelineProperties, GeneratedProgramIsValid)
+{
+    ir::Program program = workload::generate(config());
+    EXPECT_TRUE(ir::verify(program).empty());
+}
+
+TEST_P(PipelineProperties, AllBinariesRetireIdenticalLogicalWork)
+{
+    buildsys::Workflow wf(config());
+    sim::MachineOptions opts = workload::evalOptions(wf.config());
+
+    sim::RunResult base = sim::run(wf.baseline(), opts);
+    ASSERT_FALSE(base.fault);
+
+    sim::RunResult prop = sim::run(wf.propellerBinary(), opts);
+    ASSERT_TRUE(prop.startupOk);
+    ASSERT_FALSE(prop.fault) << std::hex << prop.faultPc;
+    EXPECT_EQ(base.counters.logicalInstructions,
+              prop.counters.logicalInstructions);
+    EXPECT_EQ(base.counters.condBranches, prop.counters.condBranches);
+    EXPECT_EQ(base.counters.calls, prop.counters.calls);
+    EXPECT_EQ(base.counters.returns, prop.counters.returns);
+
+    linker::Executable bo = wf.boltBinary();
+    sim::RunResult bolt = sim::run(bo, opts);
+    ASSERT_FALSE(bolt.fault) << std::hex << bolt.faultPc;
+    if (bolt.startupOk) {
+        EXPECT_EQ(base.counters.logicalInstructions,
+                  bolt.counters.logicalInstructions);
+        EXPECT_EQ(base.counters.condBranches,
+                  bolt.counters.condBranches);
+    } else {
+        // Startup crash is legitimate exactly when checks exist.
+        EXPECT_GT(wf.config().integrityCheckedFunctions, 0u);
+    }
+}
+
+TEST_P(PipelineProperties, BoltLiteAlsoCorrect)
+{
+    buildsys::Workflow wf(config());
+    sim::MachineOptions opts = workload::evalOptions(wf.config());
+    sim::RunResult base = sim::run(wf.baseline(), opts);
+
+    bolt::BoltOptions lite;
+    lite.lite = true;
+    linker::Executable bo = wf.boltBinary(lite);
+    sim::RunResult bolt = sim::run(bo, opts);
+    ASSERT_FALSE(bolt.fault);
+    if (bolt.startupOk) {
+        EXPECT_EQ(base.counters.logicalInstructions,
+                  bolt.counters.logicalInstructions);
+    }
+}
+
+TEST_P(PipelineProperties, ClusterSpecsCoverEveryFunctionExactly)
+{
+    buildsys::Workflow wf(config());
+    const core::WpaResult &wpa = wf.wpa();
+    for (const auto &[fn_name, spec] : wpa.ccProf.clusters) {
+        const ir::Function *fn = wf.program().findFunction(fn_name);
+        ASSERT_NE(fn, nullptr) << fn_name;
+        std::set<uint32_t> listed;
+        for (const auto &cluster : spec.clusters) {
+            for (uint32_t id : cluster)
+                EXPECT_TRUE(listed.insert(id).second) << fn_name;
+        }
+        EXPECT_EQ(listed.size(), fn->blocks.size()) << fn_name;
+        EXPECT_EQ(spec.clusters[0][0], fn->entry().id) << fn_name;
+    }
+}
+
+TEST_P(PipelineProperties, LdProfSymbolsResolveInBinary)
+{
+    buildsys::Workflow wf(config());
+    const core::WpaResult &wpa = wf.wpa();
+    const linker::Executable &po = wf.propellerBinary();
+    for (const auto &sym : wpa.ldProf.symbolOrder)
+        EXPECT_NE(po.findSymbol(sym), nullptr) << sym;
+    // And the listed order is honoured: addresses ascend.
+    uint64_t prev = 0;
+    for (const auto &sym : wpa.ldProf.symbolOrder) {
+        const linker::FuncRange *range = po.findSymbol(sym);
+        ASSERT_NE(range, nullptr);
+        EXPECT_GE(range->start, prev) << sym;
+        prev = range->start;
+    }
+}
+
+TEST_P(PipelineProperties, UnrelaxedBinaryBehavesIdentically)
+{
+    buildsys::Workflow wf(config());
+    const core::WpaResult &wpa = wf.wpa();
+
+    codegen::Options copts;
+    copts.bbSections = codegen::BbSectionsMode::Clusters;
+    copts.clusters = &wpa.ccProf.clusters;
+    auto objects = codegen::compileProgram(wf.program(), copts);
+
+    linker::Options with;
+    with.entrySymbol = "main";
+    with.symbolOrder = wpa.ldProf.symbolOrder;
+    linker::Options without = with;
+    without.relax = false;
+
+    sim::MachineOptions opts = workload::evalOptions(wf.config());
+    sim::RunResult relaxed = sim::run(linker::link(objects, with), opts);
+    sim::RunResult fat = sim::run(linker::link(objects, without), opts);
+    ASSERT_FALSE(relaxed.fault);
+    ASSERT_FALSE(fat.fault);
+    EXPECT_EQ(relaxed.counters.logicalInstructions,
+              fat.counters.logicalInstructions);
+    EXPECT_EQ(relaxed.counters.condTaken, fat.counters.condTaken)
+        << "relaxation only changes encodings, never branch outcomes";
+}
+
+TEST_P(PipelineProperties, LinkIsDeterministic)
+{
+    buildsys::Workflow a(config());
+    buildsys::Workflow b(config());
+    EXPECT_EQ(a.propellerBinary().text, b.propellerBinary().text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineProperties,
+                         ::testing::Values(201, 202, 203, 204, 205, 206,
+                                           207, 208));
+
+} // namespace
+} // namespace propeller

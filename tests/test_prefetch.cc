@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Tests for the section 3.5 extension: the data-cache model, PEBS-style
+ * miss profiling, the whole-program prefetch pass, directive round-trips
+ * and end-to-end prefetch insertion through the workflow.
+ */
+
+#include <gtest/gtest.h>
+
+#include "build/workflow.h"
+#include "codegen/codegen.h"
+#include "linker/linker.h"
+#include "propeller/prefetch.h"
+#include "support/rng.h"
+#include "sim/machine.h"
+#include "test_util.h"
+
+namespace propeller::core {
+namespace {
+
+/** main loops over a block with a load from a streaming site. */
+ir::Program
+streamingProgram(uint32_t site)
+{
+    using namespace ir;
+    Program program;
+    program.name = "stream";
+    program.entryFunction = "main";
+    auto mod = std::make_unique<Module>();
+    mod->name = "m";
+    auto fn = test::makeFunction("main", 4);
+    fn->blocks[0]->insts = {makeWork(0, 0), makeBr(1)};
+    fn->blocks[1]->insts = {makeLoad(1, site), makeWork(1, 2),
+                            makeLoopBr(1, 2, 255, 1)};
+    fn->blocks[2]->insts = {makeLoopBr(1, 3, 255, 2)};
+    fn->blocks[3]->insts = {makeRet()};
+    mod->functions.push_back(std::move(fn));
+    program.modules.push_back(std::move(mod));
+    return program;
+}
+
+/** Find a site id with streaming behaviour (stride 64; see machine.cc). */
+uint32_t
+findStreamingSite()
+{
+    for (uint32_t site = 1; site < 4096; ++site) {
+        if ((mix64(site ^ 0xd47aull) & 7) == 0)
+            return site;
+    }
+    return 1;
+}
+
+/** Find a cache-resident site (stride 0). */
+uint32_t
+findResidentSite()
+{
+    for (uint32_t site = 1; site < 4096; ++site) {
+        if ((mix64(site ^ 0xd47aull) & 7) >= 2)
+            return site;
+    }
+    return 1;
+}
+
+linker::Executable
+linkProgram(const ir::Program &program, const codegen::Options &copts = {})
+{
+    linker::Options lopts;
+    lopts.entrySymbol = "main";
+    return linker::link(codegen::compileProgram(program, copts), lopts);
+}
+
+TEST(DataCache, OffByDefault)
+{
+    ir::Program program = streamingProgram(findStreamingSite());
+    sim::MachineOptions opts;
+    opts.maxInstructions = 10'000;
+    sim::RunResult r = sim::run(linkProgram(program), opts);
+    EXPECT_EQ(r.counters.dcacheAccesses, 0u);
+    EXPECT_EQ(r.counters.dcacheMisses, 0u);
+}
+
+TEST(DataCache, StreamingSiteMissesEveryAccess)
+{
+    ir::Program program = streamingProgram(findStreamingSite());
+    sim::MachineOptions opts;
+    opts.maxInstructions = 10'000;
+    opts.modelDataCache = true;
+    sim::RunResult r = sim::run(linkProgram(program), opts);
+    EXPECT_GT(r.counters.dcacheAccesses, 1000u);
+    // Stride 64 = a new line every access: ~100% miss rate.
+    EXPECT_GT(r.counters.dcacheMisses,
+              r.counters.dcacheAccesses * 95 / 100);
+    EXPECT_GT(r.counters.dataStallQC, 0u);
+}
+
+TEST(DataCache, ResidentSiteHitsAfterWarmup)
+{
+    ir::Program program = streamingProgram(findResidentSite());
+    sim::MachineOptions opts;
+    opts.maxInstructions = 10'000;
+    opts.modelDataCache = true;
+    sim::RunResult r = sim::run(linkProgram(program), opts);
+    EXPECT_LT(r.counters.dcacheMisses, 10u);
+}
+
+TEST(DataCache, MissProfileRanksStreamingSites)
+{
+    ir::Program program = streamingProgram(findStreamingSite());
+    sim::MachineOptions opts;
+    opts.maxInstructions = 50'000;
+    opts.modelDataCache = true;
+    opts.collectMissProfile = true;
+    opts.missSamplePeriod = 4;
+    sim::RunResult r = sim::run(linkProgram(program), opts);
+    ASSERT_FALSE(r.missProfile.siteMisses.empty());
+    EXPECT_GT(r.missProfile.totalSamples, 100u);
+    EXPECT_TRUE(r.missProfile.siteMisses.count(
+        static_cast<uint16_t>(findStreamingSite())));
+}
+
+TEST(PrefetchPass, SelectsHottestSites)
+{
+    profile::MissProfile misses;
+    misses.siteMisses[10] = 1000;
+    misses.siteMisses[20] = 500;
+    misses.siteMisses[30] = 2; // Below the sample threshold.
+    PrefetchOptions opts;
+    opts.minMissSamples = 4;
+    opts.maxSites = 8;
+    opts.lookahead = 6;
+    PrefetchMap map = computePrefetchDirectives(misses, opts);
+    EXPECT_EQ(map.size(), 2u);
+    EXPECT_EQ(map.at(10), 6);
+    EXPECT_EQ(map.count(30), 0u);
+}
+
+TEST(PrefetchPass, MaxSitesCap)
+{
+    profile::MissProfile misses;
+    for (uint16_t s = 0; s < 100; ++s)
+        misses.siteMisses[s] = 100 + s;
+    PrefetchOptions opts;
+    opts.maxSites = 10;
+    PrefetchMap map = computePrefetchDirectives(misses, opts);
+    EXPECT_EQ(map.size(), 10u);
+    // The cap keeps the hottest sites (largest counts = highest ids here).
+    EXPECT_TRUE(map.count(99));
+    EXPECT_FALSE(map.count(0));
+}
+
+TEST(PrefetchDirectives, TextRoundtrip)
+{
+    PrefetchMap map = {{7, 4}, {1000, 8}};
+    PrefetchMap parsed;
+    ASSERT_TRUE(
+        parsePrefetchDirectives(serializePrefetchDirectives(map), parsed));
+    EXPECT_EQ(parsed, map);
+}
+
+TEST(PrefetchDirectives, RejectsMalformed)
+{
+    PrefetchMap out;
+    EXPECT_FALSE(parsePrefetchDirectives("abc\n", out));
+    EXPECT_FALSE(parsePrefetchDirectives("1\n", out));
+    EXPECT_FALSE(parsePrefetchDirectives("1 2 3\n", out));
+    EXPECT_FALSE(parsePrefetchDirectives("99999 1\n", out));
+    EXPECT_TRUE(parsePrefetchDirectives("# comment\n5 4\n", out));
+    EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(PrefetchCodegen, InsertsBeforeTargetedLoads)
+{
+    ir::Program program = streamingProgram(42);
+    std::map<uint16_t, uint8_t> prefetches = {{42, 4}};
+    codegen::Options copts;
+    copts.prefetches = &prefetches;
+    linker::Executable with = linkProgram(program, copts);
+    linker::Executable without = linkProgram(program);
+    EXPECT_GT(with.text.size(), without.text.size());
+
+    // Decode the loop block: a Prefetch must appear before the load.
+    sim::MachineOptions opts;
+    opts.maxInstructions = 1'000;
+    sim::RunResult r = sim::run(with, opts);
+    EXPECT_GT(r.counters.prefetchesIssued, 100u);
+}
+
+TEST(PrefetchCodegen, EliminatesStreamingMisses)
+{
+    uint32_t site = findStreamingSite();
+    ir::Program program = streamingProgram(site);
+    std::map<uint16_t, uint8_t> prefetches = {
+        {static_cast<uint16_t>(site), 4}};
+    codegen::Options copts;
+    copts.prefetches = &prefetches;
+
+    sim::MachineOptions opts;
+    opts.maxInstructions = 50'000;
+    opts.modelDataCache = true;
+    sim::RunResult plain = sim::run(linkProgram(program), opts);
+    sim::RunResult fetched = sim::run(linkProgram(program, copts), opts);
+
+    EXPECT_LT(fetched.counters.dcacheMisses,
+              plain.counters.dcacheMisses / 5)
+        << "prefetching the +4 access must turn misses into hits";
+    EXPECT_LT(fetched.counters.cycles(), plain.counters.cycles());
+    EXPECT_EQ(fetched.counters.logicalInstructions,
+              plain.counters.logicalInstructions)
+        << "prefetches are layout-class instructions, not logical work";
+}
+
+TEST(PrefetchWorkflow, EndToEndImprovesDataStalls)
+{
+    buildsys::Workflow wf(test::smallConfig(47));
+    core::PrefetchMap directives;
+    linker::Executable pf = wf.propellerBinaryWithPrefetch(&directives);
+    EXPECT_FALSE(directives.empty()) << "workload must have miss sites";
+
+    sim::MachineOptions opts = workload::evalOptions(wf.config());
+    opts.modelDataCache = true;
+    sim::RunResult base = sim::run(wf.propellerBinary(), opts);
+    sim::RunResult fetched = sim::run(pf, opts);
+    ASSERT_TRUE(fetched.startupOk);
+    ASSERT_FALSE(fetched.fault);
+    EXPECT_EQ(base.counters.logicalInstructions,
+              fetched.counters.logicalInstructions);
+    EXPECT_LT(fetched.counters.dcacheMisses, base.counters.dcacheMisses);
+    EXPECT_LT(fetched.counters.cycles(), base.counters.cycles());
+}
+
+TEST(PrefetchWorkflow, OnlyAffectedObjectsRebuilt)
+{
+    buildsys::Workflow wf(test::smallConfig(47));
+    wf.propellerBinary();
+    wf.propellerBinaryWithPrefetch();
+    const buildsys::PhaseReport &report = wf.report("prefetch.codegen");
+    EXPECT_GT(report.cacheHits, 0u)
+        << "objects without targeted load sites must stay cache hits";
+}
+
+} // namespace
+} // namespace propeller::core

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit tests for the profile container: serialization, size accounting
+ * and LBR aggregation into branch/fall-through counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "profile/profile.h"
+
+namespace propeller::profile {
+namespace {
+
+Profile
+sampleProfile()
+{
+    Profile p;
+    p.binaryHash = 0xfeedface;
+    p.totalRetired = 123456;
+
+    LbrSample s1;
+    s1.count = 3;
+    s1.records[0] = {0x400010, 0x400100}; // Taken branch.
+    s1.records[1] = {0x400120, 0x400200}; // Fall-through 100..120 between.
+    s1.records[2] = {0x400210, 0x400050};
+    p.samples.push_back(s1);
+
+    LbrSample s2;
+    s2.count = 2;
+    s2.records[0] = {0x400010, 0x400100}; // Same branch again.
+    s2.records[1] = {0x400120, 0x400200};
+    p.samples.push_back(s2);
+    return p;
+}
+
+TEST(Profile, SerializeRoundtrip)
+{
+    Profile p = sampleProfile();
+    Profile q = Profile::deserialize(p.serialize());
+    EXPECT_EQ(q.binaryHash, p.binaryHash);
+    EXPECT_EQ(q.totalRetired, p.totalRetired);
+    ASSERT_EQ(q.samples.size(), p.samples.size());
+    for (size_t i = 0; i < p.samples.size(); ++i) {
+        ASSERT_EQ(q.samples[i].count, p.samples[i].count);
+        for (unsigned j = 0; j < p.samples[i].count; ++j)
+            EXPECT_EQ(q.samples[i].records[j], p.samples[i].records[j]);
+    }
+}
+
+TEST(Profile, SizeScalesWithRecords)
+{
+    Profile p = sampleProfile();
+    uint64_t base = p.sizeInBytes();
+    LbrSample full;
+    full.count = kLbrDepth;
+    p.samples.push_back(full);
+    EXPECT_EQ(p.sizeInBytes(), base + 8 + kLbrDepth * 16ull);
+}
+
+TEST(Profile, EmptyProfileRoundtrip)
+{
+    Profile p;
+    Profile q = Profile::deserialize(p.serialize());
+    EXPECT_TRUE(q.samples.empty());
+    EXPECT_EQ(q.totalRetired, 0u);
+}
+
+TEST(Aggregate, CountsBranches)
+{
+    AggregatedProfile agg = aggregate(sampleProfile());
+    // (0x400010 -> 0x400100) appears twice across samples.
+    uint64_t key = AggregatedProfile::key(0x400010, 0x400100);
+    ASSERT_TRUE(agg.branches.count(key));
+    EXPECT_EQ(agg.branches.at(key), 2u);
+    EXPECT_EQ(agg.totalBranchEvents, 5u);
+}
+
+TEST(Aggregate, BuildsFallThroughRanges)
+{
+    AggregatedProfile agg = aggregate(sampleProfile());
+    // Between record 0 (to=0x400100) and record 1 (from=0x400120).
+    uint64_t key = AggregatedProfile::key(0x400100, 0x400120);
+    ASSERT_TRUE(agg.ranges.count(key));
+    EXPECT_EQ(agg.ranges.at(key), 2u);
+}
+
+TEST(Aggregate, SkipsBackwardRanges)
+{
+    Profile p;
+    LbrSample s;
+    s.count = 2;
+    s.records[0] = {0x400010, 0x400500};
+    s.records[1] = {0x400100, 0x400000}; // from < previous to.
+    p.samples.push_back(s);
+    AggregatedProfile agg = aggregate(p);
+    EXPECT_TRUE(agg.ranges.empty())
+        << "inconsistent (wrapped) ranges must be dropped";
+    EXPECT_EQ(agg.branches.size(), 2u);
+}
+
+TEST(Aggregate, KeyHelpersInvert)
+{
+    uint64_t key = AggregatedProfile::key(0x12345, 0x678);
+    EXPECT_EQ(AggregatedProfile::keyFrom(key), 0x12345u);
+    EXPECT_EQ(AggregatedProfile::keyTo(key), 0x678u);
+}
+
+} // namespace
+} // namespace propeller::profile

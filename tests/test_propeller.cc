@@ -1,0 +1,482 @@
+/**
+ * @file
+ * Unit tests for the Propeller core: address map indexing, profile
+ * mapping, Ext-TSP, hfsort, directives and layout computation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "build/workflow.h"
+#include "support/rng.h"
+#include "codegen/codegen.h"
+#include "linker/linker.h"
+#include "propeller/addr_map_index.h"
+#include "propeller/directives.h"
+#include "propeller/ext_tsp.h"
+#include "propeller/hfsort.h"
+#include "propeller/layout.h"
+#include "propeller/profile_mapper.h"
+#include "propeller/propeller.h"
+#include "sim/machine.h"
+#include "test_util.h"
+
+namespace propeller::core {
+namespace {
+
+linker::Executable
+metadataTiny()
+{
+    ir::Program program = test::tinyProgram();
+    codegen::Options copts;
+    copts.emitAddrMapSection = true;
+    linker::Options lopts;
+    lopts.entrySymbol = "main";
+    return linker::link(codegen::compileProgram(program, copts), lopts);
+}
+
+TEST(AddrMapIndex, LookupResolvesEveryBlock)
+{
+    linker::Executable exe = metadataTiny();
+    AddrMapIndex index(exe);
+    EXPECT_EQ(index.functionNames().size(), 2u);
+    EXPECT_EQ(index.blockCount(), 8u);
+
+    for (const auto &map : exe.bbAddrMap) {
+        for (const auto &block : map.blocks) {
+            if (block.size == 0)
+                continue;
+            auto ref = index.lookup(block.address);
+            ASSERT_TRUE(ref.has_value());
+            EXPECT_EQ(ref->bbId, block.bbId);
+            // Last byte also resolves to the same block.
+            auto last = index.lookup(block.address + block.size - 1);
+            ASSERT_TRUE(last.has_value());
+            EXPECT_EQ(last->bbId, block.bbId);
+        }
+    }
+    EXPECT_FALSE(index.lookup(0x100).has_value());
+}
+
+TEST(AddrMapIndex, NextWalksLayoutOrder)
+{
+    linker::Executable exe = metadataTiny();
+    AddrMapIndex index(exe);
+    // Walk from the entry of main to the end; blocks must be contiguous
+    // within each section.
+    auto cur = index.lookup(exe.entryAddress);
+    ASSERT_TRUE(cur.has_value());
+    int steps = 0;
+    while (auto nxt = index.next(*cur)) {
+        ++steps;
+        EXPECT_GE(nxt->blockStart, cur->blockStart);
+        cur = nxt;
+        if (steps > 20)
+            break;
+    }
+    EXPECT_GT(steps, 2);
+}
+
+TEST(AddrMapIndex, EntryBlocksFromPrimarySymbols)
+{
+    linker::Executable exe = metadataTiny();
+    AddrMapIndex index(exe);
+    for (size_t f = 0; f < index.functionNames().size(); ++f)
+        EXPECT_EQ(index.entryBlock(static_cast<uint32_t>(f)), 0u);
+}
+
+TEST(AddrMapIndex, BlocksOfReturnsAllBlocks)
+{
+    linker::Executable exe = metadataTiny();
+    AddrMapIndex index(exe);
+    for (size_t f = 0; f < index.functionNames().size(); ++f) {
+        auto blocks = index.blocksOf(static_cast<uint32_t>(f));
+        EXPECT_EQ(blocks.size(), 4u);
+    }
+    EXPECT_TRUE(index.block(0, 2).has_value());
+    EXPECT_FALSE(index.block(0, 99).has_value());
+}
+
+TEST(ProfileMapper, RecoversGroundTruthEdges)
+{
+    linker::Executable exe = metadataTiny();
+    sim::MachineOptions opts;
+    opts.seed = 3;
+    opts.maxInstructions = 400'000;
+    opts.collectLbr = true;
+    opts.lbrSamplePeriod = 500;
+    sim::RunResult run = sim::run(exe, opts);
+
+    AddrMapIndex index(exe);
+    MapperStats stats;
+    WholeProgramDcfg dcfg =
+        buildDcfg(profile::aggregate(run.profile), index, &stats);
+
+    EXPECT_EQ(stats.unmappedRecords, 0u);
+    ASSERT_EQ(dcfg.functions.size(), 2u);
+    int work = dcfg.findFunction("work");
+    ASSERT_GE(work, 0);
+    const FunctionDcfg &fn = dcfg.functions[work];
+
+    // Ground truth: bb0 -CondBr bias 240-> bb1 (93.75%) / bb2 (6.25%).
+    uint64_t w01 = 0;
+    uint64_t w02 = 0;
+    for (const auto &edge : fn.edges) {
+        uint32_t from = fn.nodes[edge.fromNode].bbId;
+        uint32_t to = fn.nodes[edge.toNode].bbId;
+        if (from == 0 && to == 1)
+            w01 += edge.weight;
+        if (from == 0 && to == 2)
+            w02 += edge.weight;
+    }
+    EXPECT_GT(w01, 0u);
+    EXPECT_GT(w02, 0u);
+    double ratio = static_cast<double>(w01) /
+                   static_cast<double>(w01 + w02);
+    EXPECT_NEAR(ratio, 240.0 / 256.0, 0.05);
+
+    // Call edges main -> work observed.
+    EXPECT_FALSE(dcfg.callEdges.empty());
+    EXPECT_GT(stats.callEdges, 0u);
+}
+
+TEST(ProfileMapper, EntryNodeAlwaysPresent)
+{
+    linker::Executable exe = metadataTiny();
+    sim::MachineOptions opts;
+    opts.collectLbr = true;
+    opts.maxInstructions = 50'000;
+    opts.lbrSamplePeriod = 5'000;
+    sim::RunResult run = sim::run(exe, opts);
+    AddrMapIndex index(exe);
+    WholeProgramDcfg dcfg =
+        buildDcfg(profile::aggregate(run.profile), index, nullptr);
+    for (const auto &fn : dcfg.functions) {
+        ASSERT_LT(fn.entryNode, fn.nodes.size());
+        EXPECT_EQ(fn.nodes[fn.entryNode].bbId, 0u);
+    }
+}
+
+// ---- Ext-TSP ---------------------------------------------------------
+
+TEST(ExtTspScore, RewardsFallthroughMost)
+{
+    std::vector<LayoutNode> nodes = {{10, 1}, {10, 1}};
+    std::vector<LayoutEdge> edges = {{0, 1, 100}};
+    double adjacent = extTspScore(nodes, edges, {0, 1});
+    double reversed = extTspScore(nodes, edges, {1, 0});
+    EXPECT_DOUBLE_EQ(adjacent, 100.0);
+    EXPECT_LT(reversed, adjacent);
+    EXPECT_GT(reversed, 0.0) << "short backward jumps score a little";
+}
+
+TEST(ExtTspScore, DistanceDecaysToZero)
+{
+    std::vector<LayoutNode> nodes = {{10, 1}, {2000, 0}, {10, 1}};
+    std::vector<LayoutEdge> edges = {{0, 2, 100}};
+    // Forward jump over 2000 bytes exceeds the 1024 window.
+    EXPECT_DOUBLE_EQ(extTspScore(nodes, edges, {0, 1, 2}), 0.0);
+}
+
+TEST(ExtTspOrder, ChainsLinearCfg)
+{
+    // 0 -> 1 -> 2 -> 3 heavy chain, scrambled initial indices.
+    std::vector<LayoutNode> nodes(4, {16, 100});
+    std::vector<LayoutEdge> edges = {
+        {0, 1, 100}, {1, 2, 100}, {2, 3, 100}};
+    auto order = extTspOrder(nodes, edges, 0);
+    EXPECT_EQ(order, (std::vector<uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(ExtTspOrder, PicksHotDiamondSide)
+{
+    // 0 -> 1 (hot) / 0 -> 2 (cold), both -> 3.
+    std::vector<LayoutNode> nodes(4, {16, 0});
+    std::vector<LayoutEdge> edges = {
+        {0, 1, 90}, {0, 2, 10}, {1, 3, 90}, {2, 3, 10}};
+    auto order = extTspOrder(nodes, edges, 0);
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[0], 0u);
+    EXPECT_EQ(order[1], 1u) << "hot side must follow the branch";
+}
+
+TEST(ExtTspOrder, EntryStaysFirstEvenWhenCold)
+{
+    std::vector<LayoutNode> nodes = {{16, 1}, {16, 1000}, {16, 1000}};
+    std::vector<LayoutEdge> edges = {{1, 2, 1000}, {0, 1, 1}};
+    auto order = extTspOrder(nodes, edges, 0);
+    EXPECT_EQ(order[0], 0u);
+}
+
+TEST(ExtTspOrder, CoversAllNodesExactlyOnce)
+{
+    std::vector<LayoutNode> nodes(10, {8, 1});
+    std::vector<LayoutEdge> edges = {{0, 5, 3}, {5, 2, 7}, {9, 0, 1}};
+    auto order = extTspOrder(nodes, edges, 0);
+    std::vector<bool> seen(10, false);
+    for (uint32_t n : order) {
+        ASSERT_LT(n, 10u);
+        EXPECT_FALSE(seen[n]);
+        seen[n] = true;
+    }
+    EXPECT_EQ(order.size(), 10u);
+}
+
+TEST(ExtTspOrder, HeapAndVanillaAgreeOnScore)
+{
+    // Pseudo-random graph; both retrieval strategies must reach equally
+    // good solutions (identical greedy decisions up to tie order).
+    Rng rng(99);
+    std::vector<LayoutNode> nodes(40);
+    for (auto &node : nodes)
+        node = {8 + rng.below(40), rng.below(1000)};
+    std::vector<LayoutEdge> edges;
+    for (int i = 0; i < 120; ++i) {
+        uint32_t a = static_cast<uint32_t>(rng.below(40));
+        uint32_t b = static_cast<uint32_t>(rng.below(40));
+        edges.push_back({a, b, 1 + rng.below(500)});
+    }
+    ExtTspOptions heap_opts;
+    heap_opts.useLazyHeap = true;
+    ExtTspOptions scan_opts;
+    scan_opts.useLazyHeap = false;
+    ExtTspStats hs;
+    ExtTspStats ss;
+    auto ho = extTspOrder(nodes, edges, 0, heap_opts, &hs);
+    auto so = extTspOrder(nodes, edges, 0, scan_opts, &ss);
+    EXPECT_NEAR(extTspScore(nodes, edges, ho),
+                extTspScore(nodes, edges, so), 1e-6);
+    EXPECT_GT(hs.merges, 0u);
+    EXPECT_EQ(hs.merges, ss.merges);
+}
+
+TEST(ExtTspOrder, ImprovesOverRandomOrders)
+{
+    Rng rng(7);
+    std::vector<LayoutNode> nodes(30);
+    for (auto &node : nodes)
+        node = {8 + rng.below(60), rng.below(100)};
+    std::vector<LayoutEdge> edges;
+    for (int i = 0; i < 80; ++i) {
+        edges.push_back({static_cast<uint32_t>(rng.below(30)),
+                         static_cast<uint32_t>(rng.below(30)),
+                         1 + rng.below(200)});
+    }
+    auto order = extTspOrder(nodes, edges, 0);
+    double solved = extTspScore(nodes, edges, order);
+    // Identity order (a "random" baseline).
+    std::vector<uint32_t> identity(30);
+    for (uint32_t i = 0; i < 30; ++i)
+        identity[i] = i;
+    EXPECT_GE(solved, extTspScore(nodes, edges, identity));
+}
+
+TEST(ExtTspOrder, SingleNode)
+{
+    std::vector<LayoutNode> nodes = {{16, 1}};
+    auto order = extTspOrder(nodes, {}, 0);
+    EXPECT_EQ(order, (std::vector<uint32_t>{0}));
+}
+
+// ---- hfsort ----------------------------------------------------------
+
+TEST(Hfsort, CalleeFollowsHotCaller)
+{
+    std::vector<HfsortNode> nodes = {
+        {100, 1000}, {100, 900}, {100, 10}};
+    std::vector<HfsortArc> arcs = {{0, 1, 900}, {2, 1, 5}};
+    auto order = hfsortOrder(nodes, arcs);
+    ASSERT_EQ(order.size(), 3u);
+    // Function 1 clusters directly after its dominant caller 0.
+    auto pos = [&](uint32_t f) {
+        return std::find(order.begin(), order.end(), f) - order.begin();
+    };
+    EXPECT_EQ(pos(1), pos(0) + 1);
+    EXPECT_EQ(pos(2), 2) << "cold function last";
+}
+
+TEST(Hfsort, ClusterSizeBounded)
+{
+    HfsortOptions opts;
+    opts.maxClusterSize = 150;
+    std::vector<HfsortNode> nodes = {{100, 1000}, {100, 900}, {100, 800}};
+    std::vector<HfsortArc> arcs = {{0, 1, 900}, {1, 2, 800}};
+    auto order = hfsortOrder(nodes, arcs, opts);
+    // 0+1 merge (200 > 150 disallowed) -> actually 0+1 already exceeds:
+    // each cluster is 100 bytes, merged 200 > 150, so no merges at all;
+    // order is by density.
+    EXPECT_EQ(order[0], 0u);
+}
+
+TEST(Hfsort, ColdFunctionsKeepIndexOrder)
+{
+    std::vector<HfsortNode> nodes = {{10, 0}, {10, 0}, {10, 5}};
+    auto order = hfsortOrder(nodes, {});
+    EXPECT_EQ(order[0], 2u);
+    EXPECT_EQ(order[1], 0u);
+    EXPECT_EQ(order[2], 1u);
+}
+
+// ---- Directives ------------------------------------------------------
+
+TEST(Directives, CcProfileRoundtrip)
+{
+    CcProfile cc;
+    codegen::ClusterSpec spec;
+    spec.clusters = {{0, 3, 5}, {1}, {2, 4}};
+    spec.coldIndex = 2;
+    cc.clusters.emplace("foo", spec);
+    codegen::ClusterSpec solo;
+    solo.clusters = {{0, 1}};
+    cc.clusters.emplace("bar", solo);
+
+    CcProfile parsed;
+    ASSERT_TRUE(CcProfile::parse(cc.serialize(), parsed));
+    ASSERT_EQ(parsed.clusters.size(), 2u);
+    EXPECT_EQ(parsed.clusters.at("foo").clusters, spec.clusters);
+    EXPECT_EQ(parsed.clusters.at("foo").coldIndex, 2);
+    EXPECT_EQ(parsed.clusters.at("bar").coldIndex, -1);
+    EXPECT_GT(cc.sizeInBytes(), 0u);
+}
+
+TEST(Directives, CcProfileRejectsMalformed)
+{
+    CcProfile out;
+    EXPECT_FALSE(CcProfile::parse("!!0 1\n", out)) << "cluster before fn";
+    EXPECT_FALSE(CcProfile::parse("!f\n!!\n", out)) << "empty cluster";
+    EXPECT_FALSE(CcProfile::parse("!f\n", out)) << "function w/o clusters";
+    EXPECT_FALSE(CcProfile::parse("junk\n", out));
+}
+
+TEST(Directives, LdProfileRoundtrip)
+{
+    LdProfile ld;
+    ld.symbolOrder = {"main", "work", "work.cold"};
+    LdProfile parsed;
+    ASSERT_TRUE(LdProfile::parse(ld.serialize(), parsed));
+    EXPECT_EQ(parsed.symbolOrder, ld.symbolOrder);
+}
+
+TEST(Directives, CommentsIgnored)
+{
+    LdProfile parsed;
+    ASSERT_TRUE(LdProfile::parse("# comment\nmain\n\nwork\n", parsed));
+    EXPECT_EQ(parsed.symbolOrder,
+              (std::vector<std::string>{"main", "work"}));
+}
+
+// ---- Whole-program analysis ----------------------------------------
+
+class WpaTest : public ::testing::Test
+{
+  protected:
+    static buildsys::Workflow &
+    workflow()
+    {
+        static buildsys::Workflow wf(test::smallConfig(11));
+        return wf;
+    }
+};
+
+TEST_F(WpaTest, ClusterSpecsCoverEveryBlockExactlyOnce)
+{
+    const WpaResult &wpa = workflow().wpa();
+    ASSERT_FALSE(wpa.ccProf.clusters.empty());
+    for (const auto &[fn_name, spec] : wpa.ccProf.clusters) {
+        const ir::Function *fn =
+            workflow().program().findFunction(fn_name);
+        ASSERT_NE(fn, nullptr);
+        std::set<uint32_t> listed;
+        size_t total = 0;
+        for (const auto &cluster : spec.clusters) {
+            for (uint32_t id : cluster) {
+                EXPECT_TRUE(listed.insert(id).second);
+                ++total;
+            }
+        }
+        EXPECT_EQ(total, fn->blocks.size());
+        EXPECT_EQ(spec.clusters[0][0], fn->entry().id);
+    }
+}
+
+TEST_F(WpaTest, SplitProducesColdClusters)
+{
+    const WpaResult &wpa = workflow().wpa();
+    int with_cold = 0;
+    for (const auto &[fn, spec] : wpa.ccProf.clusters)
+        with_cold += (spec.coldIndex >= 0);
+    EXPECT_GT(with_cold, 0) << "splitting must find cold blocks";
+}
+
+TEST_F(WpaTest, LdProfListsHotPrimaries)
+{
+    const WpaResult &wpa = workflow().wpa();
+    EXPECT_EQ(wpa.ldProf.symbolOrder.size(), wpa.hotFunctions.size());
+    // Every listed symbol is a hot function name (intra mode lists
+    // primaries only).
+    std::set<std::string> hot(wpa.hotFunctions.begin(),
+                              wpa.hotFunctions.end());
+    for (const auto &sym : wpa.ldProf.symbolOrder)
+        EXPECT_TRUE(hot.count(sym)) << sym;
+}
+
+TEST_F(WpaTest, StatsPopulated)
+{
+    const WpaResult &wpa = workflow().wpa();
+    EXPECT_GT(wpa.stats.peakMemory, 0u);
+    EXPECT_GT(wpa.stats.profileBytes, 0u);
+    EXPECT_GT(wpa.stats.dcfgFootprint, 0u);
+    EXPECT_EQ(wpa.stats.hotFunctions, wpa.hotFunctions.size());
+    EXPECT_GT(wpa.stats.extTsp.merges, 0u);
+}
+
+TEST_F(WpaTest, NoSplitOptionKeepsOneCluster)
+{
+    LayoutOptions opts;
+    opts.splitFunctions = false;
+    WpaResult wpa = runWholeProgramAnalysis(workflow().metadataBinary(),
+                                            workflow().profile(), opts);
+    for (const auto &[fn, spec] : wpa.ccProf.clusters) {
+        EXPECT_EQ(spec.clusters.size(), 1u);
+        EXPECT_EQ(spec.coldIndex, -1);
+    }
+}
+
+TEST_F(WpaTest, InterProceduralLayoutIsValidAndInterleaved)
+{
+    LayoutOptions opts;
+    opts.interProcedural = true;
+    WpaResult wpa = runWholeProgramAnalysis(workflow().metadataBinary(),
+                                            workflow().profile(), opts);
+    // Coverage invariant still holds.
+    for (const auto &[fn_name, spec] : wpa.ccProf.clusters) {
+        const ir::Function *fn =
+            workflow().program().findFunction(fn_name);
+        ASSERT_NE(fn, nullptr);
+        std::set<uint32_t> listed;
+        for (const auto &cluster : spec.clusters)
+            for (uint32_t id : cluster)
+                EXPECT_TRUE(listed.insert(id).second);
+        EXPECT_EQ(listed.size(), fn->blocks.size());
+        EXPECT_EQ(spec.clusters[0][0], fn->entry().id);
+    }
+    // Global order may interleave multiple functions' runs: at least as
+    // many entries as hot functions.
+    EXPECT_GE(wpa.ldProf.symbolOrder.size(), wpa.hotFunctions.size());
+
+    // The interproc binary must still execute identical logical work.
+    linker::Executable po = workflow().propellerBinaryWith(opts);
+    sim::MachineOptions mopts =
+        workload::evalOptions(workflow().config());
+    sim::RunResult base = sim::run(workflow().baseline(), mopts);
+    sim::RunResult inter = sim::run(po, mopts);
+    ASSERT_FALSE(inter.fault);
+    EXPECT_EQ(base.counters.logicalInstructions,
+              inter.counters.logicalInstructions);
+    EXPECT_EQ(base.counters.condBranches, inter.counters.condBranches);
+}
+
+} // namespace
+} // namespace propeller::core

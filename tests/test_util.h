@@ -1,0 +1,104 @@
+#ifndef PROPELLER_TESTS_TEST_UTIL_H
+#define PROPELLER_TESTS_TEST_UTIL_H
+
+/**
+ * @file
+ * Shared helpers for the test suite: tiny hand-built IR programs and a
+ * small synthetic workload config that keeps tests fast.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+#include "workload/workload.h"
+
+namespace propeller::test {
+
+/** A small but structurally complete workload (fast to build and run). */
+inline workload::WorkloadConfig
+smallConfig(uint64_t seed = 47)
+{
+    workload::WorkloadConfig cfg;
+    cfg.name = "testapp";
+    cfg.seed = seed;
+    cfg.modules = 12;
+    cfg.functions = 80;
+    cfg.hotFunctions = 26;
+    cfg.coldObjectFraction = 0.6;
+    cfg.minBlocks = 3;
+    cfg.maxBlocks = 26;
+    cfg.coldPathDensity = 0.35;
+    // Enough profile staleness that layout has something to fix even at
+    // this tiny scale.
+    cfg.pgoStaleness = 0.4;
+    cfg.handAsmFunctions = 1;
+    cfg.multiModalFunctions = 2;
+    cfg.evalInstructions = 600'000;
+    cfg.profileInstructions = 600'000;
+    cfg.sampleLbrPeriod = 2'000;
+    return cfg;
+}
+
+/**
+ * Build a function from a compact description: each entry is a block; the
+ * caller wires terminators manually afterwards if needed.
+ */
+inline std::unique_ptr<ir::Function>
+makeFunction(const std::string &name, size_t blocks)
+{
+    auto fn = std::make_unique<ir::Function>();
+    fn->name = name;
+    for (size_t i = 0; i < blocks; ++i) {
+        auto bb = std::make_unique<ir::BasicBlock>();
+        bb->id = static_cast<uint32_t>(i);
+        fn->blocks.push_back(std::move(bb));
+    }
+    return fn;
+}
+
+/**
+ * A tiny two-function program: main loops calling "work"; work has a hot
+ * diamond plus a cold error path.  Used across linker/sim/propeller tests.
+ */
+inline ir::Program
+tinyProgram()
+{
+    using namespace ir;
+    Program program;
+    program.name = "tiny";
+    program.entryFunction = "main";
+
+    auto mod = std::make_unique<Module>();
+    mod->name = "tiny_mod";
+
+    // work(): bb0 -> (bb1 hot | bb2 cold) -> bb3 ret
+    auto work = makeFunction("work", 4);
+    work->blocks[0]->insts = {makeWork(1, 10),
+                              makeCondBr(1, 2, 240, 1000)};
+    work->blocks[1]->insts = {makeWork(2, 20), makeWork(3, 30),
+                              makeBr(3)};
+    work->blocks[2]->insts = {makeWork(4, 40), makeWork(4, 41),
+                              makeWork(4, 42), makeBr(3)};
+    work->blocks[3]->insts = {makeWork(5, 50), makeRet()};
+
+    // main(): two nested periodic request loops (~65K iterations), so
+    // simulation runs are budget-bound and comparable across seeds.
+    auto main_fn = makeFunction("main", 4);
+    main_fn->blocks[0]->insts = {makeWork(0, 1), makeBr(1)};
+    main_fn->blocks[1]->insts = {makeCall("work"),
+                                 makeLoopBr(1, 2, 255, 1001)};
+    main_fn->blocks[2]->insts = {makeWork(0, 2),
+                                 makeLoopBr(1, 3, 255, 1002)};
+    main_fn->blocks[3]->insts = {makeRet()};
+
+    mod->functions.push_back(std::move(work));
+    mod->functions.push_back(std::move(main_fn));
+    program.modules.push_back(std::move(mod));
+    return program;
+}
+
+} // namespace propeller::test
+
+#endif // PROPELLER_TESTS_TEST_UTIL_H

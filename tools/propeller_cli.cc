@@ -1,0 +1,214 @@
+/**
+ * @file
+ * propeller-cli — command-line driver for the whole framework.
+ *
+ * Subcommands:
+ *
+ *   list                         list the named workloads
+ *   run <workload>               full pipeline: baseline vs Propeller vs
+ *                                BOLT with counters and phase reports
+ *   wpa <workload>               print the Phase 3 artifacts
+ *                                (cc_prof.txt / ld_prof.txt)
+ *   disasm <workload> <symbol>   disassemble one function of the
+ *                                Propeller-optimized binary
+ *   heatmap <workload>           instruction-access heat maps
+ *                                (baseline vs optimized)
+ *
+ * Examples:
+ *   ./build/tools/propeller-cli run 541.leela
+ *   ./build/tools/propeller-cli disasm clang main
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "build/workflow.h"
+#include "sim/machine.h"
+#include "support/table.h"
+#include "support/units.h"
+
+using namespace propeller;
+
+namespace {
+
+int
+cmdList()
+{
+    std::printf("warehouse-scale / open-source workloads:\n");
+    for (const auto &cfg : workload::appConfigs())
+        std::printf("  %-12s %zu funcs, %s%s\n", cfg.name.c_str(),
+                    static_cast<size_t>(cfg.functions),
+                    cfg.distributedBuild ? "distributed build"
+                                         : "workstation build",
+                    cfg.hugePages ? ", huge pages" : "");
+    std::printf("SPEC2017-like:\n");
+    for (const auto &cfg : workload::specConfigs())
+        std::printf("  %s\n", cfg.name.c_str());
+    return 0;
+}
+
+void
+printCounters(const char *label, const sim::RunResult &r,
+              const sim::RunResult &base)
+{
+    double delta = static_cast<double>(base.counters.cycles()) /
+                       static_cast<double>(r.counters.cycles()) -
+                   1.0;
+    std::printf("  %-10s %10llu cycles (%s)  l1i=%llu itlb=%llu "
+                "taken=%llu dsb=%llu\n",
+                label,
+                static_cast<unsigned long long>(r.counters.cycles()),
+                formatPercentDelta(delta).c_str(),
+                static_cast<unsigned long long>(r.counters.l1iMisses),
+                static_cast<unsigned long long>(r.counters.itlbMisses),
+                static_cast<unsigned long long>(r.counters.takenBranches),
+                static_cast<unsigned long long>(r.counters.dsbMisses));
+}
+
+int
+cmdRun(const std::string &name)
+{
+    const workload::WorkloadConfig &cfg = workload::configByName(name);
+    buildsys::Workflow wf(cfg);
+    std::printf("workload %s: %zu modules, %zu functions, %zu blocks, "
+                "text %s\n\n",
+                name.c_str(), wf.program().modules.size(),
+                wf.program().functionCount(), wf.program().blockCount(),
+                formatBytes(wf.baseline().sizes.text).c_str());
+
+    sim::MachineOptions opts = workload::evalOptions(cfg);
+    sim::RunResult base = sim::run(wf.baseline(), opts);
+    sim::RunResult prop = sim::run(wf.propellerBinary(), opts);
+    linker::Executable bo = wf.boltBinary();
+    sim::RunResult bolt = sim::run(bo, opts);
+
+    std::printf("performance (identical logical work):\n");
+    printCounters("baseline", base, base);
+    printCounters("propeller", prop, base);
+    if (bolt.startupOk) {
+        printCounters("bolt", bolt, base);
+    } else {
+        std::printf("  %-10s CRASH at startup (integrity checks)\n",
+                    "bolt");
+    }
+
+    std::printf("\nbuild phases (modelled):\n");
+    for (const char *phase :
+         {"phase1", "phase2.codegen", "phase2.link", "phase3.collect",
+          "phase3.wpa", "phase4.codegen", "phase4.link"}) {
+        if (!wf.hasReport(phase))
+            continue;
+        const buildsys::PhaseReport &r = wf.report(phase);
+        std::printf("  %-16s %7.1f min  peak %-9s  %u actions, %u cached\n",
+                    phase, r.makespanMinutes(),
+                    formatBytes(r.peakActionMemory).c_str(), r.actions,
+                    r.cacheHits);
+    }
+    return 0;
+}
+
+int
+cmdWpa(const std::string &name)
+{
+    buildsys::Workflow wf(workload::configByName(name));
+    const core::WpaResult &wpa = wf.wpa();
+    std::printf("# cc_prof.txt — %u hot functions\n%s\n",
+                wpa.stats.hotFunctions, wpa.ccProf.serialize().c_str());
+    std::printf("# ld_prof.txt\n%s", wpa.ldProf.serialize().c_str());
+    std::printf("\n# stats: peak memory %s, dcfg %s, %llu branch + %llu "
+                "fall-through events\n",
+                formatBytes(wpa.stats.peakMemory).c_str(),
+                formatBytes(wpa.stats.dcfgFootprint).c_str(),
+                static_cast<unsigned long long>(
+                    wpa.stats.mapper.branchEdges),
+                static_cast<unsigned long long>(
+                    wpa.stats.mapper.fallThroughEdges));
+    return 0;
+}
+
+int
+cmdDisasm(const std::string &name, const std::string &symbol)
+{
+    buildsys::Workflow wf(workload::configByName(name));
+    const linker::Executable &exe = wf.propellerBinary();
+    bool found = false;
+    for (const auto &sym : exe.symbols) {
+        if (sym.name != symbol && sym.parentFunction != symbol)
+            continue;
+        found = true;
+        std::printf("%s  [0x%llx, 0x%llx):\n", sym.name.c_str(),
+                    static_cast<unsigned long long>(sym.start),
+                    static_cast<unsigned long long>(sym.end));
+        uint64_t pc = sym.start;
+        while (pc < sym.end) {
+            auto inst = isa::decode(exe.text.data() + (pc - exe.textBase),
+                                    sym.end - pc);
+            if (!inst) {
+                std::printf("  %llx:  <data>\n",
+                            static_cast<unsigned long long>(pc));
+                break;
+            }
+            std::printf("  %llx:  %s\n",
+                        static_cast<unsigned long long>(pc),
+                        inst->toString().c_str());
+            pc += inst->size();
+        }
+    }
+    if (!found) {
+        std::printf("no symbol '%s' in %s\n", symbol.c_str(),
+                    name.c_str());
+        return 1;
+    }
+    return 0;
+}
+
+int
+cmdHeatmap(const std::string &name)
+{
+    const workload::WorkloadConfig &cfg = workload::configByName(name);
+    buildsys::Workflow wf(cfg);
+    sim::MachineOptions opts = workload::evalOptions(cfg);
+    opts.recordHeatMap = true;
+    opts.heatAddrBuckets = 24;
+    opts.heatTimeBuckets = 64;
+    sim::RunResult base = sim::run(wf.baseline(), opts);
+    sim::RunResult prop = sim::run(wf.propellerBinary(), opts);
+    std::printf("baseline:\n%s\npropeller:\n%s",
+                renderHeatMap(base.heatMap, "addr", "time").c_str(),
+                renderHeatMap(prop.heatMap, "addr", "time").c_str());
+    return 0;
+}
+
+int
+usage()
+{
+    std::printf("usage: propeller-cli <command> [args]\n"
+                "  list\n"
+                "  run <workload>\n"
+                "  wpa <workload>\n"
+                "  disasm <workload> <symbol>\n"
+                "  heatmap <workload>\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    std::string cmd = argv[1];
+    if (cmd == "list")
+        return cmdList();
+    if (cmd == "run" && argc == 3)
+        return cmdRun(argv[2]);
+    if (cmd == "wpa" && argc == 3)
+        return cmdWpa(argv[2]);
+    if (cmd == "disasm" && argc == 4)
+        return cmdDisasm(argv[2], argv[3]);
+    if (cmd == "heatmap" && argc == 3)
+        return cmdHeatmap(argv[2]);
+    return usage();
+}

@@ -1,0 +1,606 @@
+#include "build/workflow.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "linker/linker.h"
+#include "sim/machine.h"
+#include "support/hash.h"
+#include "support/thread_pool.h"
+
+namespace propeller::buildsys {
+
+namespace {
+
+/** Fingerprint one IR instruction into a running hash. */
+uint64_t
+hashInst(uint64_t h, const ir::Inst &inst)
+{
+    h = hashCombine(h, static_cast<uint64_t>(inst.kind));
+    h = hashCombine(h, inst.reg);
+    h = hashCombine(h, inst.imm);
+    h = fnv1a(inst.callee, h);
+    h = hashCombine(h, inst.trueTarget);
+    h = hashCombine(h, inst.falseTarget);
+    h = hashCombine(h, inst.bias);
+    h = hashCombine(h, inst.branchId);
+    h = hashCombine(h, inst.periodic ? 1 : 0);
+    h = hashCombine(h, inst.target);
+    return h;
+}
+
+/** Total IR instructions in a module (the codegen cost driver). */
+uint64_t
+moduleInsts(const ir::Module &mod)
+{
+    uint64_t insts = 0;
+    for (const auto &fn : mod.functions)
+        insts += fn->instCount();
+    return insts;
+}
+
+/** Modelled peak memory of one backend action. */
+uint64_t
+codegenActionMemory(uint64_t insts, uint64_t object_bytes)
+{
+    // Lowering state per instruction plus the in-flight object image.
+    return insts * 200 + object_bytes * 3;
+}
+
+} // namespace
+
+// ---- CostModel ------------------------------------------------------
+
+double
+CostModel::makespan(const std::vector<double> &costs,
+                    uint32_t workers) const
+{
+    if (costs.empty() || workers == 0)
+        return 0.0;
+    double total = 0.0;
+    double longest = 0.0;
+    for (double cost : costs) {
+        double with_overhead = cost + actionOverheadSec;
+        total += with_overhead;
+        longest = std::max(longest, with_overhead);
+    }
+    return total / static_cast<double>(workers) + longest;
+}
+
+// ---- Workflow -------------------------------------------------------
+
+Workflow::Workflow(workload::WorkloadConfig config)
+    : config_(std::move(config))
+{
+    limits_.workers = config_.distributedBuild ? 40 : 8;
+}
+
+const ir::Program &
+Workflow::program()
+{
+    if (!program_)
+        program_ = workload::generate(config_);
+    return *program_;
+}
+
+uint64_t
+Workflow::moduleHash(size_t module_index) const
+{
+    assert(program_ && "program() must be generated first");
+    if (moduleHashes_.empty()) {
+        moduleHashes_.reserve(program_->modules.size());
+        for (const auto &mod : program_->modules) {
+            uint64_t h = fnv1a(mod->name);
+            h = hashCombine(h, mod->rodataBytes);
+            for (const auto &fn : mod->functions) {
+                h = fnv1a(fn->name, h);
+                h = hashCombine(h, fn->isHandAsm ? 1 : 0);
+                h = hashCombine(h, fn->hasIntegrityCheck ? 1 : 0);
+                for (const auto &bb : fn->blocks) {
+                    h = hashCombine(h, bb->id);
+                    h = hashCombine(h, bb->isLandingPad ? 1 : 0);
+                    for (const auto &inst : bb->insts)
+                        h = hashInst(h, inst);
+                }
+            }
+            moduleHashes_.push_back(h);
+        }
+    }
+    return moduleHashes_[module_index];
+}
+
+uint64_t
+Workflow::actionKey(size_t module_index,
+                    const codegen::ClusterMap *clusters,
+                    const core::PrefetchMap *prefetches,
+                    bool emit_addr_map) const
+{
+    const ir::Module &mod = *program_->modules[module_index];
+    uint64_t key = moduleHash(module_index);
+    key = hashCombine(key, emit_addr_map ? 1 : 0);
+
+    // Only the directives that *apply to this module* enter the
+    // fingerprint.  A module none of whose functions have cluster
+    // directives (and none of whose load sites are prefetch targets)
+    // keeps its Phase 2 fingerprint — that is the content-cache property
+    // Phase 4 relies on.
+    if (clusters) {
+        for (const auto &fn : mod.functions) {
+            auto it = clusters->find(fn->name);
+            if (it == clusters->end())
+                continue;
+            key = fnv1a(fn->name, key);
+            key = hashCombine(key, it->second.coldIndex);
+            for (const auto &cluster : it->second.clusters) {
+                key = hashCombine(key, cluster.size());
+                for (uint32_t id : cluster)
+                    key = hashCombine(key, id);
+            }
+        }
+    }
+    if (prefetches) {
+        for (const auto &fn : mod.functions) {
+            for (const auto &bb : fn->blocks) {
+                for (const auto &inst : bb->insts) {
+                    if (inst.kind != ir::InstKind::Load)
+                        continue;
+                    auto it = prefetches->find(
+                        static_cast<uint16_t>(inst.imm));
+                    if (it == prefetches->end())
+                        continue;
+                    key = hashCombine(key, it->first);
+                    key = hashCombine(key, it->second);
+                }
+            }
+        }
+    }
+    return key;
+}
+
+Workflow::CompileBatch
+Workflow::compileModules(const codegen::ClusterMap *clusters,
+                         const core::PrefetchMap *prefetches)
+{
+    const ir::Program &prog = program();
+    size_t n = prog.modules.size();
+
+    codegen::Options copts;
+    copts.emitAddrMapSection = true;
+    if (clusters) {
+        copts.bbSections = codegen::BbSectionsMode::Clusters;
+        copts.clusters = clusters;
+    }
+    copts.prefetches = prefetches;
+
+    // Cache lookups run on the coordinating thread, in module order, so
+    // hit/miss accounting is deterministic.
+    CompileBatch batch;
+    batch.objects.resize(n);
+    std::vector<size_t> misses;
+    for (size_t i = 0; i < n; ++i) {
+        uint64_t key = actionKey(i, clusters, prefetches, true);
+        if (const std::vector<uint8_t> *hit = cache_.lookup(key)) {
+            batch.objects[i] = elf::ObjectFile::deserialize(*hit);
+            batch.cachedNames.push_back(batch.objects[i].name);
+            ++batch.cacheHits;
+        } else {
+            misses.push_back(i);
+        }
+    }
+
+    // Only the missing actions execute; they fan out over the local
+    // thread pool.  Results land in per-module slots, so the output is
+    // byte-identical at any thread count.
+    parallelFor(config_.jobs, misses.size(), [&](size_t m) {
+        size_t i = misses[m];
+        batch.objects[i] =
+            codegen::compileModule(*prog.modules[i], copts);
+    });
+
+    std::vector<double> costs;
+    for (size_t i : misses) {
+        cache_.put(actionKey(i, clusters, prefetches, true),
+                   batch.objects[i].serialize());
+        uint64_t insts = moduleInsts(*prog.modules[i]);
+        costs.push_back(static_cast<double>(insts) *
+                        cost_.backendSecPerInst);
+        batch.peakActionMemory = std::max(
+            batch.peakActionMemory,
+            codegenActionMemory(insts, batch.objects[i].sizeInBytes()));
+    }
+    batch.actions = static_cast<uint32_t>(misses.size());
+    batch.makespanSec = cost_.makespan(costs, limits_.workers);
+    return batch;
+}
+
+void
+Workflow::recordCodegenReport(const std::string &phase,
+                              const CompileBatch &batch)
+{
+    PhaseReport report;
+    report.phase = phase;
+    report.makespanSec = batch.makespanSec;
+    report.actions = batch.actions;
+    report.cacheHits = batch.cacheHits;
+    report.peakActionMemory = batch.peakActionMemory;
+    report.memoryLimitExceeded =
+        batch.peakActionMemory > limits_.ramPerAction;
+    reports_[phase] = std::move(report);
+}
+
+linker::Executable
+Workflow::linkWithReport(const std::vector<elf::ObjectFile> &objects,
+                         const linker::Options &opts,
+                         const std::string &phase,
+                         const std::vector<std::string> &cached_names)
+{
+    linker::LinkStats stats;
+    linker::Executable exe = linker::link(objects, opts, &stats);
+
+    if (!phase.empty()) {
+        std::set<std::string> cached(cached_names.begin(),
+                                     cached_names.end());
+        double cost = 0.0;
+        for (const auto &obj : objects) {
+            double bytes = static_cast<double>(obj.sizeInBytes());
+            // Cold cache hits stream from the content store; fresh
+            // outputs must be gathered from the workers that built them.
+            cost += bytes * (cached.count(obj.name)
+                                 ? cost_.fetchCachedSecPerByte
+                                 : cost_.fetchFreshSecPerByte);
+            cost += bytes * cost_.linkSecPerByte;
+        }
+        PhaseReport report;
+        report.phase = phase;
+        report.makespanSec = cost_.makespan({cost}, 1);
+        report.actions = 1;
+        report.peakActionMemory = stats.peakMemory;
+        report.memoryLimitExceeded =
+            stats.peakMemory > limits_.ramPerAction;
+        reports_[phase] = std::move(report);
+    }
+    return exe;
+}
+
+linker::Options
+Workflow::linkOptions()
+{
+    linker::Options opts;
+    opts.outputName = config_.name;
+    opts.entrySymbol = program().entryFunction;
+    opts.hugePagesText = config_.hugePages;
+    return opts;
+}
+
+core::LayoutOptions
+Workflow::defaultLayoutOptions() const
+{
+    core::LayoutOptions opts;
+    opts.threads = config_.jobs;
+    return opts;
+}
+
+const std::vector<elf::ObjectFile> &
+Workflow::phase2Objects()
+{
+    if (!phase2Objects_) {
+        const ir::Program &prog = program();
+
+        // Phase 1 (modelled): build and cache the optimized IR.
+        {
+            std::vector<double> costs;
+            uint64_t peak = 0;
+            for (const auto &mod : prog.modules) {
+                uint64_t insts = moduleInsts(*mod);
+                costs.push_back(static_cast<double>(insts) *
+                                cost_.irGenSecPerInst);
+                peak = std::max(peak, insts * 96);
+            }
+            PhaseReport report;
+            report.phase = "phase1";
+            report.makespanSec = cost_.makespan(costs, limits_.workers);
+            report.actions = static_cast<uint32_t>(prog.modules.size());
+            report.peakActionMemory = peak;
+            report.memoryLimitExceeded = peak > limits_.ramPerAction;
+            reports_["phase1"] = std::move(report);
+        }
+
+        // Phase 2: every backend runs (the cache is empty), with BB
+        // address map metadata attached.
+        CompileBatch batch = compileModules(nullptr, nullptr);
+        recordCodegenReport("phase2.codegen", batch);
+        phase2Objects_ = std::move(batch.objects);
+    }
+    return *phase2Objects_;
+}
+
+const linker::Executable &
+Workflow::baseline()
+{
+    if (!baseline_) {
+        linker::Options opts = linkOptions();
+        opts.outputName = config_.name + ".base";
+        opts.stripAddrMaps = true;
+        baseline_ =
+            linkWithReport(phase2Objects(), opts, "baseline.link", {});
+    }
+    return *baseline_;
+}
+
+const linker::Executable &
+Workflow::metadataBinary()
+{
+    if (!metadataBinary_) {
+        linker::Options opts = linkOptions();
+        opts.outputName = config_.name + ".pm";
+        metadataBinary_ =
+            linkWithReport(phase2Objects(), opts, "phase2.link", {});
+    }
+    return *metadataBinary_;
+}
+
+const linker::Executable &
+Workflow::boltInputBinary()
+{
+    if (!boltInputBinary_) {
+        linker::Options opts = linkOptions();
+        opts.outputName = config_.name + ".bm";
+        opts.stripAddrMaps = true;
+        opts.emitRelocs = true;
+        boltInputBinary_ =
+            linkWithReport(phase2Objects(), opts, "phase2.link.bm", {});
+    }
+    return *boltInputBinary_;
+}
+
+const profile::Profile &
+Workflow::profile()
+{
+    if (!profile_) {
+        sim::RunResult run = sim::run(metadataBinary(),
+                                      workload::profileOptions(config_));
+        profile_ = std::move(run.profile);
+
+        PhaseReport report;
+        report.phase = "phase3.collect";
+        // Profiles come from a timed load test, not a compute action.
+        report.makespanSec = config_.propTrainMinutes * 60.0;
+        report.actions = 1;
+        report.peakActionMemory = profile_->sizeInBytes() + (1u << 20);
+        reports_["phase3.collect"] = std::move(report);
+    }
+    return *profile_;
+}
+
+const core::WpaResult &
+Workflow::wpa()
+{
+    if (!wpa_) {
+        wpa_ = core::runWholeProgramAnalysis(metadataBinary(), profile(),
+                                             defaultLayoutOptions());
+
+        PhaseReport report;
+        report.phase = "phase3.wpa";
+        report.makespanSec = cost_.makespan(
+            {static_cast<double>(wpa_->stats.profileBytes) *
+                 cost_.wpaSecPerProfileByte +
+             static_cast<double>(wpa_->stats.hotFunctions) *
+                 cost_.wpaSecPerHotFunction},
+            1);
+        report.actions = 1;
+        report.peakActionMemory = wpa_->stats.peakMemory;
+        report.memoryLimitExceeded =
+            wpa_->stats.peakMemory > limits_.ramPerAction;
+        reports_["phase3.wpa"] = std::move(report);
+    }
+    return *wpa_;
+}
+
+void
+Workflow::ensurePhase4()
+{
+    if (propellerBinary_)
+        return;
+
+    CompileBatch batch = compileModules(&wpa().ccProf.clusters, nullptr);
+    recordCodegenReport("phase4.codegen", batch);
+    coldObjects_ = batch.cachedNames;
+
+    linker::Options opts = linkOptions();
+    opts.outputName = config_.name + ".po";
+    opts.symbolOrder = wpa().ldProf.symbolOrder;
+    opts.stripAddrMaps = true;
+    propellerBinary_ = linkWithReport(batch.objects, opts, "phase4.link",
+                                      batch.cachedNames);
+    phase4Objects_ = std::move(batch.objects);
+}
+
+const linker::Executable &
+Workflow::propellerBinary()
+{
+    ensurePhase4();
+    return *propellerBinary_;
+}
+
+const std::vector<std::string> &
+Workflow::coldObjects()
+{
+    ensurePhase4();
+    return coldObjects_;
+}
+
+linker::Executable
+Workflow::propellerBinaryWith(const core::LayoutOptions &opts,
+                              core::WpaResult *wpa_out)
+{
+    core::WpaResult result = core::runWholeProgramAnalysis(
+        metadataBinary(), profile(), opts);
+
+    // A Phase-4-style rebuild that shares the content cache but leaves
+    // the canonical pipeline's reports untouched.
+    CompileBatch batch =
+        compileModules(&result.ccProf.clusters, nullptr);
+    linker::Options lopts = linkOptions();
+    lopts.outputName = config_.name + ".po-ablation";
+    lopts.symbolOrder = result.ldProf.symbolOrder;
+    lopts.stripAddrMaps = true;
+    linker::Executable exe =
+        linkWithReport(batch.objects, lopts, "", batch.cachedNames);
+    if (wpa_out)
+        *wpa_out = std::move(result);
+    return exe;
+}
+
+linker::Executable
+Workflow::propellerBinaryWithPrefetch(core::PrefetchMap *directives_out)
+{
+    // Collect a PEBS-style miss profile running the optimized binary.
+    sim::MachineOptions mopts = workload::evalOptions(config_);
+    mopts.modelDataCache = true;
+    mopts.collectMissProfile = true;
+    sim::RunResult run = sim::run(propellerBinary(), mopts);
+
+    core::PrefetchMap directives =
+        core::computePrefetchDirectives(run.missProfile);
+
+    // Re-run backends: only modules containing targeted load sites have
+    // a changed action fingerprint; everything else is a cache hit
+    // (including the Phase 4 hot objects, stored under their
+    // directive-carrying keys).
+    CompileBatch batch =
+        compileModules(&wpa().ccProf.clusters, &directives);
+    recordCodegenReport("prefetch.codegen", batch);
+
+    linker::Options lopts = linkOptions();
+    lopts.outputName = config_.name + ".po-prefetch";
+    lopts.symbolOrder = wpa().ldProf.symbolOrder;
+    lopts.stripAddrMaps = true;
+    linker::Executable exe = linkWithReport(
+        batch.objects, lopts, "prefetch.link", batch.cachedNames);
+    if (directives_out)
+        *directives_out = std::move(directives);
+    return exe;
+}
+
+linker::Executable
+Workflow::iterativePropellerBinary()
+{
+    if (iterative_)
+        return *iterative_;
+    ensurePhase4();
+
+    // Round 2 metadata binary: the Phase 4 objects, address maps kept.
+    linker::Options pm2_opts = linkOptions();
+    pm2_opts.outputName = config_.name + ".pm2";
+    pm2_opts.symbolOrder = wpa().ldProf.symbolOrder;
+    linker::Executable pm2 =
+        linkWithReport(*phase4Objects_, pm2_opts, "", {});
+
+    sim::RunResult run =
+        sim::run(pm2, workload::profileOptions(config_));
+    core::WpaResult wpa2 = core::runWholeProgramAnalysis(
+        pm2, run.profile, defaultLayoutOptions());
+
+    CompileBatch batch = compileModules(&wpa2.ccProf.clusters, nullptr);
+    linker::Options po2_opts = linkOptions();
+    po2_opts.outputName = config_.name + ".po2";
+    po2_opts.symbolOrder = wpa2.ldProf.symbolOrder;
+    po2_opts.stripAddrMaps = true;
+    iterative_ =
+        linkWithReport(batch.objects, po2_opts, "", batch.cachedNames);
+    return *iterative_;
+}
+
+linker::Executable
+Workflow::boltBinary(const bolt::BoltOptions &opts, bolt::BoltStats *stats)
+{
+    bolt::BoltStats local;
+    bolt::BoltProfile bolt_profile = bolt::convertProfile(
+        boltInputBinary(), profile(), &local, nullptr, opts.lite);
+    linker::Executable exe =
+        bolt::optimize(boltInputBinary(), bolt_profile, opts, &local);
+
+    {
+        PhaseReport report;
+        report.phase = "bolt.convert";
+        report.makespanSec = cost_.makespan(
+            {static_cast<double>(profile().sizeInBytes()) *
+                 cost_.wpaSecPerProfileByte +
+             static_cast<double>(local.disassembledInsts) *
+                 cost_.boltSecPerInst * 0.4},
+            1);
+        report.actions = 1;
+        report.peakActionMemory = local.convertPeakMemory;
+        report.memoryLimitExceeded =
+            local.convertPeakMemory > limits_.ramPerAction;
+        reports_["bolt.convert"] = std::move(report);
+    }
+    {
+        PhaseReport report;
+        report.phase = "bolt.opt";
+        // One monolithic action: disassemble, reorder and rewrite the
+        // whole binary on a single machine.
+        report.makespanSec = cost_.makespan(
+            {static_cast<double>(local.disassembledInsts) *
+                 cost_.boltSecPerInst +
+             static_cast<double>(local.newTextBytes) *
+                 cost_.linkSecPerByte},
+            1);
+        report.actions = 1;
+        report.peakActionMemory = local.optPeakMemory;
+        report.memoryLimitExceeded =
+            local.optPeakMemory > limits_.ramPerAction;
+        reports_["bolt.opt"] = std::move(report);
+    }
+    if (stats)
+        *stats = local;
+    return exe;
+}
+
+PhaseReport
+Workflow::instrumentedBuildReport()
+{
+    const ir::Program &prog = program();
+    std::vector<double> costs;
+    uint64_t total_bytes = 0;
+    uint64_t peak = 0;
+    for (const auto &mod : prog.modules) {
+        uint64_t insts = moduleInsts(*mod);
+        // Instrumentation bloats every backend action; counters and
+        // value-profiling tables compile alongside the real code.
+        costs.push_back(static_cast<double>(insts) *
+                        cost_.backendSecPerInst *
+                        cost_.instrumentFactor);
+        total_bytes += insts * 6;
+        peak = std::max(peak, codegenActionMemory(insts, insts * 6));
+    }
+    // Plus the instrumented link (all outputs fresh, bloated inputs).
+    double link_cost =
+        static_cast<double>(total_bytes) *
+        (cost_.fetchFreshSecPerByte + cost_.linkSecPerByte) * 1.3;
+    costs.push_back(link_cost);
+
+    PhaseReport report;
+    report.phase = "pgo.instrumented";
+    report.makespanSec = cost_.makespan(costs, limits_.workers);
+    report.actions = static_cast<uint32_t>(costs.size());
+    report.peakActionMemory = peak;
+    report.memoryLimitExceeded = peak > limits_.ramPerAction;
+    return report;
+}
+
+bool
+Workflow::hasReport(const std::string &phase) const
+{
+    return reports_.count(phase) != 0;
+}
+
+const PhaseReport &
+Workflow::report(const std::string &phase) const
+{
+    auto it = reports_.find(phase);
+    assert(it != reports_.end() && "phase report not yet produced");
+    return it->second;
+}
+
+} // namespace propeller::buildsys

@@ -1,0 +1,263 @@
+#ifndef PROPELLER_BUILD_WORKFLOW_H
+#define PROPELLER_BUILD_WORKFLOW_H
+
+/**
+ * @file
+ * The distributed build system and the 4-phase Propeller workflow driver
+ * (paper Figure 1 / section 3):
+ *
+ *   Phase 1  build optimized IR, cache it (modelled);
+ *   Phase 2  distributed backends with basic-block-address-map metadata,
+ *            link the metadata binaries (PM with .bb_addr_map for
+ *            Propeller, BM with --emit-relocs for BOLT) and the plain
+ *            baseline binary — all three share one text image;
+ *   Phase 3  run the metadata binary under load collecting LBR samples,
+ *            then profile conversion + whole-program analysis producing
+ *            cc_prof / ld_prof;
+ *   Phase 4  re-run backends for *hot* modules only (cluster
+ *            directives changed their action fingerprint); every cold
+ *            module is a content-cache hit streamed into the relink.
+ *
+ * Times are modelled with a deterministic makespan cost model (work
+ * divided over workers plus the critical path — the standard bound for
+ * list scheduling) and memory with the modelled MemoryMeter, because
+ * host wall-clock and RSS neither scale like the real system nor stay
+ * deterministic.  Local parallelism, however, is real: per-module
+ * backend actions fan out over a thread pool (WorkloadConfig::jobs), and
+ * results merge in module order so binaries are byte-identical at any
+ * thread count.
+ */
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bolt/bolt.h"
+#include "build/cache.h"
+#include "codegen/codegen.h"
+#include "elf/object.h"
+#include "ir/ir.h"
+#include "linker/executable.h"
+#include "linker/linker.h"
+#include "profile/profile.h"
+#include "propeller/prefetch.h"
+#include "propeller/propeller.h"
+#include "workload/workload.h"
+
+namespace propeller::buildsys {
+
+/**
+ * Per-action resource limits of the build system (the paper's production
+ * constraint: every action must fit the ~12 GB RAM of a standard worker;
+ * scaled ~1/100 like the workloads).
+ */
+struct BuildLimits
+{
+    /** RAM ceiling per build action (link, WPA, codegen). */
+    uint64_t ramPerAction = 120ull << 20;
+
+    /** Concurrent workers executing actions. */
+    uint32_t workers = 8;
+};
+
+/**
+ * Deterministic makespan model for a batch of build actions.
+ *
+ * makespan = sum(cost_i + overhead) / workers + max(cost_i + overhead):
+ * the classic list-scheduling bound combining the parallel work term
+ * with the critical path.  Per-action costs are derived from modelled
+ * quantities (instructions compiled, bytes fetched/linked), calibrated
+ * so phase *ratios* match the paper's Table 5 / Figure 9 shape.
+ */
+struct CostModel
+{
+    /** Scheduling + sandbox setup overhead per action, seconds. */
+    double actionOverheadSec = 0.5;
+
+    // ---- Calibration constants (modelled seconds) -------------------
+    double irGenSecPerInst = 2e-4;      ///< Phase 1 per IR instruction.
+    double backendSecPerInst = 6e-4;    ///< Codegen per IR instruction.
+    double instrumentFactor = 1.45;     ///< Instrumented-build slowdown.
+    double linkSecPerByte = 8e-6;       ///< Link work per input byte.
+    double fetchFreshSecPerByte = 25e-6; ///< Stream a just-built object.
+    double fetchCachedSecPerByte = 3e-6; ///< Stream a cache-hit object.
+    double wpaSecPerProfileByte = 2e-5; ///< Profile conversion rate.
+    double wpaSecPerHotFunction = 0.02; ///< Layout per hot function.
+    double boltSecPerInst = 2e-5;       ///< BOLT disassembly+rewrite.
+
+    /** Makespan of @p costs (seconds each) on @p workers workers. */
+    double makespan(const std::vector<double> &costs,
+                    uint32_t workers) const;
+};
+
+/** Modelled outcome of one build phase. */
+struct PhaseReport
+{
+    std::string phase;
+
+    double makespanSec = 0.0;
+    uint32_t actions = 0;    ///< Actions actually executed.
+    uint32_t cacheHits = 0;  ///< Actions served from the artifact cache.
+
+    /** Peak modelled memory of the largest single action. */
+    uint64_t peakActionMemory = 0;
+
+    /** The largest action exceeded BuildLimits::ramPerAction. */
+    bool memoryLimitExceeded = false;
+
+    double makespanMinutes() const { return makespanSec / 60.0; }
+};
+
+/**
+ * The 4-phase Propeller workflow over one workload.
+ *
+ * All products are lazy and memoized; any entry point (baseline(),
+ * propellerBinary(), wpa(), ...) pulls exactly the phases it needs, in
+ * order, and records their PhaseReports.  Everything is deterministic in
+ * the workload config — two Workflow instances over the same config
+ * produce byte-identical binaries, at any thread count.
+ */
+class Workflow
+{
+  public:
+    explicit Workflow(workload::WorkloadConfig config);
+
+    const workload::WorkloadConfig &config() const { return config_; }
+    const BuildLimits &limits() const { return limits_; }
+    const CostModel &costModel() const { return cost_; }
+
+    /** The program IR (Phase 1 product; generated on first use). */
+    const ir::Program &program();
+
+    /** Baseline binary: Phase 2 objects linked without metadata. */
+    const linker::Executable &baseline();
+
+    /** PM: the Propeller metadata binary (.bb_addr_map kept). */
+    const linker::Executable &metadataBinary();
+
+    /** BM: the BOLT metadata binary (--emit-relocs). */
+    const linker::Executable &boltInputBinary();
+
+    /** Phase 3 LBR profile, collected running PM under load. */
+    const profile::Profile &profile();
+
+    /** Phase 3 whole-program analysis products (cc_prof / ld_prof). */
+    const core::WpaResult &wpa();
+
+    /** PO: the Propeller-optimized binary (Phase 4 relink). */
+    const linker::Executable &propellerBinary();
+
+    /**
+     * A Propeller binary under non-default layout options (ablations:
+     * splitting off, inter-procedural, ...).  Runs a fresh WPA and a
+     * Phase-4-style cached rebuild without disturbing the canonical
+     * pipeline's memoized products or reports.
+     * @param wpa_out optional: receives the ablation's WPA result.
+     */
+    linker::Executable propellerBinaryWith(const core::LayoutOptions &opts,
+                                           core::WpaResult *wpa_out =
+                                               nullptr);
+
+    /**
+     * The section 3.5 extension: profile PO's data-cache misses, compute
+     * prefetch directives, and re-run backends for the affected modules
+     * only (report "prefetch.codegen"; unaffected modules stay cache
+     * hits).
+     * @param directives_out optional: receives the prefetch directives.
+     */
+    linker::Executable propellerBinaryWithPrefetch(
+        core::PrefetchMap *directives_out = nullptr);
+
+    /**
+     * Second Propeller round (section 4.6 closing note): re-profile the
+     * optimized binary and relink once more.
+     */
+    linker::Executable iterativePropellerBinary();
+
+    /** BO: the BOLT-rewritten binary (reports "bolt.convert"/"bolt.opt"). */
+    linker::Executable boltBinary(const bolt::BoltOptions &opts = {},
+                                  bolt::BoltStats *stats = nullptr);
+
+    /**
+     * Modelled cost of one instrumented-PGO build of this program (the
+     * Table 5 comparison: instrumentation slows every backend action and
+     * the binary it produces runs the full load test).
+     */
+    PhaseReport instrumentedBuildReport();
+
+    bool hasReport(const std::string &phase) const;
+    const PhaseReport &report(const std::string &phase) const;
+
+    /** Names of the Phase 4 cache-hit objects (e.g. "mod_003.o"). */
+    const std::vector<std::string> &coldObjects();
+
+    const CacheStats &cacheStats() const { return cache_.stats(); }
+
+  private:
+    /** One per-module compile batch over the content cache. */
+    struct CompileBatch
+    {
+        std::vector<elf::ObjectFile> objects; ///< In module order.
+        std::vector<std::string> cachedNames; ///< Cache-hit object names.
+        uint32_t actions = 0;
+        uint32_t cacheHits = 0;
+        double makespanSec = 0.0;
+        uint64_t peakActionMemory = 0;
+    };
+
+    /** Fingerprint of one codegen action (module + directives). */
+    uint64_t actionKey(size_t module_index,
+                       const codegen::ClusterMap *clusters,
+                       const core::PrefetchMap *prefetches,
+                       bool emit_addr_map) const;
+
+    /**
+     * Compile every module, serving unchanged actions from the cache.
+     * Misses compile in parallel (jobs threads) and are stored back.
+     */
+    CompileBatch compileModules(const codegen::ClusterMap *clusters,
+                                const core::PrefetchMap *prefetches);
+
+    /** Record a codegen-batch report under @p phase. */
+    void recordCodegenReport(const std::string &phase,
+                             const CompileBatch &batch);
+
+    /** Link with cost accounting; records a report under @p phase. */
+    linker::Executable linkWithReport(
+        const std::vector<elf::ObjectFile> &objects,
+        const linker::Options &opts, const std::string &phase,
+        const std::vector<std::string> &cached_names);
+
+    const std::vector<elf::ObjectFile> &phase2Objects();
+    void ensurePhase4();
+    core::LayoutOptions defaultLayoutOptions() const;
+    linker::Options linkOptions();
+    uint64_t moduleHash(size_t module_index) const;
+
+    workload::WorkloadConfig config_;
+    BuildLimits limits_;
+    CostModel cost_;
+    mutable ArtifactCache cache_;
+    std::map<std::string, PhaseReport> reports_;
+
+    std::optional<ir::Program> program_;
+    mutable std::vector<uint64_t> moduleHashes_;
+    std::optional<std::vector<elf::ObjectFile>> phase2Objects_;
+    std::optional<linker::Executable> baseline_;
+    std::optional<linker::Executable> metadataBinary_;
+    std::optional<linker::Executable> boltInputBinary_;
+    std::optional<profile::Profile> profile_;
+    std::optional<core::WpaResult> wpa_;
+    std::optional<linker::Executable> propellerBinary_;
+    std::optional<std::vector<elf::ObjectFile>> phase4Objects_;
+    std::optional<linker::Executable> iterative_;
+    std::vector<std::string> coldObjects_;
+};
+
+} // namespace propeller::buildsys
+
+#endif // PROPELLER_BUILD_WORKFLOW_H

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "propeller/hfsort.h"
+#include "support/thread_pool.h"
 
 namespace propeller::core {
 
@@ -73,10 +74,26 @@ struct Ctx
     }
 };
 
+/** Per-function product of the intra-procedural loop. */
+struct FnLayout
+{
+    codegen::ClusterSpec spec;
+    ExtTspStats stats;
+};
+
 void
 intraProceduralLayout(const Ctx &ctx, LayoutResult &result)
 {
-    for (const auto &fn : ctx.dcfg.functions) {
+    // Each function's layout problem is independent (this is the paper's
+    // memory/parallelism argument for WPA vs BOLT), so the loop fans out
+    // over the thread pool.  Results land in per-function slots and merge
+    // below in function order, keeping cc_prof/ld_prof — including the
+    // floating-point Ext-TSP score sum — byte-identical at any thread
+    // count.
+    std::vector<FnLayout> slots(ctx.dcfg.functions.size());
+    parallelFor(ctx.opts.threads, ctx.dcfg.functions.size(), [&](size_t f) {
+        const FunctionDcfg &fn = ctx.dcfg.functions[f];
+        FnLayout &out = slots[f];
         std::vector<char> hot = hotMask(fn, ctx.opts);
 
         // Build the hot-subgraph layout problem.
@@ -103,12 +120,10 @@ intraProceduralLayout(const Ctx &ctx, LayoutResult &result)
 
         std::vector<uint32_t> hot_order_idx;
         if (ctx.opts.reorderBlocks) {
-            ExtTspStats stats;
             hot_order_idx = extTspOrder(
                 nodes, edges,
                 static_cast<uint32_t>(hot_index[fn.entryNode]),
-                ctx.opts.extTsp, &stats);
-            accumulate(result.extTspStats, stats);
+                ctx.opts.extTsp, &out.stats);
         } else {
             // Keep original (address) order of the hot blocks.
             uint32_t func_index = ctx.funcIndexByName.at(fn.function);
@@ -137,16 +152,22 @@ intraProceduralLayout(const Ctx &ctx, LayoutResult &result)
 
         std::vector<uint32_t> cold = ctx.coldBlocks(fn, hot);
 
-        codegen::ClusterSpec spec;
         if (!cold.empty() && ctx.opts.splitFunctions) {
-            spec.clusters.push_back(std::move(hot_order));
-            spec.coldIndex = 1;
-            spec.clusters.push_back(std::move(cold));
+            out.spec.clusters.push_back(std::move(hot_order));
+            out.spec.coldIndex = 1;
+            out.spec.clusters.push_back(std::move(cold));
         } else {
             hot_order.insert(hot_order.end(), cold.begin(), cold.end());
-            spec.clusters.push_back(std::move(hot_order));
+            out.spec.clusters.push_back(std::move(hot_order));
         }
-        result.ccProf.clusters.emplace(fn.function, std::move(spec));
+    });
+
+    // Deterministic serial merge, in function order.
+    for (size_t f = 0; f < ctx.dcfg.functions.size(); ++f) {
+        const FunctionDcfg &fn = ctx.dcfg.functions[f];
+        accumulate(result.extTspStats, slots[f].stats);
+        result.ccProf.clusters.emplace(fn.function,
+                                       std::move(slots[f].spec));
         result.hotFunctions.push_back(fn.function);
     }
 

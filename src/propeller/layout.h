@@ -56,6 +56,14 @@ struct LayoutOptions
     /** Reorder hot blocks with Ext-TSP (off = keep original order). */
     bool reorderBlocks = true;
 
+    /**
+     * Worker threads for the per-function layout loop (0 =
+     * hardware_concurrency()).  Output is byte-identical at any value:
+     * per-function results land in indexed slots and merge in function
+     * order.
+     */
+    unsigned threads = 0;
+
     ExtTspOptions extTsp;
 };
 

@@ -7,8 +7,10 @@ namespace propeller {
 void
 MemoryMeter::release(uint64_t bytes)
 {
-    assert(bytes <= live_ && "releasing more modelled memory than is live");
-    live_ -= bytes;
+    uint64_t before = live_.fetch_sub(bytes, std::memory_order_relaxed);
+    (void)before;
+    assert(bytes <= before &&
+           "releasing more modelled memory than is live");
 }
 
 } // namespace propeller

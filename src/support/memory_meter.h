@@ -12,6 +12,7 @@
  * charges per named phase are what the benches report.
  */
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -23,6 +24,10 @@ namespace propeller {
  * Components charge() bytes when they materialize a data structure and
  * release() them when it is destroyed.  The meter records the high-water
  * mark.  ScopedCharge provides RAII charging for temporaries.
+ *
+ * Thread-safe: charge/release are atomic and the peak is maintained with a
+ * monotonic compare-exchange loop, so workers of the parallel WPA loop can
+ * meter against one shared instance without races.
  */
 class MemoryMeter
 {
@@ -33,37 +38,43 @@ class MemoryMeter
     void
     charge(uint64_t bytes)
     {
-        live_ += bytes;
-        if (live_ > peak_)
-            peak_ = live_;
+        uint64_t live =
+            live_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+        uint64_t peak = peak_.load(std::memory_order_relaxed);
+        while (live > peak &&
+               !peak_.compare_exchange_weak(peak, live,
+                                            std::memory_order_relaxed)) {
+            // peak was reloaded by the failed exchange; retry while ours
+            // is still higher.
+        }
     }
 
     /** Release @p bytes previously charged. */
     void release(uint64_t bytes);
 
     /** Currently live modelled bytes. */
-    uint64_t live() const { return live_; }
+    uint64_t live() const { return live_.load(std::memory_order_relaxed); }
 
     /** High-water mark of modelled bytes. */
-    uint64_t peak() const { return peak_; }
+    uint64_t peak() const { return peak_.load(std::memory_order_relaxed); }
 
-    /** Reset live and peak counts to zero. */
+    /** Reset live and peak counts to zero (not concurrency-safe). */
     void
     reset()
     {
-        live_ = 0;
-        peak_ = 0;
+        live_.store(0, std::memory_order_relaxed);
+        peak_.store(0, std::memory_order_relaxed);
     }
 
     /**
      * Forget the recorded peak but keep the live charge.  Useful when one
-     * meter tracks several consecutive phases.
+     * meter tracks several consecutive phases (not concurrency-safe).
      */
-    void resetPeak() { peak_ = live_; }
+    void resetPeak() { peak_.store(live(), std::memory_order_relaxed); }
 
   private:
-    uint64_t live_ = 0;
-    uint64_t peak_ = 0;
+    std::atomic<uint64_t> live_{0};
+    std::atomic<uint64_t> peak_{0};
 };
 
 /** RAII charge on a MemoryMeter; releases on destruction. */

@@ -1,0 +1,251 @@
+#ifndef PROPELLER_SUPPORT_THREAD_POOL_H
+#define PROPELLER_SUPPORT_THREAD_POOL_H
+
+/**
+ * @file
+ * A small work-stealing-free thread pool for the parallelizable stages of
+ * the pipeline: the per-function Ext-TSP loop of the whole-program
+ * analysis and the per-module Phase 2/4 code generation fan-out.
+ *
+ * Design constraints, in order:
+ *
+ *  1. **Determinism.**  parallelFor() hands out indices from an atomic
+ *     counter and callers write results into per-index slots, so the
+ *     *merge* order is always the index order regardless of which worker
+ *     ran which index.  Byte-identical output at any thread count is a
+ *     hard requirement (the relink must be reproducible).
+ *
+ *  2. **No deadlocks on nested use.**  parallelFor() never blocks a
+ *     worker: the calling thread participates in the loop and drains the
+ *     remaining indices itself, so an inner parallelFor issued from
+ *     inside an outer one completes even when every pool worker is busy
+ *     (the enqueued helpers then find the counter exhausted and return).
+ *     waitFor() lets a task block on a future safely by helping: it runs
+ *     queued tasks while the future is not ready.
+ *
+ *  3. **Graceful degradation.**  With one hardware thread (or an
+ *     explicit threads=1 request) everything runs inline on the caller;
+ *     no worker threads are created for a pool of size 1.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace propeller {
+
+/** Resolve a thread-count request: 0 means "all hardware threads". */
+inline unsigned
+resolveThreadCount(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw != 0 ? hw : 1;
+}
+
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; 0 = hardware_concurrency(). */
+    explicit ThreadPool(unsigned threads = 0)
+    {
+        unsigned n = resolveThreadCount(threads);
+        // The caller participates in parallelFor, so a pool of size N
+        // keeps N-1 dedicated workers.
+        workers_.reserve(n > 0 ? n - 1 : 0);
+        for (unsigned i = 1; i < n; ++i)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stopping_ = true;
+        }
+        cv_.notify_all();
+        for (auto &worker : workers_)
+            worker.join();
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total threads this pool brings to bear (workers + caller). */
+    size_t threadCount() const { return workers_.size() + 1; }
+
+    /** Process-wide pool sized to the hardware. */
+    static ThreadPool &
+    shared()
+    {
+        static ThreadPool pool;
+        return pool;
+    }
+
+    /** Enqueue @p fn; returns a future for its result. */
+    template <typename Fn>
+    auto
+    submit(Fn &&fn) -> std::future<std::invoke_result_t<Fn>>
+    {
+        using Result = std::invoke_result_t<Fn>;
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+            std::forward<Fn>(fn));
+        std::future<Result> future = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            queue_.emplace_back([task] { (*task)(); });
+        }
+        cv_.notify_one();
+        return future;
+    }
+
+    /**
+     * Block on @p future without risking pool starvation: while it is not
+     * ready, run queued tasks on this thread.  Safe to call from inside a
+     * pool task (the nested-submit case).
+     */
+    template <typename T>
+    void
+    waitFor(std::future<T> &future)
+    {
+        while (future.wait_for(std::chrono::seconds(0)) !=
+               std::future_status::ready) {
+            if (!runOne())
+                std::this_thread::yield();
+        }
+    }
+
+    /**
+     * Run fn(i) for every i in [0, n), on up to @p maxThreads threads
+     * (capped by the pool size; 0 = use the whole pool).  The calling
+     * thread participates.  Indices are claimed dynamically; determinism
+     * is the caller's: write results to slot i and merge in index order.
+     * The first exception thrown by any fn(i) is rethrown on the caller
+     * after the loop fully drains.
+     */
+    template <typename Fn>
+    void
+    parallelFor(size_t n, Fn &&fn, unsigned maxThreads = 0)
+    {
+        if (n == 0)
+            return;
+        size_t threads = maxThreads == 0 ? threadCount()
+                                         : std::min<size_t>(
+                                               maxThreads, threadCount());
+        threads = std::min(threads, n);
+
+        auto state = std::make_shared<LoopState>();
+        state->n = n;
+        auto drain = [state, &fn] {
+            while (true) {
+                size_t i =
+                    state->next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= state->n)
+                    break;
+                try {
+                    fn(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(state->errMutex);
+                    if (!state->error)
+                        state->error = std::current_exception();
+                }
+            }
+        };
+
+        // Helpers are plain queued tasks; they never block, so nesting is
+        // safe.  The caller's own drain() below guarantees completion
+        // even if no helper ever runs.
+        std::vector<std::future<void>> helpers;
+        for (size_t t = 1; t < threads; ++t)
+            helpers.push_back(submit(drain));
+
+        drain();
+        for (auto &helper : helpers)
+            waitFor(helper);
+
+        if (state->error)
+            std::rethrow_exception(state->error);
+    }
+
+  private:
+    struct LoopState
+    {
+        std::atomic<size_t> next{0};
+        size_t n = 0;
+        std::mutex errMutex;
+        std::exception_ptr error;
+    };
+
+    /** Pop and run one queued task; false if the queue was empty. */
+    bool
+    runOne()
+    {
+        std::function<void()> task;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (queue_.empty())
+                return false;
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+        return true;
+    }
+
+    void
+    workerLoop()
+    {
+        while (true) {
+            std::function<void()> task;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                cv_.wait(lock,
+                         [this] { return stopping_ || !queue_.empty(); });
+                if (stopping_ && queue_.empty())
+                    return;
+                task = std::move(queue_.front());
+                queue_.pop_front();
+            }
+            task();
+        }
+    }
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+};
+
+/**
+ * Convenience: run fn(i) for i in [0, n) on the shared pool with at most
+ * @p threads threads (0 = hardware_concurrency).  threads=1 runs inline.
+ */
+template <typename Fn>
+inline void
+parallelFor(unsigned threads, size_t n, Fn &&fn)
+{
+    unsigned resolved = resolveThreadCount(threads);
+    if (resolved <= 1 || n <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    ThreadPool::shared().parallelFor(n, std::forward<Fn>(fn), resolved);
+}
+
+} // namespace propeller
+
+#endif // PROPELLER_SUPPORT_THREAD_POOL_H

@@ -21,6 +21,9 @@ base()
     cfg.callFanout = 3;
     cfg.ehFraction = 0.05;
     cfg.rodataPerModule = 2048;
+    // Local parallelism (codegen fan-out, per-function WPA): all hardware
+    // threads.  propeller-cli --jobs and the benches override per run.
+    cfg.jobs = 0;
     return cfg;
 }
 

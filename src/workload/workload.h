@@ -101,6 +101,13 @@ struct WorkloadConfig
     /** LBR sampling period during profiling. */
     uint64_t sampleLbrPeriod = 8'000;
 
+    /**
+     * Local worker threads for the parallel pipeline stages (per-module
+     * codegen, per-function Ext-TSP).  0 = hardware_concurrency().
+     * Results are byte-identical at any value.
+     */
+    unsigned jobs = 0;
+
     /** Paper Table 2 values for this benchmark (for the bench printout). */
     std::string paperText;
     std::string paperFuncs;

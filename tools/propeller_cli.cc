@@ -20,8 +20,10 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "build/workflow.h"
 #include "sim/machine.h"
@@ -31,6 +33,18 @@
 using namespace propeller;
 
 namespace {
+
+/** --jobs N: worker threads for codegen/WPA (0 = all hardware threads). */
+unsigned g_jobs = 0;
+
+/** Look up a workload and apply the global --jobs override. */
+workload::WorkloadConfig
+namedConfig(const std::string &name)
+{
+    workload::WorkloadConfig cfg = workload::configByName(name);
+    cfg.jobs = g_jobs;
+    return cfg;
+}
 
 int
 cmdList()
@@ -69,7 +83,7 @@ printCounters(const char *label, const sim::RunResult &r,
 int
 cmdRun(const std::string &name)
 {
-    const workload::WorkloadConfig &cfg = workload::configByName(name);
+    workload::WorkloadConfig cfg = namedConfig(name);
     buildsys::Workflow wf(cfg);
     std::printf("workload %s: %zu modules, %zu functions, %zu blocks, "
                 "text %s\n\n",
@@ -111,7 +125,7 @@ cmdRun(const std::string &name)
 int
 cmdWpa(const std::string &name)
 {
-    buildsys::Workflow wf(workload::configByName(name));
+    buildsys::Workflow wf(namedConfig(name));
     const core::WpaResult &wpa = wf.wpa();
     std::printf("# cc_prof.txt — %u hot functions\n%s\n",
                 wpa.stats.hotFunctions, wpa.ccProf.serialize().c_str());
@@ -130,7 +144,7 @@ cmdWpa(const std::string &name)
 int
 cmdDisasm(const std::string &name, const std::string &symbol)
 {
-    buildsys::Workflow wf(workload::configByName(name));
+    buildsys::Workflow wf(namedConfig(name));
     const linker::Executable &exe = wf.propellerBinary();
     bool found = false;
     for (const auto &sym : exe.symbols) {
@@ -166,7 +180,7 @@ cmdDisasm(const std::string &name, const std::string &symbol)
 int
 cmdHeatmap(const std::string &name)
 {
-    const workload::WorkloadConfig &cfg = workload::configByName(name);
+    workload::WorkloadConfig cfg = namedConfig(name);
     buildsys::Workflow wf(cfg);
     sim::MachineOptions opts = workload::evalOptions(cfg);
     opts.recordHeatMap = true;
@@ -183,12 +197,15 @@ cmdHeatmap(const std::string &name)
 int
 usage()
 {
-    std::printf("usage: propeller-cli <command> [args]\n"
+    std::printf("usage: propeller-cli [--jobs N] <command> [args]\n"
                 "  list\n"
                 "  run <workload>\n"
                 "  wpa <workload>\n"
                 "  disasm <workload> <symbol>\n"
-                "  heatmap <workload>\n");
+                "  heatmap <workload>\n"
+                "options:\n"
+                "  --jobs N   worker threads for codegen/WPA\n"
+                "             (default: all hardware threads)\n");
     return 2;
 }
 
@@ -197,18 +214,36 @@ usage()
 int
 main(int argc, char **argv)
 {
-    if (argc < 2)
+    // Consume global options before the subcommand.
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--jobs" && i + 1 < argc) {
+            char *end = nullptr;
+            unsigned long n = std::strtoul(argv[++i], &end, 10);
+            if (end == argv[i] || *end != '\0') {
+                std::printf("propeller-cli: --jobs expects a number, got "
+                            "'%s'\n",
+                            argv[i]);
+                return usage();
+            }
+            g_jobs = static_cast<unsigned>(n);
+            continue;
+        }
+        args.push_back(std::move(arg));
+    }
+    if (args.empty())
         return usage();
-    std::string cmd = argv[1];
+    const std::string &cmd = args[0];
     if (cmd == "list")
         return cmdList();
-    if (cmd == "run" && argc == 3)
-        return cmdRun(argv[2]);
-    if (cmd == "wpa" && argc == 3)
-        return cmdWpa(argv[2]);
-    if (cmd == "disasm" && argc == 4)
-        return cmdDisasm(argv[2], argv[3]);
-    if (cmd == "heatmap" && argc == 3)
-        return cmdHeatmap(argv[2]);
+    if (cmd == "run" && args.size() == 2)
+        return cmdRun(args[1]);
+    if (cmd == "wpa" && args.size() == 2)
+        return cmdWpa(args[1]);
+    if (cmd == "disasm" && args.size() == 3)
+        return cmdDisasm(args[1], args[2]);
+    if (cmd == "heatmap" && args.size() == 2)
+        return cmdHeatmap(args[1]);
     return usage();
 }

@@ -1,18 +1,28 @@
 /**
  * @file
- * Google-benchmark microbenchmark for the Ext-TSP solver, ablating the
- * paper's section 4.7 scalability improvement: logarithmic-time retrieval
- * of the most profitable chain merge (lazy max-heap) vs. the vanilla
- * full-scan retrieval, on synthetic whole-program-like CFGs of growing
- * size.
+ * Ext-TSP solver bench: the incremental solver (delta gain scoring +
+ * lazy-heap retrieval + windowed split sweep) against (a) the full-scan
+ * reference retrieval, which must produce bit-identical layouts, and (b)
+ * the legacy full-rescan evaluator at its historical maxSplitChainLen=96,
+ * the solver as it shipped before incremental scoring.
  *
- * Expected shape: both produce the same layouts, but vanilla retrieval's
- * cost explodes with graph size ("the unmodified algorithm does not
- * scale with the size of whole program CFGs").
+ * Emits BENCH_exttsp.json so CI tracks the trajectory, and exits nonzero
+ * if a regression gate fails:
+ *  - heap and reference retrieval disagree on any chain order or final
+ *    score (they share scoring and tie-breaks, so equality is exact);
+ *  - candidateEvals (edge scorings while evaluating candidate merges) is
+ *    not reduced >= 3x vs the legacy evaluator on the largest workload;
+ *  - no wall-clock win vs the legacy evaluator on the largest workload.
+ *
+ * Usage: bench_exttsp [output.json]
  */
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
 
+#include "common.h"
 #include "propeller/ext_tsp.h"
 #include "support/rng.h"
 
@@ -43,43 +53,178 @@ makeGraph(size_t n, std::vector<LayoutNode> &nodes,
     }
 }
 
-void
-BM_ExtTspLazyHeap(benchmark::State &state)
+struct SolverRun
 {
-    std::vector<LayoutNode> nodes;
-    std::vector<LayoutEdge> edges;
-    makeGraph(state.range(0), nodes, edges);
-    ExtTspOptions opts;
-    opts.useLazyHeap = true;
+    std::vector<uint32_t> order;
     ExtTspStats stats;
-    for (auto _ : state) {
-        auto order = extTspOrder(nodes, edges, 0, opts, &stats);
-        benchmark::DoNotOptimize(order);
+    double wallMs = 0.0;
+};
+
+SolverRun
+runSolver(const std::vector<LayoutNode> &nodes,
+          const std::vector<LayoutEdge> &edges, const ExtTspOptions &opts,
+          int reps)
+{
+    SolverRun run;
+    std::vector<double> ms;
+    for (int r = 0; r < reps; ++r) {
+        auto t0 = std::chrono::steady_clock::now();
+        run.order = extTspOrder(nodes, edges, 0, opts, &run.stats);
+        auto t1 = std::chrono::steady_clock::now();
+        ms.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
     }
-    state.counters["retrievals"] = static_cast<double>(stats.retrievals);
-    state.counters["score"] = stats.finalScore;
+    std::sort(ms.begin(), ms.end());
+    run.wallMs = ms[ms.size() / 2];
+    return run;
+}
+
+struct SizeResult
+{
+    size_t n = 0;
+    size_t edgeCount = 0;
+    SolverRun incremental;
+    SolverRun reference;
+    SolverRun legacy;
+    bool identical = false; ///< incremental == reference (order and score).
+};
+
+void
+printVariant(const char *name, const SolverRun &run)
+{
+    std::printf("  %-12s %12llu evals %8llu merges %10llu pops "
+                "%10llu stale %9.2f ms  score %.1f\n",
+                name,
+                static_cast<unsigned long long>(run.stats.candidateEvals),
+                static_cast<unsigned long long>(run.stats.merges),
+                static_cast<unsigned long long>(run.stats.heapPops),
+                static_cast<unsigned long long>(run.stats.staleSkips),
+                run.wallMs, run.stats.finalScore);
 }
 
 void
-BM_ExtTspVanillaScan(benchmark::State &state)
+emitVariant(FILE *out, const char *name, const SolverRun &run,
+            const char *suffix)
 {
-    std::vector<LayoutNode> nodes;
-    std::vector<LayoutEdge> edges;
-    makeGraph(state.range(0), nodes, edges);
-    ExtTspOptions opts;
-    opts.useLazyHeap = false;
-    ExtTspStats stats;
-    for (auto _ : state) {
-        auto order = extTspOrder(nodes, edges, 0, opts, &stats);
-        benchmark::DoNotOptimize(order);
-    }
-    state.counters["retrievals"] = static_cast<double>(stats.retrievals);
-    state.counters["score"] = stats.finalScore;
+    std::fprintf(out,
+                 "      \"%s\": {\"candidate_evals\": %llu, "
+                 "\"merges\": %llu, \"heap_pops\": %llu, "
+                 "\"stale_skips\": %llu, \"wall_ms\": %.3f, "
+                 "\"score\": %.6f}%s\n",
+                 name,
+                 static_cast<unsigned long long>(run.stats.candidateEvals),
+                 static_cast<unsigned long long>(run.stats.merges),
+                 static_cast<unsigned long long>(run.stats.heapPops),
+                 static_cast<unsigned long long>(run.stats.staleSkips),
+                 run.wallMs, run.stats.finalScore, suffix);
 }
 
 } // namespace
 
-BENCHMARK(BM_ExtTspLazyHeap)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
-BENCHMARK(BM_ExtTspVanillaScan)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+int
+main(int argc, char **argv)
+{
+    const char *out_path = argc > 1 ? argv[1] : "BENCH_exttsp.json";
+    bench::printHeader(
+        "BENCH exttsp", "incremental Ext-TSP solver ablation",
+        "the chain-merge loop scales to whole-program CFGs only with "
+        "incremental gain maintenance and logarithmic-time retrieval");
 
-BENCHMARK_MAIN();
+    static const size_t kSizes[] = {64, 256, 1024, 4096};
+    std::vector<SizeResult> results;
+
+    for (size_t n : kSizes) {
+        std::vector<LayoutNode> nodes;
+        std::vector<LayoutEdge> edges;
+        makeGraph(n, nodes, edges);
+
+        SizeResult res;
+        res.n = n;
+        res.edgeCount = edges.size();
+
+        ExtTspOptions incremental_opts; // Shipping configuration.
+        ExtTspOptions reference_opts;
+        reference_opts.referenceSolver = true;
+        ExtTspOptions legacy_opts; // Pre-incremental solver as shipped.
+        legacy_opts.legacyRescore = true;
+        legacy_opts.maxSplitChainLen = 96;
+
+        const int reps = n >= 4096 ? 3 : 5;
+        res.incremental = runSolver(nodes, edges, incremental_opts, reps);
+        res.reference = runSolver(nodes, edges, reference_opts, reps);
+        res.legacy = runSolver(nodes, edges, legacy_opts,
+                               n >= 4096 ? 1 : 3);
+        res.identical =
+            res.incremental.order == res.reference.order &&
+            res.incremental.stats.finalScore ==
+                res.reference.stats.finalScore;
+
+        std::printf("\nn=%zu (%zu edges)\n", n, res.edgeCount);
+        printVariant("incremental", res.incremental);
+        printVariant("reference", res.reference);
+        printVariant("legacy", res.legacy);
+        std::printf("  heap vs reference: %s; evals vs legacy: %.2fx "
+                    "fewer; score old->new: %.1f -> %.1f\n",
+                    res.identical ? "identical layout and score"
+                                  : "MISMATCH",
+                    static_cast<double>(res.legacy.stats.candidateEvals) /
+                        static_cast<double>(std::max<uint64_t>(
+                            res.incremental.stats.candidateEvals, 1)),
+                    res.legacy.stats.finalScore,
+                    res.incremental.stats.finalScore);
+        results.push_back(std::move(res));
+    }
+
+    const SizeResult &largest = results.back();
+    double largest_reduction =
+        static_cast<double>(largest.legacy.stats.candidateEvals) /
+        static_cast<double>(
+            std::max<uint64_t>(largest.incremental.stats.candidateEvals, 1));
+    bool all_identical = true;
+    for (const SizeResult &res : results)
+        all_identical = all_identical && res.identical;
+    bool evals_gate = largest_reduction >= 3.0;
+    bool wall_gate = largest.incremental.wallMs < largest.legacy.wallMs;
+
+    std::printf("\ngates: score identity %s; evals reduction %.2fx "
+                "(need >= 3x) %s; wall win %s\n",
+                all_identical ? "PASS" : "FAIL", largest_reduction,
+                evals_gate ? "PASS" : "FAIL",
+                wall_gate ? "PASS" : "FAIL");
+
+    FILE *out = std::fopen(out_path, "w");
+    if (!out) {
+        std::printf("cannot write %s\n", out_path);
+        return 1;
+    }
+    std::fprintf(out, "{\n  \"sizes\": [\n");
+    for (size_t i = 0; i < results.size(); ++i) {
+        const SizeResult &res = results[i];
+        std::fprintf(out, "    {\n      \"n\": %zu,\n      \"edges\": %zu,\n",
+                     res.n, res.edgeCount);
+        emitVariant(out, "incremental", res.incremental, ",");
+        emitVariant(out, "reference", res.reference, ",");
+        emitVariant(out, "legacy", res.legacy, ",");
+        std::fprintf(out, "      \"heap_matches_reference\": %s,\n",
+                     res.identical ? "true" : "false");
+        std::fprintf(
+            out, "      \"evals_reduction_vs_legacy\": %.3f\n    }%s\n",
+            static_cast<double>(res.legacy.stats.candidateEvals) /
+                static_cast<double>(std::max<uint64_t>(
+                    res.incremental.stats.candidateEvals, 1)),
+            i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(out, "  ],\n");
+    std::fprintf(out, "  \"largest_evals_reduction\": %.3f,\n",
+                 largest_reduction);
+    std::fprintf(out, "  \"gate_score_identity\": %s,\n",
+                 all_identical ? "true" : "false");
+    std::fprintf(out, "  \"gate_evals_reduction_3x\": %s,\n",
+                 evals_gate ? "true" : "false");
+    std::fprintf(out, "  \"gate_wall_win\": %s\n", wall_gate ? "true" : "false");
+    std::fprintf(out, "}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", out_path);
+
+    return (all_identical && evals_gate && wall_gate) ? 0 : 1;
+}

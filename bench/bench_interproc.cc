@@ -38,7 +38,7 @@ main()
     sim::RunResult inter_run = bench::evalRun(inter_bin, cfg);
 
     Table table({"Layout", "Perf vs base", "L1i", "iTLB",
-                 "Ext-TSP candidate evals", "Sections (ld_prof)"});
+                 "Ext-TSP edge scorings", "Sections (ld_prof)"});
     table.addRow(
         {"intra-procedural",
          formatPercentDelta(bench::improvement(base, intra_run)),

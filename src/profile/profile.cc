@@ -1,8 +1,10 @@
 #include "profile/profile.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "support/leb128.h"
+#include "support/thread_pool.h"
 
 namespace propeller::profile {
 
@@ -63,11 +65,25 @@ Profile::deserialize(const std::vector<uint8_t> &data)
     return p;
 }
 
-AggregatedProfile
-aggregate(const Profile &profile)
+void
+AggregatedProfile::merge(const AggregatedProfile &other)
 {
-    AggregatedProfile agg;
-    for (const auto &sample : profile.samples) {
+    for (const auto &[key, count] : other.branches)
+        branches[key] += count;
+    for (const auto &[key, count] : other.ranges)
+        ranges[key] += count;
+    totalBranchEvents += other.totalBranchEvents;
+}
+
+namespace {
+
+/** Aggregate the sample window [begin, end) into @p agg. */
+void
+aggregateRange(const Profile &profile, size_t begin, size_t end,
+               AggregatedProfile &agg)
+{
+    for (size_t s = begin; s < end; ++s) {
+        const LbrSample &sample = profile.samples[s];
         for (unsigned i = 0; i < sample.count; ++i) {
             const BranchRecord &rec = sample.records[i];
             ++agg.branches[AggregatedProfile::key(rec.from, rec.to)];
@@ -82,6 +98,39 @@ aggregate(const Profile &profile)
             }
         }
     }
+}
+
+} // namespace
+
+AggregatedProfile
+aggregate(const Profile &profile)
+{
+    return aggregate(profile, AggregationOptions{});
+}
+
+AggregatedProfile
+aggregate(const Profile &profile, const AggregationOptions &opts)
+{
+    // The shard partition depends only on the profile and the shard size:
+    // per-shard maps are built by one worker each, then merged serially
+    // in shard order, so the result — down to the hash maps' iteration
+    // order — is independent of how many threads ran the shards.
+    size_t n = profile.samples.size();
+    size_t per = std::max<uint32_t>(opts.samplesPerShard, 1);
+    size_t shards = (n + per - 1) / per;
+    if (shards <= 1) {
+        AggregatedProfile agg;
+        aggregateRange(profile, 0, n, agg);
+        return agg;
+    }
+    std::vector<AggregatedProfile> slots(shards);
+    parallelFor(opts.threads, shards, [&](size_t s) {
+        aggregateRange(profile, s * per, std::min(n, (s + 1) * per),
+                       slots[s]);
+    });
+    AggregatedProfile agg = std::move(slots[0]);
+    for (size_t s = 1; s < shards; ++s)
+        agg.merge(slots[s]);
     return agg;
 }
 

@@ -84,10 +84,33 @@ struct AggregatedProfile
 
     static uint64_t keyFrom(uint64_t k) { return k >> 32; }
     static uint64_t keyTo(uint64_t k) { return k & 0xffffffffull; }
+
+    /** Fold @p other's counters into this one (sharded aggregation). */
+    void merge(const AggregatedProfile &other);
+};
+
+/** Options for sharded profile aggregation. */
+struct AggregationOptions
+{
+    /** Worker threads (0 = hardware_concurrency()). */
+    unsigned threads = 0;
+
+    /**
+     * Samples per aggregation shard.  Shard boundaries are a pure
+     * function of the profile size — never of the thread count — and
+     * shards merge serially in shard order, so the aggregated maps (and
+     * everything downstream that consumes their iteration order) are
+     * byte-identical at any thread count.
+     */
+    uint32_t samplesPerShard = 4096;
 };
 
 /** Aggregate raw LBR samples into edge and range counts. */
 AggregatedProfile aggregate(const Profile &profile);
+
+/** Sharded aggregation: per-shard counters merged once at the end. */
+AggregatedProfile aggregate(const Profile &profile,
+                            const AggregationOptions &opts);
 
 /**
  * PEBS-style data-cache miss profile (for the paper's section 3.5

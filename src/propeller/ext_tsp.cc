@@ -33,7 +33,17 @@ edgeScore(uint64_t src_end, uint64_t dst_start, uint64_t weight,
     return 0.0;
 }
 
-/** Greedy chain-merging solver state. */
+/**
+ * Greedy chain-merging solver state.
+ *
+ * Incremental scoring invariant: for every live node, nodeChain_ /
+ * nodePos_ / nodeOffset_ give its chain, position within the chain's
+ * block list and byte offset from the chain start.  Because edgeScore is
+ * a function of (dst_start - src_end) only, any rigid translation of a
+ * chain preserves all of its internal edge scores; evaluatePair exploits
+ * this so a candidate merge is scored by its cross edges plus (for
+ * splits) the internal edges whose endpoint distance actually changes.
+ */
 class Solver
 {
   public:
@@ -42,8 +52,12 @@ class Solver
            const ExtTspOptions &opts, ExtTspStats &stats)
         : nodes_(nodes), edges_(edges), entry_(entry), opts_(opts),
           stats_(stats), nodeChain_(nodes.size()),
-          offsetScratch_(nodes.size(), 0), epochOf_(nodes.size(), 0)
+          nodePos_(nodes.size(), 0), nodeOffset_(nodes.size(), 0)
     {
+        if (opts_.legacyRescore) {
+            offsetScratch_.assign(nodes.size(), 0);
+            epochOf_.assign(nodes.size(), 0);
+        }
     }
 
     std::vector<uint32_t> solve();
@@ -52,7 +66,7 @@ class Solver
     struct Chain
     {
         std::vector<uint32_t> blocks;
-        uint64_t size = 0;
+        uint64_t size = 0; ///< Total byte size of the blocks.
         uint64_t freq = 0;
         double selfScore = 0.0;
         bool alive = true;
@@ -69,7 +83,7 @@ class Solver
         // Best merge description: order type and split position.
         int mergeType = 0; ///< 0: A+B, 1: B+A, 2: A1 B A2 (split at pos).
         uint32_t splitPos = 0;
-        uint64_t version = 0;
+        uint64_t version = 0; ///< Bumped per re-evaluation (heap staleness).
     };
 
     static uint64_t
@@ -80,12 +94,20 @@ class Solver
         return (static_cast<uint64_t>(a) << 32) | b;
     }
 
-    /** Score all of @p edge_lists under the concatenated block sequence. */
-    double scoreSequence(const std::vector<const std::vector<uint32_t> *>
-                             &block_runs,
+    /** A contiguous run of block indices (legacy rescoring). */
+    struct Run
+    {
+        const uint32_t *ptr;
+        size_t len;
+    };
+
+    double scoreSequence(std::initializer_list<Run> block_runs,
                          const Pair &pair);
 
     void evaluatePair(Pair &pair);
+    void evaluatePairLegacy(Pair &pair);
+    double concatGain(const Chain &first, uint32_t first_id,
+                      const std::vector<uint32_t> &cross);
     void applyMerge(Pair &pair);
     std::vector<uint32_t> finalOrder();
 
@@ -97,26 +119,31 @@ class Solver
 
     std::vector<Chain> chains_;
     std::vector<uint32_t> nodeChain_;
+    std::vector<uint32_t> nodePos_;
+    std::vector<uint64_t> nodeOffset_;
     std::unordered_map<uint64_t, Pair> pairs_;
     /** Chain id -> pair keys that may involve it (lazily filtered). */
     std::unordered_map<uint32_t, std::vector<uint64_t>> neighbors_;
 
-    // Scratch offset table with epoch stamping (no per-eval clearing).
+    // Split-sweep scratch: per-position delta activation buckets.
+    std::vector<double> splitAdd_;
+    std::vector<double> splitSub_;
+
+    // Scratch offset table with epoch stamping (legacy rescoring only).
     std::vector<uint64_t> offsetScratch_;
     std::vector<uint64_t> epochOf_;
     uint64_t epoch_ = 0;
 };
 
 double
-Solver::scoreSequence(
-    const std::vector<const std::vector<uint32_t> *> &block_runs,
-    const Pair &pair)
+Solver::scoreSequence(std::initializer_list<Run> block_runs,
+                      const Pair &pair)
 {
-    ++stats_.candidateEvals;
     ++epoch_;
     uint64_t offset = 0;
-    for (const auto *run : block_runs) {
-        for (uint32_t n : *run) {
+    for (const Run &run : block_runs) {
+        for (size_t i = 0; i < run.len; ++i) {
+            uint32_t n = run.ptr[i];
             offsetScratch_[n] = offset;
             epochOf_[n] = epoch_;
             offset += nodes_[n].size;
@@ -132,6 +159,7 @@ Solver::scoreSequence(
                 offsetScratch_[edge.from] + nodes_[edge.from].size,
                 offsetScratch_[edge.to], edge.weight, opts_);
         }
+        stats_.candidateEvals += edge_list.size();
         return total;
     };
     double total = scoreEdges(chains_[pair.a].internalEdges) +
@@ -140,8 +168,121 @@ Solver::scoreSequence(
     return total;
 }
 
+/**
+ * Gain of laying out @p first followed by the pair's other chain.  Both
+ * chains translate rigidly, so internal scores cancel against the
+ * selfScores exactly and the gain is the cross-edge score alone.
+ */
+double
+Solver::concatGain(const Chain &first, uint32_t first_id,
+                   const std::vector<uint32_t> &cross)
+{
+    double gain = 0.0;
+    for (uint32_t e : cross) {
+        const LayoutEdge &edge = edges_[e];
+        uint64_t src = nodeOffset_[edge.from];
+        uint64_t dst = nodeOffset_[edge.to];
+        // A cross edge has exactly one endpoint in `first`; the other
+        // chain starts at first.size.
+        if (nodeChain_[edge.from] != first_id)
+            src += first.size;
+        if (nodeChain_[edge.to] != first_id)
+            dst += first.size;
+        gain +=
+            edgeScore(src + nodes_[edge.from].size, dst, edge.weight, opts_);
+    }
+    stats_.candidateEvals += cross.size();
+    return gain;
+}
+
 void
 Solver::evaluatePair(Pair &pair)
+{
+    if (opts_.legacyRescore) {
+        evaluatePairLegacy(pair);
+        return;
+    }
+    Chain &x = chains_[pair.a];
+    Chain &y = chains_[pair.b];
+
+    pair.bestGain = 0.0;
+    pair.mergeType = -1;
+
+    auto consider = [&](int type, uint32_t split, double gain) {
+        if (gain > pair.bestGain + 1e-12) {
+            pair.bestGain = gain;
+            pair.mergeType = type;
+            pair.splitPos = split;
+        }
+    };
+
+    // Type 0: X then Y (disallowed only when Y holds the entry block).
+    if (!y.hasEntry)
+        consider(0, 0, concatGain(x, pair.a, pair.crossEdges));
+    // Type 1: Y then X.
+    if (!x.hasEntry)
+        consider(1, 0, concatGain(y, pair.b, pair.crossEdges));
+    // Type 2: X1 Y X2 (split X); keeps X's head first, so entry is safe
+    // as long as Y has no entry.
+    if (!y.hasEntry && x.blocks.size() >= 2 &&
+        x.blocks.size() <= opts_.maxSplitChainLen) {
+        uint32_t len = static_cast<uint32_t>(x.blocks.size());
+        // An internal edge of X whose endpoints sit at positions pu != pv
+        // is stretched by y.size exactly while the split point lies in
+        // (min, max]; its score change is split-independent, so a single
+        // sweep with activation buckets scores every split position.
+        splitAdd_.assign(len + 1, 0.0);
+        splitSub_.assign(len + 1, 0.0);
+        for (uint32_t e : x.internalEdges) {
+            const LayoutEdge &edge = edges_[e];
+            uint32_t pu = nodePos_[edge.from];
+            uint32_t pv = nodePos_[edge.to];
+            if (pu == pv)
+                continue; // Self-loop: distance never changes.
+            uint64_t src_end = nodeOffset_[edge.from] + nodes_[edge.from].size;
+            uint64_t dst = nodeOffset_[edge.to];
+            double before = edgeScore(src_end, dst, edge.weight, opts_);
+            double after =
+                pu < pv
+                    ? edgeScore(src_end, dst + y.size, edge.weight, opts_)
+                    : edgeScore(src_end + y.size, dst, edge.weight, opts_);
+            stats_.candidateEvals += 2;
+            double delta = after - before;
+            if (delta == 0.0)
+                continue;
+            uint32_t lo = std::min(pu, pv);
+            uint32_t hi = std::max(pu, pv);
+            splitAdd_[lo + 1] += delta;
+            splitSub_[hi + 1] += delta;
+        }
+        double internal_delta = 0.0;
+        for (uint32_t i = 1; i < len; ++i) {
+            internal_delta += splitAdd_[i];
+            internal_delta -= splitSub_[i];
+            // Layout is X[0..i) Y X[i..); X1 keeps its offsets, Y starts
+            // where block i used to, X2 shifts up by y.size.
+            uint64_t y_start = nodeOffset_[x.blocks[i]];
+            auto place = [&](uint32_t node) -> uint64_t {
+                if (nodeChain_[node] != pair.a)
+                    return y_start + nodeOffset_[node];
+                return nodeOffset_[node] +
+                       (nodePos_[node] >= i ? y.size : 0);
+            };
+            double cross = 0.0;
+            for (uint32_t e : pair.crossEdges) {
+                const LayoutEdge &edge = edges_[e];
+                cross += edgeScore(place(edge.from) + nodes_[edge.from].size,
+                                   place(edge.to), edge.weight, opts_);
+            }
+            stats_.candidateEvals += pair.crossEdges.size();
+            consider(2, i, internal_delta + cross);
+        }
+    }
+}
+
+/** The pre-incremental evaluator: rescan both chains per candidate. */
+void
+Solver::evaluatePairLegacy(Pair &pair)
 {
     Chain &x = chains_[pair.a];
     Chain &y = chains_[pair.b];
@@ -159,23 +300,18 @@ Solver::evaluatePair(Pair &pair)
         }
     };
 
-    // Type 0: X then Y (disallowed only when Y holds the entry block).
+    Run xr = {x.blocks.data(), x.blocks.size()};
+    Run yr = {y.blocks.data(), y.blocks.size()};
     if (!y.hasEntry)
-        consider(0, 0, scoreSequence({&x.blocks, &y.blocks}, pair));
-    // Type 1: Y then X.
+        consider(0, 0, scoreSequence({xr, yr}, pair));
     if (!x.hasEntry)
-        consider(1, 0, scoreSequence({&y.blocks, &x.blocks}, pair));
-    // Type 2: X1 Y X2 (split X); keeps X's head first, so entry is safe
-    // as long as Y has no entry.
+        consider(1, 0, scoreSequence({yr, xr}, pair));
     if (!y.hasEntry && x.blocks.size() >= 2 &&
         x.blocks.size() <= opts_.maxSplitChainLen) {
-        std::vector<uint32_t> x1;
-        std::vector<uint32_t> x2(x.blocks.begin(), x.blocks.end());
-        x1.reserve(x.blocks.size());
         for (uint32_t i = 1; i < x.blocks.size(); ++i) {
-            x1.push_back(x2.front());
-            x2.erase(x2.begin());
-            consider(2, i, scoreSequence({&x1, &y.blocks, &x2}, pair));
+            Run x1 = {x.blocks.data(), i};
+            Run x2 = {x.blocks.data() + i, x.blocks.size() - i};
+            consider(2, i, scoreSequence({x1, yr, x2}, pair));
         }
     }
 }
@@ -218,8 +354,14 @@ Solver::applyMerge(Pair &pair)
     x.internalEdges.insert(x.internalEdges.end(), pair.crossEdges.begin(),
                            pair.crossEdges.end());
     y.alive = false;
-    for (uint32_t n : x.blocks)
+    uint64_t offset = 0;
+    for (uint32_t i = 0; i < x.blocks.size(); ++i) {
+        uint32_t n = x.blocks[i];
         nodeChain_[n] = pair.a;
+        nodePos_[n] = i;
+        nodeOffset_[n] = offset;
+        offset += nodes_[n].size;
+    }
 }
 
 std::vector<uint32_t>
@@ -262,7 +404,7 @@ Solver::solve()
     for (uint32_t i = 0; i < n; ++i) {
         Chain &chain = chains_[i];
         chain.blocks = {i};
-        chain.size = std::max<uint64_t>(nodes_[i].size, 1);
+        chain.size = nodes_[i].size;
         chain.freq = nodes_[i].freq;
         chain.hasEntry = (i == entry_);
         nodeChain_[i] = i;
@@ -295,37 +437,47 @@ Solver::solve()
     std::priority_queue<HeapItem> heap;
     for (auto &[key, pair] : pairs_) {
         evaluatePair(pair);
-        if (opts_.useLazyHeap && pair.bestGain > 0)
+        if (!opts_.referenceSolver && pair.bestGain > 0)
             heap.push({pair.bestGain, key, pair.version});
     }
 
     while (true) {
         Pair *best = nullptr;
-        if (opts_.useLazyHeap) {
-            // Logarithmic retrieval with lazy invalidation.
-            while (!heap.empty()) {
-                auto [gain, key, version] = heap.top();
-                heap.pop();
-                ++stats_.retrievals;
-                auto it = pairs_.find(key);
-                if (it == pairs_.end() || it->second.version != version ||
-                    it->second.bestGain <= 0) {
+        if (opts_.referenceSolver) {
+            // Reference retrieval: full scan per merge step, picking the
+            // maximum (gain, key) — the exact tuple order the lazy heap
+            // pops — so both paths make identical merge decisions.
+            ++stats_.retrievals;
+            uint64_t best_key = 0;
+            for (auto &[key, pair] : pairs_) {
+                if (pair.bestGain <= 0)
                     continue;
+                if (!best || pair.bestGain > best->bestGain ||
+                    (pair.bestGain == best->bestGain && key > best_key)) {
+                    best = &pair;
+                    best_key = key;
                 }
-                best = &it->second;
-                break;
             }
             if (!best)
                 break;
         } else {
-            // Vanilla retrieval: full scan per merge step.
-            ++stats_.retrievals;
-            double best_gain = 0.0;
-            for (auto &[key, pair] : pairs_) {
-                if (pair.bestGain > best_gain + 1e-12) {
-                    best_gain = pair.bestGain;
-                    best = &pair;
+            // Logarithmic retrieval with lazy invalidation: entries are
+            // stamped with the pair's version at push time; a pop whose
+            // version no longer matches (or whose pair was re-keyed away)
+            // is discarded.
+            while (!heap.empty()) {
+                auto [gain, key, version] = heap.top();
+                heap.pop();
+                ++stats_.retrievals;
+                ++stats_.heapPops;
+                auto it = pairs_.find(key);
+                if (it == pairs_.end() || it->second.version != version ||
+                    it->second.bestGain <= 0) {
+                    ++stats_.staleSkips;
+                    continue;
                 }
+                best = &it->second;
+                break;
             }
             if (!best)
                 break;
@@ -378,7 +530,7 @@ Solver::solve()
             fresh.push_back(key);
             ++pair.version;
             evaluatePair(pair);
-            if (opts_.useLazyHeap && pair.bestGain > 0)
+            if (!opts_.referenceSolver && pair.bestGain > 0)
                 heap.push({pair.bestGain, key, pair.version});
         }
         into_keys = std::move(fresh);

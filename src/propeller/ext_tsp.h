@@ -16,10 +16,18 @@
  *     w * 0.1 * (1 - d / 640)      for backward jumps of distance d <= 640
  *
  * The solver greedily merges chains of blocks by the highest-gain merge.
- * Retrieval of the most profitable merge uses a lazy max-heap — the
- * "logarithmic time retrieval" improvement the paper says was necessary to
- * scale to whole-program CFGs — with a linear-scan variant retained for
- * the ablation bench (bench_exttsp).
+ * Candidate merges are scored *incrementally*: because edgeScore depends
+ * only on the distance (dst_start - src_end), concatenating two chains
+ * leaves every internal edge's score unchanged, so the merge gain is the
+ * sum over cross edges alone; for split merges only the internal edges
+ * that span the split point change, each by a split-independent delta, so
+ * all split positions of a chain are scored in one O(length + edges)
+ * sweep.  Retrieval of the most profitable merge uses a versioned
+ * lazy-deletion max-heap — the "logarithmic time retrieval" improvement
+ * the paper says was necessary to scale to whole-program CFGs.  A
+ * full-scan reference retrieval with the identical (gain, key) tie-break
+ * is retained for the property tests, and the pre-incremental full-rescan
+ * evaluator for the ablation bench (bench_exttsp).
  */
 
 #include <cstdint>
@@ -45,11 +53,29 @@ struct LayoutEdge
 /** Algorithm options. */
 struct ExtTspOptions
 {
-    /** Use the lazy max-heap (true) or linear scans (ablation). */
-    bool useLazyHeap = true;
+    /**
+     * Select the best merge by a full scan over all pairs instead of the
+     * lazy heap.  Both paths use the same delta scoring and the same
+     * (gain, pair-key) tie-break, so they must produce identical layouts;
+     * the scan exists as the reference the property tests compare the
+     * heap against.
+     */
+    bool referenceSolver = false;
 
-    /** Try split-merges only for chains up to this length. */
-    uint32_t maxSplitChainLen = 96;
+    /**
+     * Score candidates by fully rescanning both chains' internal edges
+     * (the pre-incremental evaluator).  Ablation knob for bench_exttsp;
+     * gains are computed with different floating-point associations than
+     * the delta path, so layouts may differ on near-ties.
+     */
+    bool legacyRescore = false;
+
+    /**
+     * Try split-merges only for chains up to this length.  The windowed
+     * split sweep makes splits O(length + edges) per evaluation, so the
+     * default is far higher than the pre-incremental solver's 96.
+     */
+    uint32_t maxSplitChainLen = 256;
 
     double fallthroughWeight = 1.0;
     double forwardWeight = 0.1;
@@ -62,8 +88,12 @@ struct ExtTspOptions
 struct ExtTspStats
 {
     uint64_t merges = 0;
-    uint64_t candidateEvals = 0; ///< Merge orders scored.
-    uint64_t retrievals = 0;     ///< Heap pops or full scans.
+    /** Edge scorings performed while evaluating candidate merges (the
+     *  solver's unit of work; what the incremental scoring reduces). */
+    uint64_t candidateEvals = 0;
+    uint64_t retrievals = 0; ///< Heap pops or full scans.
+    uint64_t heapPops = 0;   ///< Lazy-heap entries popped (incl. stale).
+    uint64_t staleSkips = 0; ///< Popped entries discarded as stale.
     double finalScore = 0.0;
 };
 

@@ -35,6 +35,8 @@ accumulate(ExtTspStats &total, const ExtTspStats &one)
     total.merges += one.merges;
     total.candidateEvals += one.candidateEvals;
     total.retrievals += one.retrievals;
+    total.heapPops += one.heapPops;
+    total.staleSkips += one.staleSkips;
     total.finalScore += one.finalScore;
 }
 
@@ -380,7 +382,9 @@ computeLayout(const WholeProgramDcfg &dcfg, const AddrMapIndex &index,
               const LayoutOptions &opts)
 {
     LayoutResult result;
-    Ctx ctx(dcfg, index, opts);
+    LayoutOptions effective = opts;
+    effective.extTsp.referenceSolver |= opts.referenceSolver;
+    Ctx ctx(dcfg, index, effective);
     if (opts.interProcedural) {
         interProceduralLayout(ctx, result);
     } else {

@@ -57,6 +57,14 @@ struct LayoutOptions
     bool reorderBlocks = true;
 
     /**
+     * Use the full-scan reference retrieval in the Ext-TSP solver instead
+     * of the lazy heap (see ExtTspOptions::referenceSolver).  Both paths
+     * must produce byte-identical cc_prof/ld_prof; this knob exists so
+     * tests can prove it end to end.
+     */
+    bool referenceSolver = false;
+
+    /**
      * Worker threads for the per-function layout loop (0 =
      * hardware_concurrency()).  Output is byte-identical at any value:
      * per-function results land in indexed slots and merge in function

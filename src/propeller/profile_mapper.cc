@@ -1,6 +1,11 @@
 #include "propeller/profile_mapper.h"
 
+#include <optional>
 #include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "support/thread_pool.h"
 
 namespace propeller::core {
 
@@ -114,18 +119,49 @@ class DcfgBuilder
 
 WholeProgramDcfg
 buildDcfg(const profile::AggregatedProfile &agg, const AddrMapIndex &index,
-          MapperStats *stats_out)
+          MapperStats *stats_out, unsigned threads)
 {
     MapperStats stats;
     DcfgBuilder builder(index);
 
+    // The mapper splits each record kind into a read-only resolution
+    // phase (address lookups, range walks) that fans out over the thread
+    // pool into per-record slots, and a serial application phase that
+    // feeds the mutable builder in the aggregation maps' iteration order
+    // — the same order the fully serial mapper used, so the DCFG (whose
+    // node numbering is first-touch order) is identical at any thread
+    // count.
+
     // ---- Taken-branch records -> branch and call edges ------------------
-    for (const auto &[key, weight] : agg.branches) {
-        uint64_t from = profile::AggregatedProfile::keyFrom(key);
-        uint64_t to = profile::AggregatedProfile::keyTo(key) |
+    struct BranchSlot
+    {
+        uint64_t weight = 0;
+        uint64_t to = 0;
+        std::optional<BlockRef> rf;
+        std::optional<BlockRef> rt;
+    };
+    std::vector<BranchSlot> branch_slots(agg.branches.size());
+    {
+        std::vector<uint64_t> keys;
+        keys.reserve(agg.branches.size());
+        for (const auto &[key, weight] : agg.branches) {
+            keys.push_back(key);
+            branch_slots[keys.size() - 1].weight = weight;
+        }
+        parallelFor(threads, keys.size(), [&](size_t i) {
+            BranchSlot &slot = branch_slots[i];
+            uint64_t from = profile::AggregatedProfile::keyFrom(keys[i]);
+            slot.to = profile::AggregatedProfile::keyTo(keys[i]) |
                       (from & 0xffffffff00000000ull);
-        auto rf = index.lookup(from);
-        auto rt = index.lookup(to);
+            slot.rf = index.lookup(from);
+            slot.rt = index.lookup(slot.to);
+        });
+    }
+    for (const BranchSlot &slot : branch_slots) {
+        uint64_t weight = slot.weight;
+        uint64_t to = slot.to;
+        const std::optional<BlockRef> &rf = slot.rf;
+        const std::optional<BlockRef> &rt = slot.rt;
         if (!rf || !rt) {
             ++stats.unmappedRecords;
             continue;
@@ -166,36 +202,64 @@ buildDcfg(const profile::AggregatedProfile &agg, const AddrMapIndex &index,
 
     // ---- Fall-through ranges -> fall-through edges -----------------------
     constexpr int kMaxWalk = 512;
-    for (const auto &[key, weight] : agg.ranges) {
-        uint64_t start = profile::AggregatedProfile::keyFrom(key);
-        uint64_t end = profile::AggregatedProfile::keyTo(key) |
-                       (start & 0xffffffff00000000ull);
-        auto cur = index.lookup(start);
-        if (!cur || end < start) {
+    struct RangeSlot
+    {
+        uint64_t weight = 0;
+        bool unmapped = false;
+        bool truncated = false;
+        std::vector<std::pair<BlockRef, BlockRef>> hops;
+    };
+    std::vector<RangeSlot> range_slots(agg.ranges.size());
+    {
+        std::vector<uint64_t> keys;
+        keys.reserve(agg.ranges.size());
+        for (const auto &[key, weight] : agg.ranges) {
+            keys.push_back(key);
+            range_slots[keys.size() - 1].weight = weight;
+        }
+        parallelFor(threads, keys.size(), [&](size_t i) {
+            RangeSlot &slot = range_slots[i];
+            uint64_t start = profile::AggregatedProfile::keyFrom(keys[i]);
+            uint64_t end = profile::AggregatedProfile::keyTo(keys[i]) |
+                           (start & 0xffffffff00000000ull);
+            auto cur = index.lookup(start);
+            if (!cur || end < start) {
+                slot.unmapped = true;
+                return;
+            }
+            int steps = 0;
+            while (end >= cur->blockEnd) {
+                if (++steps > kMaxWalk) {
+                    slot.truncated = true;
+                    break;
+                }
+                auto nxt = index.next(*cur);
+                if (!nxt || nxt->funcIndex != cur->funcIndex ||
+                    nxt->blockStart != cur->blockEnd) {
+                    // Gap or function boundary: inconsistent range (e.g.
+                    // the sample raced a migration); drop the rest.
+                    slot.truncated = true;
+                    break;
+                }
+                slot.hops.emplace_back(*cur, *nxt);
+                cur = nxt;
+            }
+        });
+    }
+    for (const RangeSlot &slot : range_slots) {
+        if (slot.unmapped) {
             ++stats.unmappedRecords;
             continue;
         }
-        int steps = 0;
-        while (end >= cur->blockEnd) {
-            if (++steps > kMaxWalk) {
-                ++stats.rangeWalkTruncated;
-                break;
-            }
-            auto nxt = index.next(*cur);
-            if (!nxt || nxt->funcIndex != cur->funcIndex ||
-                nxt->blockStart != cur->blockEnd) {
-                // Gap or function boundary: inconsistent range (e.g. the
-                // sample raced a migration); drop the rest.
-                ++stats.rangeWalkTruncated;
-                break;
-            }
-            uint32_t d = builder.dcfgOf(cur->funcIndex);
-            builder.addEdge(d, builder.nodeOf(d, *cur),
-                            builder.nodeOf(d, *nxt), weight,
+        for (const auto &[cur, nxt] : slot.hops) {
+            uint32_t d = builder.dcfgOf(cur.funcIndex);
+            builder.addEdge(d, builder.nodeOf(d, cur),
+                            builder.nodeOf(d, nxt), slot.weight,
                             EdgeKind::FallThrough);
-            stats.fallThroughEdges += weight;
-            cur = nxt;
+            stats.fallThroughEdges += slot.weight;
         }
+        if (slot.truncated)
+            ++stats.rangeWalkTruncated;
     }
 
     WholeProgramDcfg graph = builder.take();

@@ -29,10 +29,19 @@ struct MapperStats
     uint64_t rangeWalkTruncated = 0;
 };
 
-/** Build the whole-program DCFG from an aggregated profile. */
+/**
+ * Build the whole-program DCFG from an aggregated profile.
+ *
+ * @param threads workers for the read-only record-resolution phase
+ *        (address lookups and fall-through range walks); 0 = all hardware
+ *        threads.  Resolved records land in per-record slots and the
+ *        mutable DCFG builder consumes them serially in record order, so
+ *        the graph is byte-identical at any thread count.
+ */
 WholeProgramDcfg buildDcfg(const profile::AggregatedProfile &agg,
                            const AddrMapIndex &index,
-                           MapperStats *stats = nullptr);
+                           MapperStats *stats = nullptr,
+                           unsigned threads = 1);
 
 } // namespace propeller::core
 

@@ -15,8 +15,11 @@ runWholeProgramAnalysis(const linker::Executable &metadata_exe,
     result.stats.profileBytes = prof.sizeInBytes();
     local.charge(result.stats.profileBytes * 2);
 
-    // Aggregation maps (branch and fall-through counts).
-    profile::AggregatedProfile agg = profile::aggregate(prof);
+    // Aggregation maps (branch and fall-through counts), built per shard
+    // on the thread pool and merged once in shard order.
+    profile::AggregationOptions agg_opts;
+    agg_opts.threads = opts.threads;
+    profile::AggregatedProfile agg = profile::aggregate(prof, agg_opts);
     local.charge((agg.branches.size() + agg.ranges.size()) * 48);
 
     // The BB address map interval index.
@@ -26,7 +29,8 @@ runWholeProgramAnalysis(const linker::Executable &metadata_exe,
 
     // The whole-program DCFG: proportional to *sampled* code only — this
     // is the design property that bounds Phase 3 memory (section 3.5).
-    WholeProgramDcfg dcfg = buildDcfg(agg, index, &result.stats.mapper);
+    WholeProgramDcfg dcfg =
+        buildDcfg(agg, index, &result.stats.mapper, opts.threads);
     result.stats.dcfgFootprint = dcfg.footprint();
     local.charge(result.stats.dcfgFootprint);
 

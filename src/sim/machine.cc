@@ -150,18 +150,51 @@ run(const linker::Executable &exe, const MachineOptions &opts)
         result.faultPc = at;
     };
 
+    // Decode cache, indexed by text offset (0: not seen, 1: cached,
+    // 2: invalid).  A hot loop re-executes the same few offsets for the
+    // whole run, so this removes decode from the per-instruction path.
+    constexpr uint64_t kMaxCachedText = 64ull << 20;
+    const bool use_decode_cache =
+        opts.decodeCache && text_size > 0 && text_size <= kMaxCachedText;
+    std::vector<Instruction> decoded_at;
+    std::vector<uint8_t> decode_state;
+    if (use_decode_cache) {
+        decoded_at.resize(text_size);
+        decode_state.assign(text_size, 0);
+    }
+
     while (ctr.logicalInstructions < opts.maxInstructions) {
         if (pc < base || pc >= base + text_size) {
             fault(pc);
             break;
         }
         uint64_t offset = pc - base;
-        auto decoded = isa::decode(text + offset, text_size - offset);
-        if (!decoded) {
-            fault(pc);
-            break;
+        Instruction inst;
+        if (use_decode_cache) {
+            uint8_t &state = decode_state[offset];
+            if (state == 0) {
+                auto decoded =
+                    isa::decode(text + offset, text_size - offset);
+                if (decoded) {
+                    decoded_at[offset] = *decoded;
+                    state = 1;
+                } else {
+                    state = 2;
+                }
+            }
+            if (state == 2) {
+                fault(pc);
+                break;
+            }
+            inst = decoded_at[offset];
+        } else {
+            auto decoded = isa::decode(text + offset, text_size - offset);
+            if (!decoded) {
+                fault(pc);
+                break;
+            }
+            inst = *decoded;
         }
-        const Instruction inst = *decoded;
         const uint64_t len = inst.size();
 
         // ---- Frontend model ---------------------------------------------

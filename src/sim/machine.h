@@ -110,6 +110,16 @@ struct MachineOptions
     /** Record every Nth data-cache miss into the miss profile. */
     uint32_t missSamplePeriod = 8;
 
+    /**
+     * Cache decoded instructions by text offset.  The text is immutable
+     * for the whole run and decoding is a pure function of the bytes at
+     * an offset, so caching cannot change any architectural or modelled
+     * behavior — it only stops profile collection from re-decoding the
+     * same hot PCs millions of times.  (Disabled automatically for texts
+     * too large for an offset-indexed table.)
+     */
+    bool decodeCache = true;
+
     UarchConfig uarch;
 };
 

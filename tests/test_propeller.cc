@@ -224,10 +224,11 @@ TEST(ExtTspOrder, CoversAllNodesExactlyOnce)
     EXPECT_EQ(order.size(), 10u);
 }
 
-TEST(ExtTspOrder, HeapAndVanillaAgreeOnScore)
+TEST(ExtTspOrder, HeapAndReferenceScanAgreeExactly)
 {
-    // Pseudo-random graph; both retrieval strategies must reach equally
-    // good solutions (identical greedy decisions up to tie order).
+    // Pseudo-random graph; the lazy heap and the reference full scan
+    // share delta scoring and the (gain, key) tie-break, so they must
+    // make identical greedy decisions — not merely equally good ones.
     Rng rng(99);
     std::vector<LayoutNode> nodes(40);
     for (auto &node : nodes)
@@ -239,17 +240,89 @@ TEST(ExtTspOrder, HeapAndVanillaAgreeOnScore)
         edges.push_back({a, b, 1 + rng.below(500)});
     }
     ExtTspOptions heap_opts;
-    heap_opts.useLazyHeap = true;
     ExtTspOptions scan_opts;
-    scan_opts.useLazyHeap = false;
+    scan_opts.referenceSolver = true;
     ExtTspStats hs;
     ExtTspStats ss;
     auto ho = extTspOrder(nodes, edges, 0, heap_opts, &hs);
     auto so = extTspOrder(nodes, edges, 0, scan_opts, &ss);
-    EXPECT_NEAR(extTspScore(nodes, edges, ho),
-                extTspScore(nodes, edges, so), 1e-6);
+    EXPECT_EQ(ho, so);
+    EXPECT_EQ(hs.finalScore, ss.finalScore);
     EXPECT_GT(hs.merges, 0u);
     EXPECT_EQ(hs.merges, ss.merges);
+    EXPECT_GT(hs.heapPops, 0u);
+    EXPECT_EQ(ss.heapPops, 0u) << "the reference path never pops";
+}
+
+/** Random layout problem for the property tests below. */
+void
+randomCfg(uint64_t seed, std::vector<LayoutNode> &nodes,
+          std::vector<LayoutEdge> &edges)
+{
+    Rng rng(seed * 7919 + 11);
+    size_t n = 2 + rng.below(60);
+    nodes.assign(n, {});
+    for (auto &node : nodes)
+        node = {1 + rng.below(64), rng.below(1000)};
+    edges.clear();
+    size_t m = rng.below(4 * n);
+    for (size_t e = 0; e < m; ++e) {
+        edges.push_back({static_cast<uint32_t>(rng.below(n)),
+                         static_cast<uint32_t>(rng.below(n)),
+                         1 + rng.below(1000)});
+    }
+}
+
+TEST(ExtTspProperty, HeapMatchesReferenceSolverOnRandomCfgs)
+{
+    // The acceptance property of the incremental solver: across >= 100
+    // seeded random CFGs (with self loops, parallel edges, disconnected
+    // nodes and gain ties), lazy-heap retrieval and the reference full
+    // scan produce identical chain orders and final scores.
+    int checked = 0;
+    for (uint64_t seed = 1; seed <= 100; ++seed) {
+        std::vector<LayoutNode> nodes;
+        std::vector<LayoutEdge> edges;
+        randomCfg(seed, nodes, edges);
+
+        ExtTspOptions heap_opts;
+        ExtTspOptions ref_opts;
+        ref_opts.referenceSolver = true;
+        ExtTspStats hs;
+        ExtTspStats rs;
+        auto ho = extTspOrder(nodes, edges, 0, heap_opts, &hs);
+        auto ro = extTspOrder(nodes, edges, 0, ref_opts, &rs);
+        ASSERT_EQ(ho, ro) << "divergent layout at seed " << seed;
+        ASSERT_EQ(hs.finalScore, rs.finalScore) << "seed " << seed;
+        ASSERT_EQ(hs.merges, rs.merges) << "seed " << seed;
+        ++checked;
+    }
+    EXPECT_EQ(checked, 100);
+}
+
+TEST(ExtTspProperty, DeltaScoringMatchesLegacyRescoreQuality)
+{
+    // Delta gains equal full-rescan gains in exact arithmetic but not
+    // bitwise, so near-ties may resolve differently; the resulting
+    // layout quality must still match to float noise.
+    for (uint64_t seed = 1; seed <= 25; ++seed) {
+        std::vector<LayoutNode> nodes;
+        std::vector<LayoutEdge> edges;
+        randomCfg(seed, nodes, edges);
+
+        ExtTspOptions delta_opts;
+        ExtTspOptions legacy_opts;
+        legacy_opts.legacyRescore = true;
+        ExtTspStats ds;
+        ExtTspStats ls;
+        auto dorder = extTspOrder(nodes, edges, 0, delta_opts, &ds);
+        auto lorder = extTspOrder(nodes, edges, 0, legacy_opts, &ls);
+        double tolerance = 1e-6 * std::max(1.0, ls.finalScore);
+        EXPECT_NEAR(ds.finalScore, ls.finalScore, tolerance)
+            << "seed " << seed;
+        EXPECT_LE(ds.candidateEvals, ls.candidateEvals)
+            << "delta scoring must never do more work; seed " << seed;
+    }
 }
 
 TEST(ExtTspOrder, ImprovesOverRandomOrders)

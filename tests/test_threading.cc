@@ -163,5 +163,37 @@ TEST(ThreadingDeterminism, LayoutIdenticalAcrossThreadCounts)
     EXPECT_EQ(exe1.text, exe8.text);
 }
 
+TEST(ThreadingDeterminism, ReferenceSolverArtifactsIdenticalAtAnyThreads)
+{
+    // The acceptance gate for the incremental Ext-TSP solver: the lazy
+    // heap and the reference full-scan retrieval must emit byte-identical
+    // cc_prof/ld_prof at 1 and at 8 threads (4 combinations total).
+    workload::WorkloadConfig cfg = test::smallConfig(65);
+    cfg.name = "threads3";
+    buildsys::Workflow wf(cfg);
+
+    std::string cc_base, ld_base;
+    for (unsigned threads : {1u, 8u}) {
+        for (bool reference : {false, true}) {
+            core::LayoutOptions opts;
+            opts.threads = threads;
+            opts.referenceSolver = reference;
+            core::WpaResult wpa;
+            wf.propellerBinaryWith(opts, &wpa);
+            std::string cc = wpa.ccProf.serialize();
+            std::string ld = wpa.ldProf.serialize();
+            if (cc_base.empty()) {
+                cc_base = cc;
+                ld_base = ld;
+                continue;
+            }
+            EXPECT_EQ(cc, cc_base)
+                << "threads=" << threads << " reference=" << reference;
+            EXPECT_EQ(ld, ld_base)
+                << "threads=" << threads << " reference=" << reference;
+        }
+    }
+}
+
 } // namespace
 } // namespace propeller

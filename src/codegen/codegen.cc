@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "codegen/fingerprint.h"
 #include "support/hash.h"
 
 namespace propeller::codegen {
@@ -408,8 +409,20 @@ compileModule(const ir::Module &mod, const Options &opts)
             obj.sections.push_back(std::move(sec));
         }
 
-        if (!fn->isHandAsm)
+        if (!fn->isHandAsm) {
+            // Attach the stale-profile fingerprints (v2 metadata): the
+            // hashes are a pure function of the IR, so they are identical
+            // across every layout codegen can be asked to produce.
+            FunctionFingerprint fp = fingerprintFunction(*fn);
+            map.functionHash = fp.functionHash;
+            for (auto &range : map.ranges) {
+                for (auto &entry : range.blocks) {
+                    entry.hash = fp.blockHash.at(entry.bbId);
+                    entry.succs = fn->findBlock(entry.bbId)->successors();
+                }
+            }
             obj.addrMaps.push_back(std::move(map));
+        }
 
         if (has_landing_pads) {
             // Call-site table split across ranges (paper section 4.5):

@@ -1,0 +1,95 @@
+#include "codegen/fingerprint.h"
+
+#include <vector>
+
+#include "support/hash.h"
+
+namespace propeller::codegen {
+
+namespace {
+
+/**
+ * Hash of one block's instruction stream.  Branch targets are excluded on
+ * purpose: block ids are positional and shift under block insertion or
+ * deletion, while the branchId is allocated once and survives edits around
+ * the branch.
+ */
+uint64_t
+streamHash(const ir::BasicBlock &bb)
+{
+    uint64_t h = kFnvOffset;
+    h = hashCombine(h, bb.isLandingPad ? 1 : 0);
+    for (const auto &inst : bb.insts) {
+        h = hashCombine(h, static_cast<uint64_t>(inst.kind));
+        switch (inst.kind) {
+          case ir::InstKind::Work:
+          case ir::InstKind::WorkWide:
+          case ir::InstKind::Load:
+          case ir::InstKind::Store:
+            h = hashCombine(h, inst.reg);
+            h = hashCombine(h, inst.imm);
+            break;
+          case ir::InstKind::Call:
+            h = hashCombine(h, fnv1a(inst.callee));
+            break;
+          case ir::InstKind::CondBr:
+            h = hashCombine(h, inst.branchId);
+            h = hashCombine(h, inst.bias);
+            h = hashCombine(h, inst.periodic ? 1 : 0);
+            break;
+          case ir::InstKind::Br:
+          case ir::InstKind::Ret:
+            break;
+        }
+    }
+    return h;
+}
+
+} // namespace
+
+FunctionFingerprint
+fingerprintFunction(const ir::Function &fn)
+{
+    FunctionFingerprint fp;
+
+    // Pass 1: per-block opcode-stream hashes and the predecessor relation
+    // (in original block order, which is itself layout-invariant: it is
+    // the compiler-chosen order stored in the IR, not the linked layout).
+    std::unordered_map<uint32_t, uint64_t> stream;
+    std::unordered_map<uint32_t, std::vector<uint32_t>> preds;
+    stream.reserve(fn.blocks.size());
+    for (const auto &bb : fn.blocks)
+        stream.emplace(bb->id, streamHash(*bb));
+    for (const auto &bb : fn.blocks) {
+        for (uint32_t succ : bb->successors())
+            preds[succ].push_back(bb->id);
+    }
+
+    // Pass 2: fold the 1-hop neighborhood into each block's hash, then
+    // combine everything (in original block order) into the function hash.
+    fp.blockHash.reserve(fn.blocks.size());
+    uint64_t fn_hash = kFnvOffset;
+    for (const auto &bb : fn.blocks) {
+        uint64_t h = stream.at(bb->id);
+        for (uint32_t succ : bb->successors()) {
+            auto it = stream.find(succ);
+            h = hashCombine(h, it != stream.end() ? it->second : 0);
+        }
+        auto pit = preds.find(bb->id);
+        if (pit != preds.end()) {
+            for (uint32_t pred : pit->second)
+                h = hashCombine(h, stream.at(pred));
+        }
+        // Never zero: zero is the "no fingerprint" marker of v1 blobs.
+        if (h == 0)
+            h = 1;
+        fp.blockHash.emplace(bb->id, h);
+        fn_hash = hashCombine(fn_hash, h);
+    }
+    fp.functionHash = hashCombine(fn_hash, fn.blocks.size());
+    if (fp.functionHash == 0)
+        fp.functionHash = 1;
+    return fp;
+}
+
+} // namespace propeller::codegen

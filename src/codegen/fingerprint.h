@@ -1,0 +1,51 @@
+#ifndef PROPELLER_CODEGEN_FINGERPRINT_H
+#define PROPELLER_CODEGEN_FINGERPRINT_H
+
+/**
+ * @file
+ * Stable basic-block fingerprints for stale-profile matching.
+ *
+ * A profile collected on last week's production binary must be applicable
+ * to this week's build (the warehouse-scale release cycle, paper section
+ * 2.2), so every block in the BB address map carries a fingerprint that is
+ * stable under everything Propeller itself changes — block layout,
+ * cluster assignment, branch relaxation, section placement — while being
+ * sensitive to real source drift.  Inputs per block:
+ *
+ *  - the **opcode stream**: instruction kinds with their operands
+ *    (register, immediate, callee name for calls);
+ *  - **layout-invariant branch ids**: conditional branches contribute
+ *    their program-unique branchId, never their targets (target block ids
+ *    are positional and renumber under edits);
+ *  - a **1-hop CFG neighborhood hash**: the opcode-stream hashes of the
+ *    block's static successors (in terminator order) and predecessors (in
+ *    original block order), so a block whose body is unchanged but whose
+ *    surroundings were edited ranks below an exact structural match.
+ *
+ * The per-function hash combines every block fingerprint in original
+ * block order; equality means the whole CFG is unchanged and a stale
+ * profile transfers by block id alone.
+ */
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "ir/ir.h"
+
+namespace propeller::codegen {
+
+/** Fingerprints of one function's blocks. */
+struct FunctionFingerprint
+{
+    uint64_t functionHash = 0;
+
+    /** Block id -> stable fingerprint. */
+    std::unordered_map<uint32_t, uint64_t> blockHash;
+};
+
+/** Compute fingerprints for every block of @p fn (pure, deterministic). */
+FunctionFingerprint fingerprintFunction(const ir::Function &fn);
+
+} // namespace propeller::codegen
+
+#endif // PROPELLER_CODEGEN_FINGERPRINT_H

@@ -17,6 +17,11 @@ FunctionAddrMap::blockCount() const
 
 namespace {
 
+/** First byte of a v2 blob.  A non-empty v1 blob can never start with
+ *  0x00: a leading zero is a zero function count, which is only valid as
+ *  the entire (one-byte) payload. */
+constexpr uint8_t kV2Escape = 0x00;
+
 void
 encodeString(const std::string &s, std::vector<uint8_t> &out)
 {
@@ -38,15 +43,25 @@ decodeString(const std::vector<uint8_t> &data, size_t &pos, std::string &out)
 } // namespace
 
 std::vector<uint8_t>
-encodeAddrMaps(const std::vector<FunctionAddrMap> &maps)
+encodeAddrMaps(const std::vector<FunctionAddrMap> &maps,
+               AddrMapVersion version)
 {
     // Compact encoding in the spirit of SHT_LLVM_BB_ADDR_MAP: blocks in a
     // range are contiguous, so only the first offset plus per-block sizes
     // are stored; flags are packed with the id.
     std::vector<uint8_t> out;
+    uint64_t features = 0;
+    if (version == AddrMapVersion::V2) {
+        features = kAddrMapFeatureHashes | kAddrMapFeatureSuccessors;
+        out.push_back(kV2Escape);
+        encodeUleb128(static_cast<uint64_t>(AddrMapVersion::V2), out);
+        encodeUleb128(features, out);
+    }
     encodeUleb128(maps.size(), out);
     for (const auto &map : maps) {
         encodeString(map.functionName, out);
+        if (features & kAddrMapFeatureHashes)
+            encodeUleb128(map.functionHash, out);
         encodeUleb128(map.ranges.size(), out);
         for (const auto &range : map.ranges) {
             encodeString(range.sectionSymbol, out);
@@ -61,6 +76,13 @@ encodeAddrMaps(const std::vector<FunctionAddrMap> &maps)
                                   (bb.flags & 0x7),
                               out);
                 encodeUleb128(bb.size, out);
+                if (features & kAddrMapFeatureHashes)
+                    encodeUleb128(bb.hash, out);
+                if (features & kAddrMapFeatureSuccessors) {
+                    encodeUleb128(bb.succs.size(), out);
+                    for (uint32_t succ : bb.succs)
+                        encodeUleb128(succ, out);
+                }
                 expected_offset += bb.size;
             }
         }
@@ -80,6 +102,19 @@ decodeAddrMaps(const std::vector<uint8_t> &data, bool *ok)
         *ok = true;
 
     size_t pos = 0;
+    uint64_t features = 0;
+    if (data.size() > 1 && data[0] == kV2Escape) {
+        pos = 1;
+        auto version = decodeUleb128(data, pos);
+        if (!version ||
+            *version != static_cast<uint64_t>(AddrMapVersion::V2))
+            return fail();
+        auto feats = decodeUleb128(data, pos);
+        if (!feats || (*feats & ~kAddrMapKnownFeatures) != 0)
+            return fail();
+        features = *feats;
+    }
+
     auto n_funcs = decodeUleb128(data, pos);
     // Sanity bound: every function entry needs at least 4 bytes, so any
     // larger count is corrupt input (guards reserve() on fuzzed bytes).
@@ -92,6 +127,12 @@ decodeAddrMaps(const std::vector<uint8_t> &data, bool *ok)
         FunctionAddrMap map;
         if (!decodeString(data, pos, map.functionName))
             return fail();
+        if (features & kAddrMapFeatureHashes) {
+            auto fn_hash = decodeUleb128(data, pos);
+            if (!fn_hash)
+                return fail();
+            map.functionHash = *fn_hash;
+        }
         auto n_ranges = decodeUleb128(data, pos);
         if (!n_ranges || *n_ranges > data.size())
             return fail();
@@ -115,7 +156,25 @@ decodeAddrMaps(const std::vector<uint8_t> &data, bool *ok)
                 bb.offset = static_cast<uint32_t>(cursor);
                 bb.size = static_cast<uint32_t>(*size);
                 cursor += *size;
-                range.blocks.push_back(bb);
+                if (features & kAddrMapFeatureHashes) {
+                    auto hash = decodeUleb128(data, pos);
+                    if (!hash)
+                        return fail();
+                    bb.hash = *hash;
+                }
+                if (features & kAddrMapFeatureSuccessors) {
+                    auto n_succs = decodeUleb128(data, pos);
+                    if (!n_succs || *n_succs > data.size())
+                        return fail();
+                    bb.succs.reserve(*n_succs);
+                    for (uint64_t s = 0; s < *n_succs; ++s) {
+                        auto succ = decodeUleb128(data, pos);
+                        if (!succ)
+                            return fail();
+                        bb.succs.push_back(static_cast<uint32_t>(*succ));
+                    }
+                }
+                range.blocks.push_back(std::move(bb));
             }
             map.ranges.push_back(std::move(range));
         }

@@ -13,7 +13,19 @@
  * Figure 6 size accounting.
  *
  * Encoding mirrors the real section: ULEB128 fields, one entry per
- * function, per-range block lists.
+ * function, per-range block lists.  Two wire versions exist:
+ *
+ *  - **v1** (legacy): offsets, sizes, ids and flags only; the blob starts
+ *    directly with the function count.
+ *  - **v2**: starts with a 0x00 escape byte, a version number and a
+ *    feature-bit field, and adds the stale-profile metadata — a stable
+ *    per-block fingerprint, a per-function hash and per-block successor
+ *    lists.  These are what let a profile collected on last week's binary
+ *    be matched onto this week's build (src/stale).
+ *
+ * v1 blobs still decode (a non-empty v1 blob can never start with 0x00:
+ * a zero function count must be the entire payload).  Unknown versions or
+ * unknown feature bits are a decode *error*, never undefined behavior.
  */
 
 #include <cstdint>
@@ -29,6 +41,24 @@ enum BbFlags : uint8_t {
     kBbFallThrough = 0x04 ///< Block may fall through to the next block.
 };
 
+/** Wire format versions of the encoded section. */
+enum class AddrMapVersion : uint8_t {
+    V1 = 1, ///< Legacy: no fingerprints, no successor lists.
+    V2 = 2, ///< Versioned header + feature bits + stale-profile metadata.
+};
+
+/** Feature bits of the v2 header. */
+enum AddrMapFeatures : uint64_t {
+    /** Per-block fingerprints and the per-function hash are present. */
+    kAddrMapFeatureHashes = 0x1,
+    /** Per-block successor id lists are present. */
+    kAddrMapFeatureSuccessors = 0x2,
+};
+
+/** All feature bits a decoder of this version understands. */
+constexpr uint64_t kAddrMapKnownFeatures =
+    kAddrMapFeatureHashes | kAddrMapFeatureSuccessors;
+
 /** One machine basic block inside a range. */
 struct BbEntry
 {
@@ -36,6 +66,16 @@ struct BbEntry
     uint32_t offset = 0; ///< Byte offset from the start of the range.
     uint32_t size = 0;   ///< Encoded size in bytes.
     uint8_t flags = 0;
+
+    /**
+     * Layout-invariant block fingerprint (v2): opcode stream, branch ids
+     * and the 1-hop CFG neighborhood (see codegen/fingerprint.h).  Zero
+     * in v1 blobs and for blocks without fingerprints.
+     */
+    uint64_t hash = 0;
+
+    /** Static successor block ids, in terminator order (v2). */
+    std::vector<uint32_t> succs;
 
     bool operator==(const BbEntry &) const = default;
 };
@@ -55,17 +95,34 @@ struct FunctionAddrMap
     std::string functionName;
     std::vector<BbRange> ranges;
 
+    /**
+     * Layout-invariant whole-function fingerprint (v2): combines every
+     * block fingerprint in original block order.  Equal hashes mean the
+     * function's CFG and instruction streams are unchanged, so a stale
+     * profile maps over by block id with no further work.
+     */
+    uint64_t functionHash = 0;
+
     bool operator==(const FunctionAddrMap &) const = default;
 
     /** Total number of blocks across all ranges. */
     size_t blockCount() const;
 };
 
-/** Encode a list of function address maps into section bytes. */
-std::vector<uint8_t> encodeAddrMaps(const std::vector<FunctionAddrMap> &maps);
+/**
+ * Encode a list of function address maps into section bytes.
+ *
+ * @param version wire format to emit; V1 drops hashes and successors.
+ */
+std::vector<uint8_t> encodeAddrMaps(const std::vector<FunctionAddrMap> &maps,
+                                    AddrMapVersion version =
+                                        AddrMapVersion::V2);
 
 /**
  * Decode section bytes produced by encodeAddrMaps().
+ *
+ * Accepts both v1 and v2 blobs; rejects unknown versions and unknown
+ * feature bits.
  *
  * @return decoded maps; returns an empty vector on malformed input (and
  *         sets @p ok to false if provided).

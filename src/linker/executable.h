@@ -40,6 +40,12 @@ struct ExecBlock
     uint64_t address = 0;
     uint32_t size = 0;
     uint8_t flags = 0; ///< elf::BbFlags.
+
+    /** Stable fingerprint from the v2 address map (0 if v1 metadata). */
+    uint64_t hash = 0;
+
+    /** Static successor block ids from the v2 address map. */
+    std::vector<uint32_t> succs;
 };
 
 /** Absolute-address BB map for one function. */
@@ -47,6 +53,9 @@ struct ExecFuncMap
 {
     std::string function;
     std::vector<ExecBlock> blocks;
+
+    /** Whole-function fingerprint from the v2 address map (0 if v1). */
+    uint64_t functionHash = 0;
 };
 
 /**
@@ -90,6 +99,15 @@ struct Executable
     uint64_t textBase = 0;
     uint64_t entryAddress = 0;
     std::vector<uint8_t> text; ///< Code image starting at textBase.
+
+    /**
+     * Binary identity: content hash of the linked text plus the section
+     * layout (every symbol's name and address range).  Stamped into the
+     * Profile header by the profiler so Phase 3 can detect that a profile
+     * was collected on a *different* build and must go through the stale
+     * matcher instead of the address-based fast path.
+     */
+    uint64_t identityHash = 0;
 
     /** Text is mapped on 2 MiB huge pages (affects the iTLB model). */
     bool hugePagesText = false;

@@ -347,6 +347,28 @@ link(const std::vector<ObjectFile> &objects, const Options &opts,
         addr_map_kept[obj.name] = has_section && !dropped;
     }
 
+    // Stale-profile fingerprints live in the object address maps (the
+    // emitted sections only carry block marks); index them by function so
+    // the final ExecFuncMap can be annotated below.
+    struct FuncFp
+    {
+        uint64_t functionHash = 0;
+        std::unordered_map<uint32_t, const elf::BbEntry *> blocks;
+    };
+    std::unordered_map<std::string, FuncFp> fp_of;
+    for (const auto &obj : objects) {
+        if (!addr_map_kept[obj.name])
+            continue;
+        for (const auto &map : obj.addrMaps) {
+            FuncFp &fp = fp_of[map.functionName];
+            fp.functionHash = map.functionHash;
+            for (const auto &range : map.ranges) {
+                for (const auto &bb : range.blocks)
+                    fp.blocks.emplace(bb.bbId, &bb);
+            }
+        }
+    }
+
     for (uint32_t idx : order) {
         const Sect &sect = sects[idx];
         FuncRange range;
@@ -367,6 +389,12 @@ link(const std::vector<ObjectFile> &objects, const Options &opts,
             func_maps.push_back(ExecFuncMap{sect.parentFunction, {}});
         ExecFuncMap &map = func_maps[it->second];
 
+        const FuncFp *fp = nullptr;
+        if (auto fit = fp_of.find(sect.parentFunction); fit != fp_of.end())
+            fp = &fit->second;
+        if (fp)
+            map.functionHash = fp->functionHash;
+
         for (size_t slot = 0; slot < sect.blockIds.size(); ++slot) {
             ExecBlock block;
             block.bbId = sect.blockIds[slot];
@@ -376,10 +404,33 @@ link(const std::vector<ObjectFile> &objects, const Options &opts,
                                 : sect.addr + sect.size;
             block.size = static_cast<uint32_t>(next - block.address);
             block.flags = sect.blockFlags[slot];
-            map.blocks.push_back(block);
+            if (fp) {
+                auto bit = fp->blocks.find(block.bbId);
+                if (bit != fp->blocks.end()) {
+                    block.hash = bit->second->hash;
+                    block.succs = bit->second->succs;
+                }
+            }
+            map.blocks.push_back(std::move(block));
         }
     }
     exe.bbAddrMap = std::move(func_maps);
+
+    // Binary identity: the linked text content plus the section layout.
+    // Any relink that moves or changes code — new compiler output, a
+    // different cluster assignment, even a pure reordering — produces a
+    // different identity, which is exactly when address-based profile
+    // mapping stops being sound.
+    {
+        uint64_t id = fnv1a(exe.text);
+        id = hashCombine(id, exe.textBase);
+        for (const auto &sym : exe.symbols) {
+            id = hashCombine(id, fnv1a(sym.name));
+            id = hashCombine(id, sym.start);
+            id = hashCombine(id, sym.end);
+        }
+        exe.identityHash = id;
+    }
 
     // Entry point.
     auto entry_it = sect_by_symbol.find(opts.entrySymbol);

@@ -15,6 +15,7 @@ AddrMapIndex::toRef(const Interval &iv)
     ref.blockStart = iv.start;
     ref.blockEnd = iv.end;
     ref.flags = iv.flags;
+    ref.hash = iv.hash;
     return ref;
 }
 
@@ -27,10 +28,15 @@ AddrMapIndex::AddrMapIndex(const linker::Executable &exe)
         if (inserted) {
             functionNames_.push_back(map.function);
             entryBlocks_.push_back(0);
+            functionHashes_.push_back(map.functionHash);
+            funcSuccs_.emplace_back();
         }
         for (const auto &block : map.blocks) {
             intervals_.push_back({block.address, block.address + block.size,
-                                  it->second, block.bbId, block.flags});
+                                  it->second, block.bbId, block.flags,
+                                  block.hash});
+            if (!block.succs.empty())
+                funcSuccs_[it->second].emplace(block.bbId, block.succs);
         }
     }
     // Stable sort: zero-size blocks (fall-through-only blocks whose
@@ -105,6 +111,25 @@ AddrMapIndex::blocksOf(uint32_t func_index) const
         blocks.push_back(ref);
     }
     return blocks;
+}
+
+int
+AddrMapIndex::findFunction(const std::string &name) const
+{
+    for (size_t i = 0; i < functionNames_.size(); ++i) {
+        if (functionNames_[i] == name)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+const std::vector<uint32_t> &
+AddrMapIndex::successors(uint32_t func_index, uint32_t bb_id) const
+{
+    static const std::vector<uint32_t> kEmpty;
+    const auto &succs = funcSuccs_[func_index];
+    auto it = succs.find(bb_id);
+    return it != succs.end() ? it->second : kEmpty;
 }
 
 std::optional<BlockRef>

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "linker/executable.h"
@@ -28,6 +29,9 @@ struct BlockRef
     uint64_t blockStart = 0;
     uint64_t blockEnd = 0;
     uint8_t flags = 0;
+
+    /** Stable block fingerprint (0 when the binary has v1 metadata). */
+    uint64_t hash = 0;
 
     /** Position in the global layout order (for next()). */
     uint32_t intervalIndex = 0;
@@ -58,6 +62,22 @@ class AddrMapIndex
         return functionNames_;
     }
 
+    /** Find a function index by name; -1 if the binary has no such map. */
+    int findFunction(const std::string &name) const;
+
+    /** Whole-function fingerprint (0 when the binary has v1 metadata). */
+    uint64_t functionHash(uint32_t func_index) const
+    {
+        return functionHashes_[func_index];
+    }
+
+    /**
+     * Static successor block ids of (function, block), from the v2
+     * address map; empty for v1 metadata or unknown blocks.
+     */
+    const std::vector<uint32_t> &successors(uint32_t func_index,
+                                            uint32_t bb_id) const;
+
     /** Entry block id of function @p func_index (lowest block address of
      *  the primary range is not necessarily the entry; this is the block
      *  at the function symbol address). */
@@ -84,6 +104,7 @@ class AddrMapIndex
         uint32_t funcIndex;
         uint32_t bbId;
         uint8_t flags;
+        uint64_t hash;
     };
 
     static BlockRef toRef(const Interval &iv);
@@ -91,8 +112,12 @@ class AddrMapIndex
     std::vector<Interval> intervals_; ///< Sorted by start address.
     std::vector<std::string> functionNames_;
     std::vector<uint32_t> entryBlocks_;
+    std::vector<uint64_t> functionHashes_;
     /** Per function: interval indices in address order. */
     std::vector<std::vector<uint32_t>> funcIntervals_;
+    /** Per function: block id -> static successor ids (v2 metadata). */
+    std::vector<std::unordered_map<uint32_t, std::vector<uint32_t>>>
+        funcSuccs_;
 };
 
 } // namespace propeller::core

@@ -32,6 +32,7 @@ struct DcfgNode
 enum class EdgeKind : uint8_t {
     Branch,      ///< Observed taken branch (LBR record).
     FallThrough, ///< Inferred from an LBR fall-through range.
+    Inferred,    ///< Reconstructed by stale-profile count inference.
 };
 
 /** A weighted intra-function control flow edge. */

@@ -10,6 +10,13 @@ runWholeProgramAnalysis(const linker::Executable &metadata_exe,
     WpaResult result;
     MemoryMeter local;
 
+    // Identity check: a profile collected on a different build must not be
+    // silently mis-mapped by address.  (Profiles without identity — e.g.
+    // hand-built in tests — are accepted as-is.)
+    result.stats.profileMismatch =
+        prof.binaryHash != 0 &&
+        prof.binaryHash != metadata_exe.identityHash;
+
     // Reading and decoding the raw profile (chunked reading could lower
     // this, as the paper notes in section 5.1).
     result.stats.profileBytes = prof.sizeInBytes();

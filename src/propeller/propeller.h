@@ -31,6 +31,14 @@ struct WpaStats
     uint32_t hotFunctions = 0;
     MapperStats mapper;
     ExtTspStats extTsp;
+
+    /**
+     * The profile's binary identity does not match the binary being
+     * analyzed: the samples were collected on a *different* build, and the
+     * address-based mapping this pass performed is unsound.  Callers must
+     * reject the result or re-run through the stale matcher (src/stale).
+     */
+    bool profileMismatch = false;
 };
 
 /** Phase 3 outputs. */

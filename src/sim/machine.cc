@@ -110,7 +110,10 @@ run(const linker::Executable &exe, const MachineOptions &opts)
     };
 
     LbrRing lbr;
-    result.profile.binaryHash = fnv1a(exe.text) ^ exe.textBase;
+    // Identity of the profiled binary (text content + section layout,
+    // computed by the linker); Phase 3 compares it against the binary it
+    // is optimizing to detect stale profiles.
+    result.profile.binaryHash = exe.identityHash;
     uint64_t next_sample = opts.lbrSamplePeriod;
     Rng sample_jitter(opts.seed ^ 0x5a5a5a5a5a5a5a5aull);
 

@@ -1,0 +1,289 @@
+#include "stale/stale.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <unordered_map>
+
+#include "propeller/addr_map_index.h"
+
+namespace propeller::stale {
+
+using core::BlockRef;
+using core::DcfgNode;
+using core::FunctionDcfg;
+
+namespace {
+
+/** Absolute distance between two block positions. */
+uint64_t
+dist(size_t a, size_t b)
+{
+    return a > b ? a - b : b - a;
+}
+
+/**
+ * Pick the unclaimed candidate position closest to @p desired; ties go to
+ * the lower position.  Returns -1 if every candidate is claimed.
+ */
+int
+pickNearest(const std::vector<uint32_t> &candidates,
+            const std::vector<char> &claimed, size_t desired)
+{
+    int best = -1;
+    uint64_t best_dist = 0;
+    for (uint32_t pos : candidates) {
+        if (claimed[pos])
+            continue;
+        uint64_t d = dist(pos, desired);
+        if (best < 0 || d < best_dist) {
+            best = static_cast<int>(pos);
+            best_dist = d;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+StaleMatchResult
+matchStaleProfile(const core::WholeProgramDcfg &profile_dcfg,
+                  const core::AddrMapIndex &profiled,
+                  const core::AddrMapIndex &target)
+{
+    StaleMatchResult out;
+    StaleMatchStats &stats = out.stats;
+
+    // Remap tables for the call edges below.
+    std::vector<int> fn_remap(profile_dcfg.functions.size(), -1);
+    std::vector<std::vector<int>> node_remap(profile_dcfg.functions.size());
+
+    for (size_t fi = 0; fi < profile_dcfg.functions.size(); ++fi) {
+        const FunctionDcfg &fn = profile_dcfg.functions[fi];
+        ++stats.functionsTotal;
+        stats.blocksTotal += fn.nodes.size();
+        for (const auto &node : fn.nodes)
+            stats.weightTotal += node.freq;
+
+        int t_idx = target.findFunction(fn.function);
+        if (t_idx < 0) {
+            // Function removed (or renamed) in the target build.
+            ++stats.functionsDropped;
+            stats.blocksDropped += fn.nodes.size();
+            stats.edgesDropped += fn.edges.size();
+            continue;
+        }
+        int a_idx = profiled.findFunction(fn.function);
+
+        // ---- Tier 1: whole-function hash match -------------------------
+        // The CFG and every instruction stream are unchanged; counts
+        // transfer by block id.  Copying the DCFG verbatim keeps the
+        // zero-drift pipeline byte-identical to the fresh-profile path.
+        uint64_t a_hash = a_idx >= 0 ? profiled.functionHash(a_idx) : 0;
+        if (a_hash != 0 && a_hash == target.functionHash(t_idx)) {
+            fn_remap[fi] = static_cast<int>(out.dcfg.functions.size());
+            node_remap[fi].resize(fn.nodes.size());
+            for (size_t ni = 0; ni < fn.nodes.size(); ++ni)
+                node_remap[fi][ni] = static_cast<int>(ni);
+            out.dcfg.functions.push_back(fn);
+            out.needsInference.push_back(0);
+            ++stats.functionsIdentical;
+            stats.blocksExact += fn.nodes.size();
+            for (const auto &node : fn.nodes)
+                stats.weightMatched += node.freq;
+            continue;
+        }
+
+        // ---- Block-level matching --------------------------------------
+        std::vector<BlockRef> b_blocks = target.blocksOf(t_idx);
+        std::vector<BlockRef> a_blocks;
+        if (a_idx >= 0)
+            a_blocks = profiled.blocksOf(a_idx);
+
+        std::unordered_map<uint32_t, size_t> a_pos;   // bbId -> position
+        std::unordered_map<uint32_t, uint64_t> a_hashes;
+        for (size_t p = 0; p < a_blocks.size(); ++p) {
+            a_pos.emplace(a_blocks[p].bbId, p);
+            a_hashes.emplace(a_blocks[p].bbId, a_blocks[p].hash);
+        }
+        std::unordered_map<uint64_t, std::vector<uint32_t>> by_hash_b;
+        for (size_t p = 0; p < b_blocks.size(); ++p) {
+            if (b_blocks[p].hash != 0)
+                by_hash_b[b_blocks[p].hash].push_back(
+                    static_cast<uint32_t>(p));
+        }
+
+        std::vector<char> claimed(b_blocks.size(), 0);
+        std::vector<int> matched_pos(fn.nodes.size(), -1);
+
+        // ---- Tier 2: exact block-hash match ----------------------------
+        // Candidates with several occurrences (duplicated blocks) resolve
+        // to the nearest position; positions are address order, which is
+        // layout order in the metadata binaries.
+        for (size_t ni = 0; ni < fn.nodes.size(); ++ni) {
+            const DcfgNode &node = fn.nodes[ni];
+            auto hit = a_hashes.find(node.bbId);
+            if (hit == a_hashes.end() || hit->second == 0)
+                continue;
+            auto cands = by_hash_b.find(hit->second);
+            if (cands == by_hash_b.end())
+                continue;
+            size_t pa = 0;
+            if (auto it = a_pos.find(node.bbId); it != a_pos.end())
+                pa = it->second;
+            int pick = pickNearest(cands->second, claimed, pa);
+            if (pick >= 0) {
+                claimed[pick] = 1;
+                matched_pos[ni] = pick;
+                ++stats.blocksExact;
+            }
+        }
+
+        // Anchors: (position in A, position in B) of exact matches.
+        std::vector<std::pair<size_t, size_t>> anchors;
+        for (size_t ni = 0; ni < fn.nodes.size(); ++ni) {
+            if (matched_pos[ni] < 0)
+                continue;
+            auto it = a_pos.find(fn.nodes[ni].bbId);
+            if (it != a_pos.end())
+                anchors.emplace_back(it->second,
+                                     static_cast<size_t>(matched_pos[ni]));
+        }
+        std::sort(anchors.begin(), anchors.end());
+
+        // ---- Tier 3: anchor-based nearest matching ---------------------
+        // An edited block keeps its place between the unchanged blocks
+        // around it: take the nearest anchors below and above the block's
+        // old position, map its offset from the lower anchor into the
+        // corresponding window of the target, and claim the nearest
+        // unclaimed block there.
+        for (size_t ni = 0; ni < fn.nodes.size(); ++ni) {
+            if (matched_pos[ni] >= 0 || b_blocks.empty())
+                continue;
+            size_t pa = 0;
+            if (auto it = a_pos.find(fn.nodes[ni].bbId); it != a_pos.end())
+                pa = it->second;
+
+            size_t lo = 0, hi = b_blocks.size() - 1;
+            size_t desired = pa;
+            auto above = std::upper_bound(
+                anchors.begin(), anchors.end(),
+                std::make_pair(pa, std::numeric_limits<size_t>::max()));
+            if (above != anchors.begin()) {
+                auto below = std::prev(above);
+                lo = below->second; // window is exclusive of the anchor
+                desired = below->second + (pa - below->first);
+            }
+            if (above != anchors.end() && above->second > 0)
+                hi = above->second - 1;
+            if (lo > hi) {
+                ++stats.blocksDropped;
+                continue;
+            }
+            desired = std::clamp(desired, lo, hi);
+
+            int best = -1;
+            uint64_t best_dist = 0;
+            for (size_t p = lo; p <= hi; ++p) {
+                if (claimed[p])
+                    continue;
+                uint64_t d = dist(p, desired);
+                if (best < 0 || d < best_dist) {
+                    best = static_cast<int>(p);
+                    best_dist = d;
+                }
+            }
+            if (best < 0) {
+                ++stats.blocksDropped;
+                continue;
+            }
+            claimed[best] = 1;
+            matched_pos[ni] = best;
+            ++stats.blocksAnchor;
+        }
+
+        // ---- Build the function's matched DCFG -------------------------
+        FunctionDcfg nf;
+        nf.function = fn.function;
+        std::vector<int> remap(fn.nodes.size(), -1);
+        for (size_t ni = 0; ni < fn.nodes.size(); ++ni) {
+            if (matched_pos[ni] < 0)
+                continue;
+            const BlockRef &b = b_blocks[matched_pos[ni]];
+            remap[ni] = static_cast<int>(nf.nodes.size());
+            DcfgNode node;
+            node.bbId = b.bbId;
+            node.size = static_cast<uint32_t>(b.blockEnd - b.blockStart);
+            node.freq = fn.nodes[ni].freq;
+            node.flags = b.flags;
+            nf.nodes.push_back(node);
+            stats.weightMatched += node.freq;
+        }
+        if (nf.nodes.empty()) {
+            // Matched the function but none of its profiled blocks: treat
+            // the function as lost rather than emit an empty DCFG.
+            ++stats.functionsDropped;
+            stats.edgesDropped += fn.edges.size();
+            continue;
+        }
+        for (const auto &edge : fn.edges) {
+            int a = remap[edge.fromNode];
+            int b = remap[edge.toNode];
+            if (a < 0 || b < 0) {
+                ++stats.edgesDropped;
+                continue;
+            }
+            nf.edges.push_back({static_cast<uint32_t>(a),
+                                static_cast<uint32_t>(b), edge.weight,
+                                edge.kind});
+        }
+
+        // The entry node is the target's entry block; insert it with zero
+        // frequency if no profiled block mapped onto it (the layout pass
+        // anchors the primary cluster there).
+        uint32_t entry_bb = target.entryBlock(t_idx);
+        int entry_node = -1;
+        for (size_t ni = 0; ni < nf.nodes.size(); ++ni) {
+            if (nf.nodes[ni].bbId == entry_bb) {
+                entry_node = static_cast<int>(ni);
+                break;
+            }
+        }
+        if (entry_node < 0) {
+            entry_node = static_cast<int>(nf.nodes.size());
+            DcfgNode node;
+            node.bbId = entry_bb;
+            if (auto b = target.block(t_idx, entry_bb)) {
+                node.size =
+                    static_cast<uint32_t>(b->blockEnd - b->blockStart);
+                node.flags = b->flags;
+            }
+            nf.nodes.push_back(node);
+        }
+        nf.entryNode = static_cast<uint32_t>(entry_node);
+
+        fn_remap[fi] = static_cast<int>(out.dcfg.functions.size());
+        node_remap[fi] = std::move(remap);
+        out.dcfg.functions.push_back(std::move(nf));
+        out.needsInference.push_back(1);
+        ++stats.functionsMatched;
+    }
+
+    // ---- Call edges -----------------------------------------------------
+    for (const auto &ce : profile_dcfg.callEdges) {
+        int caller = fn_remap[ce.callerDcfg];
+        int callee = fn_remap[ce.calleeDcfg];
+        if (caller < 0 || callee < 0)
+            continue;
+        int caller_node = node_remap[ce.callerDcfg][ce.callerNode];
+        if (caller_node < 0)
+            continue;
+        out.dcfg.callEdges.push_back({static_cast<uint32_t>(caller),
+                                      static_cast<uint32_t>(caller_node),
+                                      static_cast<uint32_t>(callee),
+                                      ce.weight});
+    }
+    return out;
+}
+
+} // namespace propeller::stale

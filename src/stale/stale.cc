@@ -1,0 +1,55 @@
+#include "stale/stale.h"
+
+#include "propeller/addr_map_index.h"
+
+namespace propeller::stale {
+
+StaleWpaResult
+runStaleWholeProgramAnalysis(const linker::Executable &target,
+                             const linker::Executable &profiled,
+                             const profile::Profile &prof,
+                             const core::LayoutOptions &opts)
+{
+    StaleWpaResult result;
+    core::WpaResult &wpa = result.wpa;
+
+    // The profile must at least belong to the binary it claims to have
+    // been collected on; the whole point of this pipeline is that it need
+    // not match the *target*.
+    wpa.stats.profileMismatch =
+        prof.binaryHash != 0 && prof.binaryHash != profiled.identityHash;
+
+    wpa.stats.profileBytes = prof.sizeInBytes();
+
+    profile::AggregationOptions agg_opts;
+    agg_opts.threads = opts.threads;
+    profile::AggregatedProfile agg = profile::aggregate(prof, agg_opts);
+
+    // Two indexes: addresses in the profile decode against the *profiled*
+    // binary; matching and layout run against the *target* binary.
+    core::AddrMapIndex profiled_index(profiled);
+    core::AddrMapIndex target_index(target);
+    wpa.stats.indexFootprint =
+        profiled_index.footprint() + target_index.footprint();
+
+    core::WholeProgramDcfg stale_dcfg =
+        buildDcfg(agg, profiled_index, &wpa.stats.mapper, opts.threads);
+
+    StaleMatchResult match =
+        matchStaleProfile(stale_dcfg, profiled_index, target_index);
+    result.match = match.stats;
+    result.inference = inferStaleCounts(match, target_index);
+
+    wpa.stats.dcfgFootprint = match.dcfg.footprint();
+
+    core::LayoutResult layout =
+        computeLayout(match.dcfg, target_index, opts);
+    wpa.ccProf = std::move(layout.ccProf);
+    wpa.ldProf = std::move(layout.ldProf);
+    wpa.hotFunctions = std::move(layout.hotFunctions);
+    wpa.stats.extTsp = layout.extTspStats;
+    wpa.stats.hotFunctions = static_cast<uint32_t>(wpa.hotFunctions.size());
+    return result;
+}
+
+} // namespace propeller::stale

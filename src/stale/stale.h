@@ -1,0 +1,150 @@
+#ifndef PROPELLER_STALE_STALE_H
+#define PROPELLER_STALE_STALE_H
+
+/**
+ * @file
+ * Stale-profile tolerance (the warehouse-scale release cycle, paper
+ * section 2.2): a profile collected on last week's production binary *A*
+ * is applied to this week's build *B*.
+ *
+ * The pipeline has three stages:
+ *
+ *  1. **Matching** (matcher.cc): the DCFG built on binary A is mapped
+ *     function-by-function onto binary B's BB address map using the
+ *     stable fingerprints of codegen/fingerprint.h — exact match on the
+ *     function hash (whole CFG unchanged: counts transfer by block id),
+ *     then per-block exact hash match, then anchor-based nearest matching
+ *     for edited blocks (exact-hash matches act as anchors; an edited
+ *     block maps to the nearest unclaimed block at the corresponding
+ *     relative position).
+ *
+ *  2. **Inference** (inference.cc): a flow-propagation pass fills in
+ *     counts for blocks binary B added: profile edges whose endpoints are
+ *     no longer statically adjacent are rerouted along unprofiled static
+ *     paths, and residual flow imbalance at matched blocks is pushed into
+ *     unmatched successors.  Flow conservation at matched blocks never
+ *     degrades.
+ *
+ *  3. **Layout**: the completed DCFG feeds the ordinary Ext-TSP layout
+ *     pass against binary B's address map.
+ *
+ * At zero drift (A == B) the matcher reduces to an identity copy and the
+ * whole pipeline is byte-identical to the fresh-profile path.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "linker/executable.h"
+#include "profile/profile.h"
+#include "propeller/propeller.h"
+
+namespace propeller::stale {
+
+/** Match-rate statistics of one matching pass. */
+struct StaleMatchStats
+{
+    uint32_t functionsTotal = 0;     ///< Sampled functions in the profile.
+    uint32_t functionsIdentical = 0; ///< Function-hash exact matches.
+    uint32_t functionsMatched = 0;   ///< Matched with block-level work.
+    uint32_t functionsDropped = 0;   ///< No such function in the target.
+
+    uint64_t blocksTotal = 0;   ///< Sampled blocks seen.
+    uint64_t blocksExact = 0;   ///< Matched by exact block hash.
+    uint64_t blocksAnchor = 0;  ///< Matched by anchor-based position.
+    uint64_t blocksDropped = 0; ///< No plausible target block.
+
+    uint64_t weightTotal = 0;   ///< Sampled events seen.
+    uint64_t weightMatched = 0; ///< Events landing on a matched block.
+
+    uint64_t edgesDropped = 0; ///< Edges losing an endpoint.
+
+    double
+    blockMatchRate() const
+    {
+        return blocksTotal == 0
+                   ? 1.0
+                   : static_cast<double>(blocksExact + blocksAnchor) /
+                         static_cast<double>(blocksTotal);
+    }
+
+    double
+    weightMatchRate() const
+    {
+        return weightTotal == 0
+                   ? 1.0
+                   : static_cast<double>(weightMatched) /
+                         static_cast<double>(weightTotal);
+    }
+};
+
+/** Outcome of matching a stale DCFG onto a target binary. */
+struct StaleMatchResult
+{
+    /** The matched DCFG, in the target binary's block id space. */
+    core::WholeProgramDcfg dcfg;
+
+    StaleMatchStats stats;
+
+    /**
+     * Parallel to dcfg.functions: 1 where the function was *not* a
+     * function-hash exact match and count inference should run.  (Keeping
+     * inference away from identical functions is what makes the zero-drift
+     * path byte-identical to the fresh pipeline.)
+     */
+    std::vector<uint8_t> needsInference;
+};
+
+/**
+ * Map @p profile_dcfg (built against @p profiled, binary A) onto
+ * @p target (binary B).  Deterministic; functions and blocks that cannot
+ * be matched are dropped and reported in the stats.
+ */
+StaleMatchResult matchStaleProfile(const core::WholeProgramDcfg &profile_dcfg,
+                                   const core::AddrMapIndex &profiled,
+                                   const core::AddrMapIndex &target);
+
+/** Statistics of one count-inference pass. */
+struct InferenceStats
+{
+    uint32_t functionsInferred = 0;
+    uint64_t nodesAdded = 0;     ///< Blocks given counts by inference.
+    uint64_t edgesRerouted = 0;  ///< Profile edges rerouted statically.
+    uint64_t edgesAdded = 0;     ///< New edges carrying inferred flow.
+    uint64_t weightPushed = 0;   ///< Flow routed through unmatched blocks.
+};
+
+/**
+ * Fill in counts for unmatched blocks of every function flagged in
+ * @p match (in place).  Uses the static successor lists of @p target's
+ * v2 address map.  Flow conservation at matched blocks never degrades:
+ * |freq - inflow| and |freq - outflow| are non-increasing per node.
+ */
+InferenceStats inferStaleCounts(StaleMatchResult &match,
+                                const core::AddrMapIndex &target);
+
+/** Outputs of the stale whole-program analysis. */
+struct StaleWpaResult
+{
+    core::WpaResult wpa;
+    StaleMatchStats match;
+    InferenceStats inference;
+};
+
+/**
+ * Phase 3 for a stale profile: aggregate @p prof (collected on
+ * @p profiled), match it onto @p target, infer missing counts and run the
+ * ordinary layout pass against @p target's address map.
+ *
+ * With @p target == @p profiled (same build) the result is byte-identical
+ * to runWholeProgramAnalysis().
+ */
+StaleWpaResult
+runStaleWholeProgramAnalysis(const linker::Executable &target,
+                             const linker::Executable &profiled,
+                             const profile::Profile &prof,
+                             const core::LayoutOptions &opts = {});
+
+} // namespace propeller::stale
+
+#endif // PROPELLER_STALE_STALE_H

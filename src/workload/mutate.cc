@@ -1,0 +1,283 @@
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/rng.h"
+#include "workload/workload.h"
+
+namespace propeller::workload {
+
+using ir::BasicBlock;
+using ir::Function;
+using ir::Inst;
+using ir::InstKind;
+using ir::Program;
+
+namespace {
+
+uint32_t
+maxBlockId(const Function &fn)
+{
+    uint32_t max_id = 0;
+    for (const auto &bb : fn.blocks)
+        max_id = std::max(max_id, bb->id);
+    return max_id;
+}
+
+size_t
+blockIndex(const Function &fn, uint32_t id)
+{
+    for (size_t i = 0; i < fn.blocks.size(); ++i) {
+        if (fn.blocks[i]->id == id)
+            return i;
+    }
+    return fn.blocks.size();
+}
+
+/** Edit a body instruction in place (changes the block's fingerprint). */
+bool
+editBlock(BasicBlock &bb, Rng &rng)
+{
+    std::vector<size_t> body;
+    for (size_t i = 0; i < bb.insts.size(); ++i) {
+        InstKind k = bb.insts[i].kind;
+        if (k == InstKind::Work || k == InstKind::WorkWide ||
+            k == InstKind::Load || k == InstKind::Store)
+            body.push_back(i);
+    }
+    if (body.empty()) {
+        bb.insts.insert(bb.insts.begin(),
+                        ir::makeWork(static_cast<uint8_t>(rng.below(16)),
+                                     static_cast<uint32_t>(rng.next())));
+        return true;
+    }
+    Inst &inst = bb.insts[body[rng.below(body.size())]];
+    inst.imm ^= static_cast<uint32_t>(rng.next()) | 1u;
+    return true;
+}
+
+/** Split a block: tail instructions move into a new fall-through block. */
+bool
+splitBlock(Function &fn, size_t idx, Rng &rng)
+{
+    BasicBlock &bb = *fn.blocks[idx];
+    if (bb.insts.size() < 2)
+        return false;
+    uint32_t new_id = maxBlockId(fn) + 1;
+    size_t cut = 1 + rng.below(bb.insts.size() - 1);
+
+    auto tail = std::make_unique<BasicBlock>();
+    tail->id = new_id;
+    tail->insts.assign(bb.insts.begin() + cut, bb.insts.end());
+    bb.insts.erase(bb.insts.begin() + cut, bb.insts.end());
+    bb.insts.push_back(ir::makeBr(new_id));
+    fn.blocks.insert(fn.blocks.begin() + idx + 1, std::move(tail));
+    return true;
+}
+
+/** Insert a fresh block on one of the block's outgoing edges. */
+bool
+insertBlock(Function &fn, size_t idx, Rng &rng)
+{
+    BasicBlock &bb = *fn.blocks[idx];
+    Inst &term = bb.insts.back();
+    uint32_t *slot = nullptr;
+    if (term.kind == InstKind::Br)
+        slot = &term.target;
+    else if (term.kind == InstKind::CondBr)
+        slot = rng.chance(0.5) ? &term.trueTarget : &term.falseTarget;
+    else
+        return false; // Ret: no outgoing edge to stretch.
+
+    uint32_t new_id = maxBlockId(fn) + 1;
+    auto mid = std::make_unique<BasicBlock>();
+    mid->id = new_id;
+    mid->insts.push_back(ir::makeWork(static_cast<uint8_t>(rng.below(16)),
+                                      static_cast<uint32_t>(rng.next())));
+    mid->insts.push_back(ir::makeBr(*slot));
+    *slot = new_id;
+    fn.blocks.insert(fn.blocks.begin() + idx + 1, std::move(mid));
+    return true;
+}
+
+/**
+ * Delete a block and route its predecessors straight to its successor.
+ * Restricted to non-entry blocks ending in an unconditional branch, so no
+ * conditional branch (and its branchId) is lost and no new cycle can form
+ * that the original program did not already contain.
+ */
+bool
+deleteBlock(Function &fn, size_t idx)
+{
+    if (idx == 0 || fn.blocks.size() < 2)
+        return false;
+    BasicBlock &bb = *fn.blocks[idx];
+    const Inst &term = bb.insts.back();
+    if (term.kind != InstKind::Br || term.target == bb.id)
+        return false;
+    uint32_t dead = bb.id;
+    uint32_t succ = term.target;
+
+    for (auto &other : fn.blocks) {
+        if (other->id == dead)
+            continue;
+        Inst &t = other->insts.back();
+        if (t.kind == InstKind::Br && t.target == dead) {
+            t.target = succ;
+        } else if (t.kind == InstKind::CondBr) {
+            if (t.trueTarget == dead)
+                t.trueTarget = succ;
+            if (t.falseTarget == dead)
+                t.falseTarget = succ;
+            if (t.trueTarget == t.falseTarget)
+                t = ir::makeBr(t.trueTarget);
+        }
+    }
+    fn.blocks.erase(fn.blocks.begin() + idx);
+    return true;
+}
+
+/** A tiny two-block function standing in for newly written code. */
+std::unique_ptr<Function>
+makeDriftFunction(const std::string &name, Rng &rng)
+{
+    auto fn = std::make_unique<Function>();
+    fn->name = name;
+    auto b0 = std::make_unique<BasicBlock>();
+    b0->id = 0;
+    b0->insts.push_back(ir::makeWork(static_cast<uint8_t>(rng.below(16)),
+                                     static_cast<uint32_t>(rng.next())));
+    b0->insts.push_back(ir::makeBr(1));
+    auto b1 = std::make_unique<BasicBlock>();
+    b1->id = 1;
+    b1->insts.push_back(ir::makeWork(static_cast<uint8_t>(rng.below(16)),
+                                     static_cast<uint32_t>(rng.next())));
+    b1->insts.push_back(ir::makeRet());
+    fn->blocks.push_back(std::move(b0));
+    fn->blocks.push_back(std::move(b1));
+    return fn;
+}
+
+bool
+eligible(const Program &program, const Function &fn)
+{
+    return !fn.isHandAsm && fn.name != program.entryFunction;
+}
+
+} // namespace
+
+DriftStats
+applyDrift(Program &program, const DriftSpec &spec)
+{
+    DriftStats stats;
+    if (spec.rate <= 0.0)
+        return stats;
+    Rng rng(mix64(spec.seed, 0xd41f'7541'1e5dull));
+
+    // ---- Block-level drift -------------------------------------------
+    for (auto &module : program.modules) {
+        for (auto &fn : module->functions) {
+            if (!eligible(program, *fn))
+                continue;
+            // Snapshot the ids: ops below add and remove blocks.
+            std::vector<uint32_t> ids;
+            for (const auto &bb : fn->blocks)
+                ids.push_back(bb->id);
+            for (uint32_t id : ids) {
+                if (!rng.chance(spec.rate))
+                    continue;
+                size_t idx = blockIndex(*fn, id);
+                if (idx >= fn->blocks.size())
+                    continue; // Deleted by an earlier op.
+                switch (rng.below(4)) {
+                case 0:
+                    if (editBlock(*fn->blocks[idx], rng))
+                        ++stats.blocksEdited;
+                    break;
+                case 1:
+                    if (splitBlock(*fn, idx, rng))
+                        ++stats.blocksSplit;
+                    break;
+                case 2:
+                    if (insertBlock(*fn, idx, rng))
+                        ++stats.blocksInserted;
+                    break;
+                default:
+                    if (deleteBlock(*fn, idx))
+                        ++stats.blocksDeleted;
+                    break;
+                }
+            }
+        }
+    }
+
+    // ---- New functions -----------------------------------------------
+    uint32_t to_add = static_cast<uint32_t>(spec.rate * 20.0 + 1e-9);
+    for (uint32_t k = 0; k < to_add; ++k) {
+        std::string name;
+        do {
+            name = "drift_fn_" + std::to_string(rng.below(1u << 20));
+        } while (program.findFunction(name));
+        auto &module = program.modules[rng.below(program.modules.size())];
+        module->functions.push_back(makeDriftFunction(name, rng));
+        ++stats.functionsAdded;
+
+        // Give the new code a caller so it is reachable (and may get hot).
+        auto &caller_mod = program.modules[rng.below(program.modules.size())];
+        std::vector<Function *> callers;
+        for (auto &fn : caller_mod->functions) {
+            if (!fn->isHandAsm && fn->name != name)
+                callers.push_back(fn.get());
+        }
+        if (!callers.empty()) {
+            Function &caller = *callers[rng.below(callers.size())];
+            BasicBlock &bb = *caller.blocks[rng.below(caller.blocks.size())];
+            bb.insts.insert(bb.insts.end() - 1, ir::makeCall(name));
+        }
+    }
+
+    // ---- Removed functions -------------------------------------------
+    uint32_t to_remove = static_cast<uint32_t>(spec.rate * 10.0 + 1e-9);
+    for (uint32_t k = 0; k < to_remove; ++k) {
+        // Candidates: ordinary functions in multi-function modules.
+        std::vector<std::pair<size_t, size_t>> candidates;
+        for (size_t m = 0; m < program.modules.size(); ++m) {
+            auto &module = *program.modules[m];
+            if (module.functions.size() < 2)
+                continue;
+            for (size_t f = 0; f < module.functions.size(); ++f) {
+                const Function &fn = *module.functions[f];
+                if (eligible(program, fn) &&
+                    fn.name.rfind("drift_fn_", 0) != 0)
+                    candidates.emplace_back(m, f);
+            }
+        }
+        if (candidates.empty())
+            break;
+        auto [m, f] = candidates[rng.below(candidates.size())];
+        std::string name = program.modules[m]->functions[f]->name;
+
+        // Strip every call site, then the function itself.
+        for (auto &module : program.modules) {
+            for (auto &fn : module->functions) {
+                for (auto &bb : fn->blocks) {
+                    bb->insts.erase(
+                        std::remove_if(bb->insts.begin(), bb->insts.end(),
+                                       [&](const Inst &inst) {
+                                           return inst.kind ==
+                                                      InstKind::Call &&
+                                                  inst.callee == name;
+                                       }),
+                        bb->insts.end());
+                }
+            }
+        }
+        program.modules[m]->functions.erase(
+            program.modules[m]->functions.begin() + f);
+        ++stats.functionsRemoved;
+    }
+    return stats;
+}
+
+} // namespace propeller::workload

@@ -133,6 +133,54 @@ sim::MachineOptions evalOptions(const WorkloadConfig &config);
 /** Machine options for profiling runs of @p config. */
 sim::MachineOptions profileOptions(const WorkloadConfig &config);
 
+// ---------------------------------------------------------------------------
+// Synthetic binary drift (paper section 2.2).
+//
+// In the warehouse-scale release cycle the profile feeding Propeller was
+// collected on *last week's* binary.  applyDrift edits a generated program
+// the way a week of development would: blocks are split, inserted, deleted
+// and edited, functions appear and disappear — while the program stays
+// verifier-clean and runnable.  src/stale is evaluated by profiling the
+// original program and optimizing the drifted one.
+
+/** Parameters of one synthetic drift episode. */
+struct DriftSpec
+{
+    uint64_t seed = 1;
+
+    /**
+     * Drift rate in [0, 1]: the probability that any one basic block is
+     * mutated; function additions/removals scale with it.  0 leaves the
+     * program untouched.
+     */
+    double rate = 0.0;
+};
+
+/** What a drift episode actually changed. */
+struct DriftStats
+{
+    uint32_t blocksSplit = 0;
+    uint32_t blocksInserted = 0;  ///< New blocks placed on existing edges.
+    uint32_t blocksDeleted = 0;
+    uint32_t blocksEdited = 0;    ///< Instruction-level edits in place.
+    uint32_t functionsAdded = 0;
+    uint32_t functionsRemoved = 0;
+
+    uint32_t
+    total() const
+    {
+        return blocksSplit + blocksInserted + blocksDeleted + blocksEdited +
+               functionsAdded + functionsRemoved;
+    }
+};
+
+/**
+ * Mutate @p program in place at the given drift rate (deterministic in the
+ * spec).  The result always passes ir::verify; the entry function and
+ * hand-written assembly are left untouched.
+ */
+DriftStats applyDrift(ir::Program &program, const DriftSpec &spec);
+
 } // namespace propeller::workload
 
 #endif // PROPELLER_WORKLOAD_WORKLOAD_H

@@ -213,6 +213,92 @@ TEST(BbAddrMap, MalformedInputRejected)
     EXPECT_FALSE(ok) << "trailing bytes must be rejected";
 }
 
+std::vector<FunctionAddrMap>
+mapsWithStaleMetadata()
+{
+    std::vector<FunctionAddrMap> maps(1);
+    maps[0].functionName = "f";
+    maps[0].functionHash = 0xfeedface12345678ull;
+    BbRange range;
+    range.sectionSymbol = "f";
+    range.blocks = {{0, 0, 8, kBbFallThrough}, {3, 8, 13, kBbReturns}};
+    range.blocks[0].hash = 0xabcdef01ull;
+    range.blocks[0].succs = {3};
+    range.blocks[1].hash = 0x1234ull;
+    maps[0].ranges.push_back(range);
+    return maps;
+}
+
+TEST(BbAddrMap, V2RoundtripPreservesStaleMetadata)
+{
+    std::vector<FunctionAddrMap> maps = mapsWithStaleMetadata();
+    bool ok = false;
+    auto decoded =
+        decodeAddrMaps(encodeAddrMaps(maps, AddrMapVersion::V2), &ok);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(decoded, maps);
+    EXPECT_EQ(decoded[0].functionHash, 0xfeedface12345678ull);
+    EXPECT_EQ(decoded[0].ranges[0].blocks[0].succs,
+              std::vector<uint32_t>{3});
+}
+
+TEST(BbAddrMap, V1RoundtripDropsStaleMetadata)
+{
+    std::vector<FunctionAddrMap> maps = mapsWithStaleMetadata();
+    std::vector<uint8_t> bytes = encodeAddrMaps(maps, AddrMapVersion::V1);
+    // v1 blobs are not allowed to start with the v2 escape byte.
+    ASSERT_FALSE(bytes.empty());
+    EXPECT_NE(bytes[0], 0u);
+
+    bool ok = false;
+    auto decoded = decodeAddrMaps(bytes, &ok);
+    EXPECT_TRUE(ok);
+
+    std::vector<FunctionAddrMap> stripped = maps;
+    stripped[0].functionHash = 0;
+    for (auto &range : stripped[0].ranges) {
+        for (auto &block : range.blocks) {
+            block.hash = 0;
+            block.succs.clear();
+        }
+    }
+    EXPECT_EQ(decoded, stripped);
+}
+
+TEST(BbAddrMap, EmptyMapsRoundtripInBothVersions)
+{
+    for (auto version : {AddrMapVersion::V1, AddrMapVersion::V2}) {
+        bool ok = false;
+        auto decoded = decodeAddrMaps(encodeAddrMaps({}, version), &ok);
+        EXPECT_TRUE(ok);
+        EXPECT_TRUE(decoded.empty());
+    }
+}
+
+TEST(BbAddrMap, UnknownVersionRejected)
+{
+    std::vector<uint8_t> bytes;
+    bytes.push_back(0x00); // v2 escape
+    encodeUleb128(3, bytes); // version from the future
+    encodeUleb128(0, bytes); // features
+    encodeUleb128(0, bytes); // function count
+    bool ok = true;
+    decodeAddrMaps(bytes, &ok);
+    EXPECT_FALSE(ok) << "unknown versions must be a decode error";
+}
+
+TEST(BbAddrMap, UnknownFeatureBitsRejected)
+{
+    std::vector<uint8_t> bytes;
+    bytes.push_back(0x00);
+    encodeUleb128(2, bytes);
+    encodeUleb128(kAddrMapKnownFeatures | 0x8, bytes);
+    encodeUleb128(0, bytes);
+    bool ok = true;
+    decodeAddrMaps(bytes, &ok);
+    EXPECT_FALSE(ok) << "unknown feature bits must be a decode error";
+}
+
 ObjectFile
 sampleObject()
 {

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Tests for stale-profile tolerance (src/stale): the drift mutation
+ * generator, the fingerprint matcher, count inference and the end-to-end
+ * identity property at zero drift.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "codegen/codegen.h"
+#include "ir/verifier.h"
+#include "linker/linker.h"
+#include "profile/profile.h"
+#include "propeller/addr_map_index.h"
+#include "propeller/profile_mapper.h"
+#include "propeller/propeller.h"
+#include "sim/machine.h"
+#include "stale/stale.h"
+#include "test_util.h"
+#include "workload/workload.h"
+
+namespace propeller {
+namespace {
+
+linker::Executable
+buildMetadata(const ir::Program &program)
+{
+    codegen::Options copts;
+    copts.emitAddrMapSection = true;
+    linker::Options lopts;
+    lopts.entrySymbol = program.entryFunction;
+    return linker::link(codegen::compileProgram(program, copts), lopts);
+}
+
+profile::Profile
+profileOf(const linker::Executable &exe,
+          const workload::WorkloadConfig &cfg)
+{
+    return sim::run(exe, workload::profileOptions(cfg)).profile;
+}
+
+/** A very small workload for the many-seed sweeps. */
+workload::WorkloadConfig
+microConfig()
+{
+    workload::WorkloadConfig cfg;
+    cfg.name = "microapp";
+    cfg.seed = 7;
+    cfg.modules = 4;
+    cfg.functions = 24;
+    cfg.hotFunctions = 8;
+    cfg.minBlocks = 3;
+    cfg.maxBlocks = 14;
+    cfg.evalInstructions = 200'000;
+    cfg.profileInstructions = 200'000;
+    cfg.sampleLbrPeriod = 1'000;
+    return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// The drift mutation generator.
+
+TEST(DriftMutator, ZeroRateIsIdentity)
+{
+    ir::Program program = workload::generate(test::smallConfig());
+    workload::DriftStats stats = workload::applyDrift(program, {1, 0.0});
+    EXPECT_EQ(stats.total(), 0u);
+}
+
+TEST(DriftMutator, MutatedProgramsStayVerifierClean)
+{
+    workload::WorkloadConfig cfg = test::smallConfig();
+    for (uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+        for (double rate : {0.05, 0.25, 0.5}) {
+            ir::Program program = workload::generate(cfg);
+            workload::DriftStats stats =
+                workload::applyDrift(program, {seed, rate});
+            EXPECT_GT(stats.total(), 0u);
+            std::vector<std::string> errors = ir::verify(program);
+            EXPECT_TRUE(errors.empty())
+                << "seed " << seed << " rate " << rate << ": "
+                << (errors.empty() ? "" : errors.front());
+        }
+    }
+}
+
+TEST(DriftMutator, DeterministicInTheSpec)
+{
+    workload::WorkloadConfig cfg = test::smallConfig();
+    ir::Program a = workload::generate(cfg);
+    ir::Program b = workload::generate(cfg);
+    workload::applyDrift(a, {9, 0.25});
+    workload::applyDrift(b, {9, 0.25});
+    EXPECT_EQ(buildMetadata(a).identityHash, buildMetadata(b).identityHash);
+}
+
+TEST(DriftMutator, DriftedProgramsStillRunAndProfile)
+{
+    workload::WorkloadConfig cfg = test::smallConfig();
+    ir::Program program = workload::generate(cfg);
+    workload::applyDrift(program, {3, 0.25});
+    ASSERT_TRUE(ir::verify(program).empty());
+    linker::Executable exe = buildMetadata(program);
+    sim::RunResult run = sim::run(exe, workload::profileOptions(cfg));
+    EXPECT_TRUE(run.startupOk);
+    EXPECT_FALSE(run.profile.samples.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Binary identity.
+
+TEST(BinaryIdentity, DriftChangesIdentityAndFlagsMismatch)
+{
+    workload::WorkloadConfig cfg = test::smallConfig();
+    ir::Program pristine = workload::generate(cfg);
+    ir::Program drifted = workload::generate(cfg);
+    workload::applyDrift(drifted, {11, 0.10});
+
+    linker::Executable exe_a = buildMetadata(pristine);
+    linker::Executable exe_b = buildMetadata(drifted);
+    EXPECT_NE(exe_a.identityHash, exe_b.identityHash);
+
+    profile::Profile prof = profileOf(exe_a, cfg);
+    EXPECT_EQ(prof.binaryHash, exe_a.identityHash);
+
+    // Fresh WPA flags the cross-build application, not the same-build one.
+    EXPECT_FALSE(
+        core::runWholeProgramAnalysis(exe_a, prof).stats.profileMismatch);
+    EXPECT_TRUE(
+        core::runWholeProgramAnalysis(exe_b, prof).stats.profileMismatch);
+
+    // The stale pipeline accepts it: the profile matches the binary it
+    // was *collected* on.
+    stale::StaleWpaResult swr =
+        stale::runStaleWholeProgramAnalysis(exe_b, exe_a, prof);
+    EXPECT_FALSE(swr.wpa.stats.profileMismatch);
+}
+
+// ---------------------------------------------------------------------------
+// The identity-drift property: at zero drift the stale pipeline is the
+// fresh pipeline, byte for byte.
+
+TEST(StaleMatcher, ZeroDriftIsPerfectAndByteIdentical)
+{
+    workload::WorkloadConfig cfg = test::smallConfig();
+    linker::Executable exe = buildMetadata(workload::generate(cfg));
+    profile::Profile prof = profileOf(exe, cfg);
+
+    core::WpaResult fresh = core::runWholeProgramAnalysis(exe, prof);
+    stale::StaleWpaResult swr =
+        stale::runStaleWholeProgramAnalysis(exe, exe, prof);
+
+    EXPECT_EQ(swr.match.functionsIdentical, swr.match.functionsTotal);
+    EXPECT_EQ(swr.match.functionsDropped, 0u);
+    EXPECT_EQ(swr.match.blocksDropped, 0u);
+    EXPECT_DOUBLE_EQ(swr.match.blockMatchRate(), 1.0);
+    EXPECT_DOUBLE_EQ(swr.match.weightMatchRate(), 1.0);
+    EXPECT_EQ(swr.inference.functionsInferred, 0u);
+
+    EXPECT_EQ(swr.wpa.ccProf.serialize(), fresh.ccProf.serialize());
+    EXPECT_EQ(swr.wpa.ldProf.serialize(), fresh.ldProf.serialize());
+}
+
+// ---------------------------------------------------------------------------
+// Count inference.
+
+TEST(StaleInference, FlowConservationNeverDegradesAtMatchedBlocks)
+{
+    workload::WorkloadConfig cfg = test::smallConfig();
+    linker::Executable exe_a = buildMetadata(workload::generate(cfg));
+    ir::Program drifted = workload::generate(cfg);
+    workload::applyDrift(drifted, {13, 0.25});
+    linker::Executable exe_b = buildMetadata(drifted);
+
+    profile::Profile prof = profileOf(exe_a, cfg);
+    core::AddrMapIndex index_a(exe_a);
+    core::AddrMapIndex index_b(exe_b);
+    core::WholeProgramDcfg dcfg =
+        core::buildDcfg(profile::aggregate(prof), index_a);
+
+    stale::StaleMatchResult match =
+        stale::matchStaleProfile(dcfg, index_a, index_b);
+
+    // Imbalance |freq - inflow| and |freq - outflow| per pre-inference
+    // node of every function inference will touch.
+    auto imbalances = [](const core::FunctionDcfg &fn, size_t n_nodes) {
+        std::vector<std::pair<uint64_t, uint64_t>> result(n_nodes);
+        std::vector<uint64_t> in(fn.nodes.size(), 0),
+            out(fn.nodes.size(), 0);
+        for (const auto &e : fn.edges) {
+            out[e.fromNode] += e.weight;
+            in[e.toNode] += e.weight;
+        }
+        for (size_t i = 0; i < n_nodes; ++i) {
+            uint64_t f = fn.nodes[i].freq;
+            result[i] = {f > in[i] ? f - in[i] : in[i] - f,
+                         f > out[i] ? f - out[i] : out[i] - f};
+        }
+        return result;
+    };
+
+    std::vector<std::vector<std::pair<uint64_t, uint64_t>>> before;
+    std::vector<size_t> counts;
+    for (size_t fi = 0; fi < match.dcfg.functions.size(); ++fi) {
+        size_t n = match.dcfg.functions[fi].nodes.size();
+        counts.push_back(n);
+        before.push_back(imbalances(match.dcfg.functions[fi], n));
+    }
+
+    stale::InferenceStats stats =
+        stale::inferStaleCounts(match, index_b);
+    EXPECT_GT(stats.functionsInferred, 0u);
+
+    for (size_t fi = 0; fi < match.dcfg.functions.size(); ++fi) {
+        auto after = imbalances(match.dcfg.functions[fi], counts[fi]);
+        for (size_t i = 0; i < counts[fi]; ++i) {
+            EXPECT_LE(after[i].first, before[fi][i].first)
+                << match.dcfg.functions[fi].function << " node " << i
+                << ": inflow imbalance grew";
+            EXPECT_LE(after[i].second, before[fi][i].second)
+                << match.dcfg.functions[fi].function << " node " << i
+                << ": outflow imbalance grew";
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Match rate vs drift, aggregated over many random drift episodes.
+
+TEST(StaleMatcher, MatchRateDegradesMonotonicallyWithDrift)
+{
+    workload::WorkloadConfig cfg = microConfig();
+    linker::Executable exe_a = buildMetadata(workload::generate(cfg));
+    core::AddrMapIndex index_a(exe_a);
+    profile::Profile prof = profileOf(exe_a, cfg);
+    core::WholeProgramDcfg dcfg =
+        core::buildDcfg(profile::aggregate(prof), index_a);
+    ASSERT_FALSE(dcfg.functions.empty());
+
+    const double kRates[] = {0.05, 0.25, 0.50};
+    double mean_rate[3] = {0, 0, 0};
+    constexpr int kSeeds = 100;
+
+    for (int seed = 1; seed <= kSeeds; ++seed) {
+        for (int r = 0; r < 3; ++r) {
+            ir::Program drifted = workload::generate(cfg);
+            workload::applyDrift(
+                drifted, {static_cast<uint64_t>(seed), kRates[r]});
+            ASSERT_TRUE(ir::verify(drifted).empty());
+            linker::Executable exe_b = buildMetadata(drifted);
+            core::AddrMapIndex index_b(exe_b);
+            stale::StaleMatchResult match =
+                stale::matchStaleProfile(dcfg, index_a, index_b);
+            mean_rate[r] += match.stats.blockMatchRate() / kSeeds;
+        }
+    }
+
+    // More drift, fewer matches — on average across the 100 episodes
+    // (individual episodes can be lucky).
+    EXPECT_GE(mean_rate[0], mean_rate[1]);
+    EXPECT_GE(mean_rate[1], mean_rate[2]);
+    // And light drift stays highly matchable.
+    EXPECT_GT(mean_rate[0], 0.9);
+}
+
+} // namespace
+} // namespace propeller

@@ -8,7 +8,12 @@
  *   run <workload>               full pipeline: baseline vs Propeller vs
  *                                BOLT with counters and phase reports
  *   wpa <workload>               print the Phase 3 artifacts
- *                                (cc_prof.txt / ld_prof.txt)
+ *                                (cc_prof.txt / ld_prof.txt); with
+ *                                --stale-profile N the profile is applied
+ *                                to a build drifted N% from the profiled
+ *                                one — rejected on identity mismatch
+ *                                unless --allow-stale routes it through
+ *                                the stale matcher (src/stale)
  *   disasm <workload> <symbol>   disassemble one function of the
  *                                Propeller-optimized binary
  *   heatmap <workload>           instruction-access heat maps
@@ -27,6 +32,7 @@
 
 #include "build/workflow.h"
 #include "sim/machine.h"
+#include "stale/stale.h"
 #include "support/table.h"
 #include "support/units.h"
 
@@ -36,6 +42,13 @@ namespace {
 
 /** --jobs N: worker threads for codegen/WPA (0 = all hardware threads). */
 unsigned g_jobs = 0;
+
+/** --stale-profile N: drift the WPA target binary N% from the profiled one. */
+double g_stale_pct = 0.0;
+bool g_stale_requested = false;
+
+/** --allow-stale: route mismatched profiles through the stale matcher. */
+bool g_allow_stale = false;
 
 /** Look up a workload and apply the global --jobs override. */
 workload::WorkloadConfig
@@ -122,22 +135,91 @@ cmdRun(const std::string &name)
     return 0;
 }
 
-int
-cmdWpa(const std::string &name)
+void
+printArtifacts(const core::WpaResult &wpa)
 {
-    buildsys::Workflow wf(namedConfig(name));
-    const core::WpaResult &wpa = wf.wpa();
     std::printf("# cc_prof.txt — %u hot functions\n%s\n",
                 wpa.stats.hotFunctions, wpa.ccProf.serialize().c_str());
     std::printf("# ld_prof.txt\n%s", wpa.ldProf.serialize().c_str());
-    std::printf("\n# stats: peak memory %s, dcfg %s, %llu branch + %llu "
-                "fall-through events\n",
-                formatBytes(wpa.stats.peakMemory).c_str(),
-                formatBytes(wpa.stats.dcfgFootprint).c_str(),
+}
+
+int
+cmdWpa(const std::string &name)
+{
+    workload::WorkloadConfig cfg = namedConfig(name);
+    buildsys::Workflow wf(cfg);
+
+    if (!g_stale_requested) {
+        const core::WpaResult &wpa = wf.wpa();
+        printArtifacts(wpa);
+        std::printf("\n# stats: peak memory %s, dcfg %s, %llu branch + "
+                    "%llu fall-through events\n",
+                    formatBytes(wpa.stats.peakMemory).c_str(),
+                    formatBytes(wpa.stats.dcfgFootprint).c_str(),
+                    static_cast<unsigned long long>(
+                        wpa.stats.mapper.branchEdges),
+                    static_cast<unsigned long long>(
+                        wpa.stats.mapper.fallThroughEdges));
+        return 0;
+    }
+
+    // The stale scenario: the profile comes from this workload's pristine
+    // metadata binary, but the binary being optimized has drifted.
+    ir::Program drifted = workload::generate(cfg);
+    workload::DriftSpec spec;
+    spec.seed = cfg.seed + 1;
+    spec.rate = g_stale_pct / 100.0;
+    workload::DriftStats drift = workload::applyDrift(drifted, spec);
+
+    codegen::Options copts;
+    copts.emitAddrMapSection = true;
+    linker::Options lopts;
+    lopts.entrySymbol = drifted.entryFunction;
+    linker::Executable target =
+        linker::link(codegen::compileProgram(drifted, copts), lopts);
+
+    const linker::Executable &profiled = wf.metadataBinary();
+    const profile::Profile &prof = wf.profile();
+
+    bool mismatch =
+        prof.binaryHash != 0 && prof.binaryHash != target.identityHash;
+    if (mismatch && !g_allow_stale) {
+        std::fprintf(stderr,
+                     "propeller-cli: profile identity mismatch: the "
+                     "profile was collected on binary %016llx but the "
+                     "target binary is %016llx (%u drift mutations).\n"
+                     "Applying it by address would mis-attribute counts; "
+                     "rerun with --allow-stale to match it by CFG "
+                     "fingerprint instead.\n",
+                     static_cast<unsigned long long>(prof.binaryHash),
+                     static_cast<unsigned long long>(target.identityHash),
+                     drift.total());
+        return 1;
+    }
+
+    if (!mismatch) {
+        // Same build after all (e.g. --stale-profile 0): fresh pipeline.
+        core::WpaResult wpa = core::runWholeProgramAnalysis(target, prof);
+        printArtifacts(wpa);
+        return 0;
+    }
+
+    stale::StaleWpaResult swr =
+        stale::runStaleWholeProgramAnalysis(target, profiled, prof);
+    printArtifacts(swr.wpa);
+    std::printf("\n# stale match: %.1f%% of blocks (%.1f%% of weight), "
+                "%u identical + %u matched + %u dropped functions\n",
+                swr.match.blockMatchRate() * 100.0,
+                swr.match.weightMatchRate() * 100.0,
+                swr.match.functionsIdentical, swr.match.functionsMatched,
+                swr.match.functionsDropped);
+    std::printf("# inference: %u functions, %llu blocks given counts, "
+                "%llu edges rerouted, %llu edges added\n",
+                swr.inference.functionsInferred,
+                static_cast<unsigned long long>(swr.inference.nodesAdded),
                 static_cast<unsigned long long>(
-                    wpa.stats.mapper.branchEdges),
-                static_cast<unsigned long long>(
-                    wpa.stats.mapper.fallThroughEdges));
+                    swr.inference.edgesRerouted),
+                static_cast<unsigned long long>(swr.inference.edgesAdded));
     return 0;
 }
 
@@ -204,8 +286,12 @@ usage()
                 "  disasm <workload> <symbol>\n"
                 "  heatmap <workload>\n"
                 "options:\n"
-                "  --jobs N   worker threads for codegen/WPA\n"
-                "             (default: all hardware threads)\n");
+                "  --jobs N            worker threads for codegen/WPA\n"
+                "                      (default: all hardware threads)\n"
+                "  --stale-profile N   wpa: apply the profile to a binary\n"
+                "                      drifted N%% from the profiled one\n"
+                "  --allow-stale       accept a mismatched profile and\n"
+                "                      match it by CFG fingerprint\n");
     return 2;
 }
 
@@ -228,6 +314,24 @@ main(int argc, char **argv)
                 return usage();
             }
             g_jobs = static_cast<unsigned>(n);
+            continue;
+        }
+        if (arg == "--stale-profile" && i + 1 < argc) {
+            char *end = nullptr;
+            double pct = std::strtod(argv[++i], &end);
+            if (end == argv[i] || *end != '\0' || pct < 0.0 ||
+                pct > 100.0) {
+                std::printf("propeller-cli: --stale-profile expects a "
+                            "percentage in [0, 100], got '%s'\n",
+                            argv[i]);
+                return usage();
+            }
+            g_stale_pct = pct;
+            g_stale_requested = true;
+            continue;
+        }
+        if (arg == "--allow-stale") {
+            g_allow_stale = true;
             continue;
         }
         args.push_back(std::move(arg));

@@ -1,0 +1,372 @@
+/**
+ * @file
+ * Fault-tolerance gate: run the full relink pipeline under seeded
+ * corruption of profile shards, cached artifacts and `.bb_addr_map`
+ * payloads plus transient executor failures, and assert the deployment
+ * contract (paper section 6): the workflow completes with **zero
+ * aborts**, every injected corruption is **detected and attributed** by
+ * a counter, and layout quality on unaffected functions is retained.
+ *
+ * For each fault rate the harness runs a fresh Workflow with a
+ * faultinject::FaultInjector attached and compares:
+ *
+ *   injected   what the harness actually corrupted (ground truth);
+ *   detected   shard rejections, cache corruption evictions (lookup +
+ *              final scrub), addr-map rejections, action retries;
+ *   retention  Ext-TSP score of the faulted run's layout vs the clean
+ *              run's, both evaluated on the clean DCFG, restricted to
+ *              functions no fault touched.
+ *
+ * Emits BENCH_faults.json and exits nonzero if a gate fails:
+ *  - at rate 0 (hooks attached, nothing injected) the optimized binary
+ *    must be byte-identical to the hook-free pipeline's;
+ *  - at every rate, detected == injected per category;
+ *  - at the CI rate (25%) retention on unaffected functions >= 0.95.
+ *
+ * Usage: bench_faults [output.json]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "build/workflow.h"
+#include "common.h"
+#include "faultinject/faultinject.h"
+#include "propeller/addr_map_index.h"
+#include "propeller/ext_tsp.h"
+#include "propeller/layout.h"
+#include "propeller/profile_mapper.h"
+
+using namespace propeller;
+using namespace propeller::core;
+
+namespace {
+
+constexpr double kRetentionFloor = 0.95;
+constexpr double kGateRate = 0.25;
+constexpr uint64_t kFaultSeed = 977;
+
+workload::WorkloadConfig
+faultConfig()
+{
+    workload::WorkloadConfig cfg;
+    cfg.name = "faultapp";
+    cfg.seed = 61;
+    cfg.modules = 16;
+    cfg.functions = 96;
+    cfg.hotFunctions = 30;
+    cfg.coldObjectFraction = 0.6;
+    cfg.minBlocks = 3;
+    cfg.maxBlocks = 24;
+    cfg.coldPathDensity = 0.35;
+    cfg.evalInstructions = 400'000;
+    cfg.profileInstructions = 2'000'000;
+    cfg.sampleLbrPeriod = 500;
+    return cfg;
+}
+
+/**
+ * Ext-TSP score of @p clusters over @p dcfg (nullptr scores the original
+ * address-order layout), skipping functions in @p exclude.  Same scoring
+ * as bench_stale, restricted to the unaffected set.
+ */
+double
+scoreLayout(const WholeProgramDcfg &dcfg, const AddrMapIndex &index,
+            const codegen::ClusterMap *clusters,
+            const std::set<std::string> &exclude)
+{
+    double total = 0.0;
+    for (const auto &fn : dcfg.functions) {
+        if (exclude.count(fn.function))
+            continue;
+        std::vector<LayoutNode> nodes(fn.nodes.size());
+        std::unordered_map<uint32_t, uint32_t> node_of;
+        for (size_t i = 0; i < fn.nodes.size(); ++i) {
+            nodes[i] = {std::max<uint64_t>(fn.nodes[i].size, 1),
+                        fn.nodes[i].freq};
+            node_of.emplace(fn.nodes[i].bbId, static_cast<uint32_t>(i));
+        }
+        std::vector<LayoutEdge> edges;
+        edges.reserve(fn.edges.size());
+        for (const auto &e : fn.edges)
+            edges.push_back({e.fromNode, e.toNode, e.weight});
+
+        std::vector<uint32_t> bb_order;
+        const codegen::ClusterSpec *spec = nullptr;
+        if (clusters) {
+            auto it = clusters->find(fn.function);
+            if (it != clusters->end())
+                spec = &it->second;
+        }
+        if (spec) {
+            for (const auto &cluster : spec->clusters)
+                bb_order.insert(bb_order.end(), cluster.begin(),
+                                cluster.end());
+        } else {
+            int f = index.findFunction(fn.function);
+            if (f >= 0) {
+                for (const auto &block :
+                     index.blocksOf(static_cast<uint32_t>(f)))
+                    bb_order.push_back(block.bbId);
+            }
+        }
+
+        std::vector<uint32_t> order;
+        std::vector<char> placed(nodes.size(), 0);
+        for (uint32_t bb : bb_order) {
+            auto it = node_of.find(bb);
+            if (it == node_of.end() || placed[it->second])
+                continue;
+            placed[it->second] = 1;
+            order.push_back(it->second);
+        }
+        for (uint32_t i = 0; i < nodes.size(); ++i) {
+            if (!placed[i])
+                order.push_back(i);
+        }
+        total += extTspScore(nodes, edges, order);
+    }
+    return total;
+}
+
+/** Failure-summary lines of @p report starting with @p prefix. */
+uint32_t
+countFailures(const buildsys::PhaseReport &report, const char *prefix)
+{
+    uint32_t n = 0;
+    for (const auto &line : report.failures) {
+        if (line.rfind(prefix, 0) == 0)
+            ++n;
+    }
+    return n;
+}
+
+struct FaultPoint
+{
+    double rate = 0.0;
+    faultinject::FaultStats injected;
+    uint32_t shardsRejected = 0;
+    uint32_t addrMapsRejected = 0;
+    uint64_t cacheDetected = 0;
+    uint32_t retries = 0;
+    uint32_t functionsAffected = 0;
+    double retention = 0.0;
+    bool identicalAtZero = false;
+    bool detectionOk = false;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *out_path = argc > 1 ? argv[1] : "BENCH_faults.json";
+    bench::printHeader(
+        "BENCH faults", "fault-injected relink pipeline",
+        "relinking must never ship a broken binary: corrupt profiles, "
+        "cached objects and BB address maps are detected, quarantined "
+        "and absorbed, never fatal");
+
+    workload::WorkloadConfig cfg = faultConfig();
+
+    // The clean reference pipeline (no hooks attached at all).
+    buildsys::Workflow clean(cfg);
+    const linker::Executable &clean_po = clean.propellerBinary();
+    AddrMapIndex index(clean.metadataBinary());
+    WholeProgramDcfg dcfg =
+        buildDcfg(profile::aggregate(clean.profile()), index);
+    const codegen::ClusterMap &clean_clusters =
+        clean.wpa().ccProf.clusters;
+
+    // Object name -> function names, for mapping injected addr-map
+    // corruption to the functions it is allowed to affect.
+    std::unordered_map<std::string, std::vector<std::string>> funcs_of;
+    for (const auto &mod : clean.program().modules) {
+        auto &names = funcs_of[mod->name + ".o"];
+        for (const auto &fn : mod->functions)
+            names.push_back(fn->name);
+    }
+
+    static const double kRates[] = {0.0, 0.10, 0.25, 0.50};
+    std::vector<FaultPoint> points;
+
+    std::printf("\n%6s %8s %8s %8s %8s %8s %8s %9s\n", "rate", "shards",
+                "cache", "addrmap", "exec", "detect", "affect", "retain");
+    for (double rate : kRates) {
+        FaultPoint pt;
+        pt.rate = rate;
+
+        faultinject::FaultSpec spec;
+        spec.seed = kFaultSeed;
+        spec.profileRate = rate;
+        spec.cacheRate = rate;
+        spec.addrMapRate = rate;
+        spec.execFailRate = rate * 0.4;
+        faultinject::FaultInjector injector(spec);
+
+        buildsys::Workflow wf(cfg);
+        wf.setFaultHooks(&injector);
+
+        // The full pipeline; reaching the other side of this call with
+        // faults injected IS the zero-abort property.
+        const linker::Executable &po = wf.propellerBinary();
+
+        // End-of-build integrity sweep catches corrupt entries whose key
+        // was never looked up again (e.g. phase-4 keys of hot modules).
+        wf.scrubCache();
+
+        pt.injected = injector.stats();
+        pt.shardsRejected = wf.report("phase3.collect").quarantined;
+        pt.addrMapsRejected = countFailures(wf.report("phase2.link"),
+                                            ".bb_addr_map rejected: ");
+        pt.cacheDetected = wf.cacheStats().corruptions;
+        pt.retries = wf.report("phase2.codegen").retries +
+                     wf.report("phase4.codegen").retries;
+
+        pt.detectionOk =
+            pt.shardsRejected == pt.injected.profileShardsCorrupted &&
+            pt.addrMapsRejected == pt.injected.addrMapsCorrupted &&
+            pt.cacheDetected == pt.injected.cacheEntriesCorrupted &&
+            pt.retries == pt.injected.actionFailures;
+
+        // Functions a fault was *allowed* to touch: everything in an
+        // object with a corrupted addr map, everything WPA or the linker
+        // quarantined, every dropped cluster directive.
+        std::set<std::string> affected;
+        for (const auto &obj : pt.injected.corruptedObjectNames) {
+            auto it = funcs_of.find(obj);
+            if (it != funcs_of.end())
+                affected.insert(it->second.begin(), it->second.end());
+        }
+        for (const auto &name : wf.wpa().stats.quarantinedFunctions)
+            affected.insert(name);
+        for (const char *phase : {"phase4.codegen", "phase4.link"}) {
+            for (const auto &line : wf.report(phase).failures) {
+                for (const char *prefix :
+                     {"cluster directive dropped: ",
+                      "function quarantined: "}) {
+                    if (line.rfind(prefix, 0) == 0)
+                        affected.insert(line.substr(strlen(prefix)));
+                }
+            }
+        }
+        pt.functionsAffected = static_cast<uint32_t>(affected.size());
+
+        double base_u = scoreLayout(dcfg, index, nullptr, affected);
+        double clean_u =
+            scoreLayout(dcfg, index, &clean_clusters, affected);
+        double fault_u = scoreLayout(dcfg, index,
+                                     &wf.wpa().ccProf.clusters, affected);
+        double lift = clean_u - base_u;
+        pt.retention = lift > 0.0 ? (fault_u - base_u) / lift : 1.0;
+
+        if (rate == 0.0) {
+            // Hooks attached but nothing injected: the shard round-trip
+            // and sanitation passes must be perfectly transparent.
+            pt.identicalAtZero =
+                po.text == clean_po.text &&
+                po.identityHash == clean_po.identityHash;
+        }
+
+        std::printf("%5.0f%% %8u %8u %8u %8u %8s %8u %9.3f\n",
+                    rate * 100.0, pt.injected.profileShardsCorrupted,
+                    pt.injected.cacheEntriesCorrupted,
+                    pt.injected.addrMapsCorrupted,
+                    pt.injected.actionFailures,
+                    pt.detectionOk ? "exact" : "MISS",
+                    pt.functionsAffected, pt.retention);
+        points.push_back(pt);
+    }
+
+    bool zero_gate = points[0].identicalAtZero &&
+                     points[0].injected.corruptions() == 0;
+    bool detect_gate = true;
+    bool coverage_gate = false;
+    double gate_retention = 1.0;
+    bool retention_gate = true;
+    for (const FaultPoint &pt : points) {
+        detect_gate = detect_gate && pt.detectionOk;
+        if (pt.rate == kGateRate) {
+            gate_retention = pt.retention;
+            retention_gate = pt.retention >= kRetentionFloor;
+            // The gate point must actually exercise all four fault
+            // classes, or "everything detected" is vacuous.
+            coverage_gate = pt.injected.profileShardsCorrupted > 0 &&
+                            pt.injected.cacheEntriesCorrupted > 0 &&
+                            pt.injected.addrMapsCorrupted > 0 &&
+                            pt.injected.actionFailures > 0;
+        }
+    }
+
+    std::printf("\ngates: zero-fault byte-identical %s; detection exact "
+                "at all rates %s; all fault classes exercised at %.0f%% "
+                "%s; retention %.3f (need >= %.2f) %s\n",
+                zero_gate ? "PASS" : "FAIL",
+                detect_gate ? "PASS" : "FAIL", kGateRate * 100.0,
+                coverage_gate ? "PASS" : "FAIL", gate_retention,
+                kRetentionFloor, retention_gate ? "PASS" : "FAIL");
+
+    FILE *out = std::fopen(out_path, "w");
+    if (!out) {
+        std::printf("cannot write %s\n", out_path);
+        return 1;
+    }
+    std::fprintf(out, "{\n  \"workload\": \"%s\",\n  \"seed\": %llu,\n",
+                 cfg.name.c_str(),
+                 static_cast<unsigned long long>(kFaultSeed));
+    std::fprintf(out, "  \"points\": [\n");
+    for (size_t i = 0; i < points.size(); ++i) {
+        const FaultPoint &pt = points[i];
+        std::fprintf(out, "    {\n      \"rate_pct\": %.0f,\n",
+                     pt.rate * 100.0);
+        std::fprintf(
+            out,
+            "      \"injected\": {\"profile_shards\": %u, "
+            "\"cache_entries\": %u, \"addr_maps\": %u, \"exec_faults\": "
+            "%u, \"bit_flips\": %u, \"truncations\": %u, \"zero_runs\": "
+            "%u},\n",
+            pt.injected.profileShardsCorrupted,
+            pt.injected.cacheEntriesCorrupted,
+            pt.injected.addrMapsCorrupted, pt.injected.actionFailures,
+            pt.injected.bitFlips, pt.injected.truncations,
+            pt.injected.zeroRuns);
+        std::fprintf(
+            out,
+            "      \"detected\": {\"shards_rejected\": %u, "
+            "\"cache_corruptions\": %llu, \"addr_maps_rejected\": %u, "
+            "\"action_retries\": %u},\n",
+            pt.shardsRejected,
+            static_cast<unsigned long long>(pt.cacheDetected),
+            pt.addrMapsRejected, pt.retries);
+        std::fprintf(out,
+                     "      \"detection_exact\": %s,\n      "
+                     "\"functions_affected\": %u,\n      \"retention\": "
+                     "%.6f\n    }%s\n",
+                     pt.detectionOk ? "true" : "false",
+                     pt.functionsAffected, pt.retention,
+                     i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(out, "  ],\n");
+    std::fprintf(out, "  \"gate_zero_fault_identical\": %s,\n",
+                 zero_gate ? "true" : "false");
+    std::fprintf(out, "  \"gate_detection_exact\": %s,\n",
+                 detect_gate ? "true" : "false");
+    std::fprintf(out, "  \"gate_all_classes_exercised\": %s,\n",
+                 coverage_gate ? "true" : "false");
+    std::fprintf(out, "  \"retention_at_gate_rate\": %.6f,\n",
+                 gate_retention);
+    std::fprintf(out, "  \"gate_retention_floor\": %s\n",
+                 retention_gate ? "true" : "false");
+    std::fprintf(out, "}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", out_path);
+
+    return (zero_gate && detect_gate && coverage_gate && retention_gate)
+               ? 0
+               : 1;
+}

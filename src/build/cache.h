@@ -19,6 +19,14 @@
  * Workflow's action fingerprinting).  Values are serialized
  * elf::ObjectFile byte images.
  *
+ * Integrity: every entry stores a content hash of its bytes, computed at
+ * put() time.  lookup() re-hashes the stored bytes and treats a mismatch
+ * as storage corruption: the entry is evicted, CacheStats::corruptions
+ * is bumped, and the lookup reports a miss so the caller re-executes the
+ * action.  A cache must never serve bytes it cannot vouch for — a stale
+ * or bit-flipped artifact silently linked into the binary is the worst
+ * failure mode a relinking optimizer can have.
+ *
  * The cache is deliberately not thread-safe: the Workflow performs all
  * lookups and insertions on the coordinating thread and only fans the
  * *compilations* out to workers, which both models the real system (the
@@ -26,19 +34,28 @@
  * keeps hit/miss accounting deterministic.
  */
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
+
+#include "support/hash.h"
 
 namespace propeller::buildsys {
 
 /** Hit/miss accounting for one cache instance. */
 struct CacheStats
 {
-    uint64_t hits = 0;     ///< lookup() calls that found an entry.
-    uint64_t misses = 0;   ///< lookup() calls that found nothing.
+    uint64_t hits = 0;     ///< lookup() calls that found a valid entry.
+    uint64_t misses = 0;   ///< lookup() calls that found nothing usable.
     uint64_t entries = 0;  ///< Artifacts currently stored.
     uint64_t storedBytes = 0; ///< Total serialized bytes stored.
+
+    /**
+     * Entries whose stored bytes no longer matched their content hash
+     * (detected at lookup() or scrub() time) and were evicted.
+     */
+    uint64_t corruptions = 0;
 
     /** Fraction of lookups that hit; 0 when nothing was looked up. */
     double
@@ -51,16 +68,20 @@ struct CacheStats
     }
 };
 
-/** Content-keyed object artifact cache. */
+/** Content-keyed object artifact cache with integrity verification. */
 class ArtifactCache
 {
   public:
     ArtifactCache() = default;
 
     /**
-     * Look up an artifact by content key.  Counts a hit or a miss.
-     * @return the stored bytes, or nullptr if absent.  The pointer stays
-     *         valid until the entry is overwritten.
+     * Look up an artifact by content key, verifying its integrity hash.
+     * A verified entry counts a hit.  An entry whose bytes fail
+     * verification is evicted, counts a corruption *and* a miss, and the
+     * lookup returns nullptr so the caller rebuilds the action.
+     *
+     * @return the stored bytes, or nullptr if absent or corrupt.  The
+     *         pointer stays valid until the entry is overwritten.
      */
     const std::vector<uint8_t> *
     lookup(uint64_t key)
@@ -70,33 +91,134 @@ class ArtifactCache
             ++stats_.misses;
             return nullptr;
         }
+        if (fnv1a(it->second.bytes.data(), it->second.bytes.size()) !=
+            it->second.hash) {
+            eraseEntry(it);
+            ++stats_.corruptions;
+            ++stats_.misses;
+            return nullptr;
+        }
         ++stats_.hits;
-        return &it->second;
+        return &it->second.bytes;
     }
 
     /** Store (or replace) an artifact under @p key. */
     void
     put(uint64_t key, std::vector<uint8_t> bytes)
     {
+        uint64_t hash = fnv1a(bytes.data(), bytes.size());
         auto it = entries_.find(key);
         if (it != entries_.end()) {
-            stats_.storedBytes -= it->second.size();
+            stats_.storedBytes -= it->second.bytes.size();
             stats_.storedBytes += bytes.size();
-            it->second = std::move(bytes);
+            it->second.bytes = std::move(bytes);
+            it->second.hash = hash;
             return;
         }
         stats_.storedBytes += bytes.size();
         ++stats_.entries;
-        entries_.emplace(key, std::move(bytes));
+        entries_.emplace(key, Entry{std::move(bytes), hash});
+    }
+
+    /**
+     * Evict @p key as corrupt, counting a corruption.  Used by callers
+     * whose *structural* validation (e.g. object deserialization) caught
+     * damage the byte hash could not — an artifact poisoned before it
+     * was stored hashes consistently but still must not be served again.
+     */
+    void
+    evictCorrupt(uint64_t key)
+    {
+        auto it = entries_.find(key);
+        if (it == entries_.end())
+            return;
+        eraseEntry(it);
+        ++stats_.corruptions;
+    }
+
+    /**
+     * Verify every stored entry, evicting (and counting) corrupt ones.
+     * Does not touch hit/miss statistics.
+     * @return the number of entries evicted.
+     */
+    uint64_t
+    scrub()
+    {
+        uint64_t evicted = 0;
+        for (auto it = entries_.begin(); it != entries_.end();) {
+            if (fnv1a(it->second.bytes.data(), it->second.bytes.size()) !=
+                it->second.hash) {
+                it = eraseEntry(it);
+                ++stats_.corruptions;
+                ++evicted;
+            } else {
+                ++it;
+            }
+        }
+        return evicted;
+    }
+
+    /**
+     * Mutate the *stored* bytes of @p key in place without updating the
+     * integrity hash — the fault-injection seam modelling silent storage
+     * corruption (the hash describes what was stored; the bytes no
+     * longer match it).  With @p rehash the hash is recomputed after the
+     * mutation, modelling an artifact poisoned *before* it reached the
+     * store: hash verification then passes and only structural
+     * validation of the artifact can catch it.
+     *
+     * @return false if @p key is absent.
+     */
+    template <typename Mutator>
+    bool
+    corruptStored(uint64_t key, Mutator &&mutate, bool rehash = false)
+    {
+        auto it = entries_.find(key);
+        if (it == entries_.end())
+            return false;
+        uint64_t before = it->second.bytes.size();
+        mutate(it->second.bytes);
+        stats_.storedBytes += it->second.bytes.size();
+        stats_.storedBytes -= before;
+        if (rehash)
+            it->second.hash =
+                fnv1a(it->second.bytes.data(), it->second.bytes.size());
+        return true;
     }
 
     /** Presence test; does not count toward hit/miss statistics. */
     bool contains(uint64_t key) const { return entries_.count(key) != 0; }
 
+    /** All stored keys, sorted (deterministic iteration for faults). */
+    std::vector<uint64_t>
+    keys() const
+    {
+        std::vector<uint64_t> out;
+        out.reserve(entries_.size());
+        for (const auto &[key, entry] : entries_)
+            out.push_back(key);
+        std::sort(out.begin(), out.end());
+        return out;
+    }
+
     const CacheStats &stats() const { return stats_; }
 
   private:
-    std::unordered_map<uint64_t, std::vector<uint8_t>> entries_;
+    struct Entry
+    {
+        std::vector<uint8_t> bytes;
+        uint64_t hash = 0; ///< fnv1a(bytes) at store time.
+    };
+
+    std::unordered_map<uint64_t, Entry>::iterator
+    eraseEntry(std::unordered_map<uint64_t, Entry>::iterator it)
+    {
+        stats_.storedBytes -= it->second.bytes.size();
+        --stats_.entries;
+        return entries_.erase(it);
+    }
+
+    std::unordered_map<uint64_t, Entry> entries_;
     CacheStats stats_;
 };
 

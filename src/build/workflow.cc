@@ -164,6 +164,22 @@ Workflow::compileModules(const codegen::ClusterMap *clusters,
     const ir::Program &prog = program();
     size_t n = prog.modules.size();
 
+    CompileBatch batch;
+
+    // Corrupt WPA directives must degrade to per-function fallback, not
+    // abort the backend.  Sanitation is a no-op (and the copy identical)
+    // on honest input, so zero-fault action fingerprints are unchanged.
+    codegen::ClusterMap sanitized;
+    if (clusters) {
+        sanitized = *clusters;
+        std::vector<std::string> dropped =
+            codegen::sanitizeClusterMap(prog, sanitized);
+        for (const auto &name : dropped)
+            batch.failures.push_back("cluster directive dropped: " + name);
+        batch.quarantined = static_cast<uint32_t>(dropped.size());
+        clusters = &sanitized;
+    }
+
     codegen::Options copts;
     copts.emitAddrMapSection = true;
     if (clusters) {
@@ -173,20 +189,33 @@ Workflow::compileModules(const codegen::ClusterMap *clusters,
     copts.prefetches = prefetches;
 
     // Cache lookups run on the coordinating thread, in module order, so
-    // hit/miss accounting is deterministic.
-    CompileBatch batch;
+    // hit/miss accounting is deterministic.  A hit must survive both the
+    // cache's byte-hash check (lookup returns nullptr on mismatch) and
+    // structural deserialization; either failure evicts the entry and
+    // the action re-executes as a miss.
     batch.objects.resize(n);
     std::vector<size_t> misses;
+    uint64_t corruptions_before = cache_.stats().corruptions;
     for (size_t i = 0; i < n; ++i) {
         uint64_t key = actionKey(i, clusters, prefetches, true);
-        if (const std::vector<uint8_t> *hit = cache_.lookup(key)) {
-            batch.objects[i] = elf::ObjectFile::deserialize(*hit);
-            batch.cachedNames.push_back(batch.objects[i].name);
-            ++batch.cacheHits;
-        } else {
-            misses.push_back(i);
+        const std::vector<uint8_t> *hit = cache_.lookup(key);
+        if (hit) {
+            auto obj = elf::ObjectFile::deserializeChecked(*hit);
+            if (obj.ok()) {
+                batch.objects[i] = std::move(obj).value();
+                batch.cachedNames.push_back(batch.objects[i].name);
+                ++batch.cacheHits;
+                continue;
+            }
+            cache_.evictCorrupt(key);
+            batch.failures.push_back("cache artifact rejected (" +
+                                     prog.modules[i]->name +
+                                     "): " + obj.status().toString());
         }
+        misses.push_back(i);
     }
+    batch.cacheCorruptions = static_cast<uint32_t>(
+        cache_.stats().corruptions - corruptions_before);
 
     // Only the missing actions execute; they fan out over the local
     // thread pool.  Results land in per-module slots, so the output is
@@ -202,14 +231,43 @@ Workflow::compileModules(const codegen::ClusterMap *clusters,
         cache_.put(actionKey(i, clusters, prefetches, true),
                    batch.objects[i].serialize());
         uint64_t insts = moduleInsts(*prog.modules[i]);
-        costs.push_back(static_cast<double>(insts) *
-                        cost_.backendSecPerInst);
+        double base_cost =
+            static_cast<double>(insts) * cost_.backendSecPerInst;
+
+        // Transient executor failures (injected via hooks) are retried
+        // with deterministic exponential backoff; each failed attempt
+        // pays the action cost again plus the backoff.  An action that
+        // exhausts its budget falls back to the coordinator — the build
+        // degrades in makespan, never in output.
+        double cost = base_cost;
+        if (hooks_) {
+            const std::string &name = prog.modules[i]->name;
+            uint32_t attempts = limits_.maxActionRetries + 1;
+            uint32_t attempt = 1;
+            while (attempt <= attempts &&
+                   hooks_->failAction(name, attempt)) {
+                cost += base_cost +
+                        limits_.retryBackoffSec *
+                            static_cast<double>(1u << (attempt - 1));
+                ++batch.retries;
+                ++attempt;
+            }
+            if (attempt > attempts) {
+                batch.failures.push_back(
+                    "retries exhausted, ran on coordinator: " + name);
+                cost += base_cost;
+            }
+        }
+        costs.push_back(cost);
         batch.peakActionMemory = std::max(
             batch.peakActionMemory,
             codegenActionMemory(insts, batch.objects[i].sizeInBytes()));
     }
     batch.actions = static_cast<uint32_t>(misses.size());
     batch.makespanSec = cost_.makespan(costs, limits_.workers);
+
+    if (hooks_)
+        hooks_->onCachePopulated(cache_);
     return batch;
 }
 
@@ -225,6 +283,10 @@ Workflow::recordCodegenReport(const std::string &phase,
     report.peakActionMemory = batch.peakActionMemory;
     report.memoryLimitExceeded =
         batch.peakActionMemory > limits_.ramPerAction;
+    report.retries = batch.retries;
+    report.cacheCorruptions = batch.cacheCorruptions;
+    report.quarantined = batch.quarantined;
+    report.failures = batch.failures;
     reports_[phase] = std::move(report);
 }
 
@@ -257,6 +319,12 @@ Workflow::linkWithReport(const std::vector<elf::ObjectFile> &objects,
         report.peakActionMemory = stats.peakMemory;
         report.memoryLimitExceeded =
             stats.peakMemory > limits_.ramPerAction;
+        report.quarantined = stats.quarantinedFunctions +
+                             stats.addrMapsRejected;
+        for (const auto &name : stats.quarantined)
+            report.failures.push_back("function quarantined: " + name);
+        for (const auto &obj : stats.rejectedAddrMapObjects)
+            report.failures.push_back(".bb_addr_map rejected: " + obj);
         reports_[phase] = std::move(report);
     }
     return exe;
@@ -310,6 +378,11 @@ Workflow::phase2Objects()
         CompileBatch batch = compileModules(nullptr, nullptr);
         recordCodegenReport("phase2.codegen", batch);
         phase2Objects_ = std::move(batch.objects);
+
+        // Fault seam: damage object metadata between codegen and the
+        // links — the window where objects sit on distributed storage.
+        if (hooks_)
+            hooks_->onPhase2Objects(*phase2Objects_);
     }
     return *phase2Objects_;
 }
@@ -367,6 +440,27 @@ Workflow::profile()
         report.makespanSec = config_.propTrainMinutes * 60.0;
         report.actions = 1;
         report.peakActionMemory = profile_->sizeInBytes() + (1u << 20);
+
+        // With hooks attached the profile takes the wire path the real
+        // system takes — serialized into shards, exposed to faults,
+        // reloaded with per-shard validation.  Corrupt shards are
+        // dropped and their samples lost; the analysis degrades
+        // gracefully instead of consuming damaged counts.
+        if (hooks_) {
+            std::vector<std::vector<uint8_t>> shards =
+                profile::serializeShards(*profile_,
+                                         limits_.profileShardSamples);
+            hooks_->onProfileShards(shards);
+            profile::ShardLoadStats sstats;
+            profile_ = profile::loadShards(shards, &sstats);
+            report.quarantined = sstats.shardsRejected;
+            if (sstats.shardsRejected > 0)
+                report.failures.push_back(
+                    "profile shards rejected: " +
+                    std::to_string(sstats.shardsRejected) + "/" +
+                    std::to_string(sstats.shardsTotal) + " (" +
+                    sstats.firstError + ")");
+        }
         reports_["phase3.collect"] = std::move(report);
     }
     return *profile_;
@@ -391,6 +485,9 @@ Workflow::wpa()
         report.peakActionMemory = wpa_->stats.peakMemory;
         report.memoryLimitExceeded =
             wpa_->stats.peakMemory > limits_.ramPerAction;
+        report.quarantined = wpa_->stats.quarantined;
+        for (const auto &name : wpa_->stats.quarantinedFunctions)
+            report.failures.push_back("addr map quarantined: " + name);
         reports_["phase3.wpa"] = std::move(report);
     }
     return *wpa_;

@@ -62,6 +62,22 @@ struct BuildLimits
 
     /** Concurrent workers executing actions. */
     uint32_t workers = 8;
+
+    /**
+     * Transient-failure retries per action beyond the first attempt.
+     * Remote executors flake; a bounded retry with deterministic
+     * exponential backoff absorbs that without hanging the build.
+     */
+    uint32_t maxActionRetries = 2;
+
+    /** Backoff before retry k is retryBackoffSec * 2^(k-1) seconds. */
+    double retryBackoffSec = 1.0;
+
+    /**
+     * Samples per serialized profile shard on the collection wire path
+     * (taken only when fault hooks are attached; see Workflow::profile).
+     */
+    uint32_t profileShardSamples = 128;
 };
 
 /**
@@ -109,7 +125,62 @@ struct PhaseReport
     /** The largest action exceeded BuildLimits::ramPerAction. */
     bool memoryLimitExceeded = false;
 
+    /** Failed action attempts that were retried (transient failures). */
+    uint32_t retries = 0;
+
+    /** Cache entries found corrupt while serving this phase. */
+    uint32_t cacheCorruptions = 0;
+
+    /**
+     * Inputs this phase degraded instead of dying on: functions dropped
+     * to baseline layout, profile shards rejected, addr-map metadata
+     * discarded.
+     */
+    uint32_t quarantined = 0;
+
+    /** Human-readable failure summary, one line per degraded item. */
+    std::vector<std::string> failures;
+
     double makespanMinutes() const { return makespanSec / 60.0; }
+};
+
+/**
+ * Fault-injection seams of the Workflow (src/faultinject drives these;
+ * tests may subclass directly).  Every hook is a no-op by default, and a
+ * Workflow without hooks attached takes none of the code paths below —
+ * the zero-fault pipeline stays byte-identical.
+ *
+ * Hooks run on the coordinating thread at deterministic points, so a
+ * seeded harness produces the same faults at any thread count.
+ */
+class FaultHooks
+{
+  public:
+    virtual ~FaultHooks() = default;
+
+    /** After a compile batch stores its outputs into the cache. */
+    virtual void onCachePopulated(ArtifactCache &) {}
+
+    /**
+     * On the serialized profile shards between collection and reload
+     * (the wire/disk window where profile bytes can rot).
+     */
+    virtual void onProfileShards(std::vector<std::vector<uint8_t>> &) {}
+
+    /** On the Phase 2 objects before any of them are linked. */
+    virtual void onPhase2Objects(std::vector<elf::ObjectFile> &) {}
+
+    /**
+     * Return true to fail attempt @p attempt (1-based) of the codegen
+     * action for @p module_name — a modelled transient executor fault.
+     */
+    virtual bool
+    failAction(const std::string &module_name, uint32_t attempt)
+    {
+        (void)module_name;
+        (void)attempt;
+        return false;
+    }
 };
 
 /**
@@ -192,6 +263,21 @@ class Workflow
     bool hasReport(const std::string &phase) const;
     const PhaseReport &report(const std::string &phase) const;
 
+    /**
+     * Attach fault-injection hooks (not owned; may be nullptr to
+     * detach).  Must be set before the first product is pulled — hooks
+     * attached mid-pipeline only affect phases not yet memoized.
+     */
+    void setFaultHooks(FaultHooks *hooks) { hooks_ = hooks; }
+
+    /**
+     * Integrity sweep over every cached artifact (the end-of-build
+     * verification pass): evicts corrupt entries, counting them in
+     * cacheStats().corruptions.
+     * @return entries evicted.
+     */
+    uint64_t scrubCache() { return cache_.scrub(); }
+
     /** Names of the Phase 4 cache-hit objects (e.g. "mod_003.o"). */
     const std::vector<std::string> &coldObjects();
 
@@ -207,6 +293,10 @@ class Workflow
         uint32_t cacheHits = 0;
         double makespanSec = 0.0;
         uint64_t peakActionMemory = 0;
+        uint32_t retries = 0;          ///< Failed attempts retried.
+        uint32_t cacheCorruptions = 0; ///< Corrupt hits evicted + rebuilt.
+        uint32_t quarantined = 0;      ///< Cluster directives dropped.
+        std::vector<std::string> failures; ///< Failure summary lines.
     };
 
     /** Fingerprint of one codegen action (module + directives). */
@@ -241,6 +331,7 @@ class Workflow
     workload::WorkloadConfig config_;
     BuildLimits limits_;
     CostModel cost_;
+    FaultHooks *hooks_ = nullptr;
     mutable ArtifactCache cache_;
     std::map<std::string, PhaseReport> reports_;
 

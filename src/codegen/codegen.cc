@@ -499,4 +499,42 @@ compileProgram(const ir::Program &program, const Options &opts)
     return objects;
 }
 
+std::vector<std::string>
+sanitizeClusterMap(const ir::Program &program, ClusterMap &clusters)
+{
+    std::vector<std::string> dropped;
+    for (auto it = clusters.begin(); it != clusters.end();) {
+        const ClusterSpec &spec = it->second;
+        const ir::Function *fn = program.findFunction(it->first);
+        bool sane = fn != nullptr && !spec.clusters.empty() &&
+                    !spec.clusters[0].empty() &&
+                    spec.coldIndex < static_cast<int>(spec.clusters.size());
+        if (sane)
+            sane = spec.clusters[0][0] == fn->entry().id;
+        if (sane) {
+            std::unordered_set<uint32_t> seen;
+            size_t listed = 0;
+            for (const auto &cluster : spec.clusters) {
+                for (uint32_t id : cluster) {
+                    if (!fn->findBlock(id) || !seen.insert(id).second) {
+                        sane = false;
+                        break;
+                    }
+                    ++listed;
+                }
+                if (!sane)
+                    break;
+            }
+            sane = sane && listed == fn->blocks.size();
+        }
+        if (sane) {
+            ++it;
+        } else {
+            dropped.push_back(it->first);
+            it = clusters.erase(it);
+        }
+    }
+    return dropped;
+}
+
 } // namespace propeller::codegen

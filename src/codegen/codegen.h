@@ -58,6 +58,19 @@ struct ClusterSpec
 /** Per-function cluster directives, keyed by function name. */
 using ClusterMap = std::map<std::string, ClusterSpec>;
 
+/**
+ * Drop cluster specs that fail validation against @p program: specs
+ * naming unknown functions or blocks, not covering every block exactly
+ * once, not leading with the entry block, or carrying an out-of-range
+ * cold index.  Codegen treats these as producer-bug invariants and
+ * aborts on them; sanitizing first turns a corrupt WPA directive into a
+ * per-function fallback (original block order) instead.
+ *
+ * @return names of dropped functions, in map order.
+ */
+std::vector<std::string> sanitizeClusterMap(const ir::Program &program,
+                                            ClusterMap &clusters);
+
 /** How text sections are formed. */
 enum class BbSectionsMode : uint8_t {
     /** One section per function, blocks in original order (baseline). */

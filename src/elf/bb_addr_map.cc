@@ -2,9 +2,14 @@
 
 #include <cassert>
 
+#include "support/hash.h"
 #include "support/leb128.h"
 
 namespace propeller::elf {
+
+using support::ErrorCode;
+using support::makeError;
+using support::StatusOr;
 
 size_t
 FunctionAddrMap::blockCount() const
@@ -38,6 +43,24 @@ decodeString(const std::vector<uint8_t> &data, size_t &pos, std::string &out)
     out.assign(data.begin() + pos, data.begin() + pos + *len);
     pos += *len;
     return true;
+}
+
+/** Append @p v as 8 little-endian bytes. */
+void
+put64(std::vector<uint8_t> &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+/** Read 8 little-endian bytes at @p p. */
+uint64_t
+get64(const uint8_t *p)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(p[i]) << (8 * i);
+    return v;
 }
 
 } // namespace
@@ -87,91 +110,158 @@ encodeAddrMaps(const std::vector<FunctionAddrMap> &maps,
             }
         }
     }
+    // v2 blobs end with a content checksum; v1 stays checksum-free so
+    // legacy blobs round-trip byte-identically.
+    if (version == AddrMapVersion::V2)
+        put64(out, fnv1a(out.data(), out.size()));
     return out;
 }
 
-std::vector<FunctionAddrMap>
-decodeAddrMaps(const std::vector<uint8_t> &data, bool *ok)
+StatusOr<std::vector<FunctionAddrMap>>
+decodeAddrMapsChecked(const std::vector<uint8_t> &data)
 {
-    auto fail = [&]() {
-        if (ok)
-            *ok = false;
-        return std::vector<FunctionAddrMap>{};
-    };
-    if (ok)
-        *ok = true;
-
     size_t pos = 0;
+    size_t payload_end = data.size();
     uint64_t features = 0;
     if (data.size() > 1 && data[0] == kV2Escape) {
+        // v2 blobs end with a checksum; verify it before trusting any
+        // field (a bit flip inside a ULEB field decodes "successfully").
+        constexpr size_t kV2MinSize = 4 + 8;
+        if (data.size() < kV2MinSize)
+            return makeError(ErrorCode::kTruncated,
+                             "v2 blob shorter than header + checksum");
+        payload_end = data.size() - 8;
+        uint64_t want = get64(data.data() + payload_end);
+        uint64_t got = fnv1a(data.data(), payload_end);
+        if (want != got)
+            return makeError(ErrorCode::kChecksumMismatch,
+                             ".bb_addr_map content checksum does not "
+                             "verify");
         pos = 1;
         auto version = decodeUleb128(data, pos);
-        if (!version ||
-            *version != static_cast<uint64_t>(AddrMapVersion::V2))
-            return fail();
+        if (!version)
+            return makeError(ErrorCode::kTruncated, "truncated version");
+        if (*version != static_cast<uint64_t>(AddrMapVersion::V2))
+            return makeError(ErrorCode::kUnknownVersion,
+                             "wire version " + std::to_string(*version));
         auto feats = decodeUleb128(data, pos);
-        if (!feats || (*feats & ~kAddrMapKnownFeatures) != 0)
-            return fail();
+        if (!feats)
+            return makeError(ErrorCode::kTruncated,
+                             "truncated feature bits");
+        if ((*feats & ~kAddrMapKnownFeatures) != 0)
+            return makeError(ErrorCode::kUnsupportedFeature,
+                             "unknown feature bits 0x" +
+                                 std::to_string(*feats &
+                                                ~kAddrMapKnownFeatures));
         features = *feats;
     }
 
-    auto n_funcs = decodeUleb128(data, pos);
+    // Decode ULEB fields strictly inside the payload: a field that runs
+    // into the trailing checksum is truncation, not data.
+    auto uleb = [&](const char *what) -> StatusOr<uint64_t> {
+        auto v = decodeUleb128(data, pos);
+        if (!v || pos > payload_end)
+            return makeError(ErrorCode::kTruncated,
+                             std::string("truncated ") + what);
+        return *v;
+    };
+    auto str = [&](const char *what, std::string &out) -> support::Status {
+        size_t before = pos;
+        if (!decodeString(data, pos, out) || pos > payload_end) {
+            pos = before;
+            return makeError(ErrorCode::kTruncated,
+                             std::string("truncated ") + what);
+        }
+        return support::okStatus();
+    };
+
+    PROPELLER_ASSIGN_OR_RETURN(uint64_t n_funcs, uleb("function count"));
     // Sanity bound: every function entry needs at least 4 bytes, so any
     // larger count is corrupt input (guards reserve() on fuzzed bytes).
-    if (!n_funcs || *n_funcs > data.size())
-        return fail();
+    if (n_funcs > data.size())
+        return makeError(ErrorCode::kMalformed,
+                         "function count " + std::to_string(n_funcs) +
+                             " exceeds payload size");
 
     std::vector<FunctionAddrMap> maps;
-    maps.reserve(*n_funcs);
-    for (uint64_t f = 0; f < *n_funcs; ++f) {
+    maps.reserve(n_funcs);
+    for (uint64_t f = 0; f < n_funcs; ++f) {
         FunctionAddrMap map;
-        if (!decodeString(data, pos, map.functionName))
-            return fail();
+        auto ctx = [&](support::Status s) {
+            return std::move(s).withContext(
+                map.functionName.empty()
+                    ? "function #" + std::to_string(f)
+                    : "function " + map.functionName);
+        };
+        if (auto s = str("function name", map.functionName); !s.ok())
+            return ctx(std::move(s));
         if (features & kAddrMapFeatureHashes) {
-            auto fn_hash = decodeUleb128(data, pos);
-            if (!fn_hash)
-                return fail();
+            auto fn_hash = uleb("function hash");
+            if (!fn_hash.ok())
+                return ctx(fn_hash.status());
             map.functionHash = *fn_hash;
         }
-        auto n_ranges = decodeUleb128(data, pos);
-        if (!n_ranges || *n_ranges > data.size())
-            return fail();
+        auto n_ranges = uleb("range count");
+        if (!n_ranges.ok())
+            return ctx(n_ranges.status());
+        if (*n_ranges > data.size())
+            return ctx(makeError(ErrorCode::kMalformed,
+                                 "range count " +
+                                     std::to_string(*n_ranges) +
+                                     " exceeds payload size"));
         for (uint64_t r = 0; r < *n_ranges; ++r) {
             BbRange range;
-            if (!decodeString(data, pos, range.sectionSymbol))
-                return fail();
-            auto n_blocks = decodeUleb128(data, pos);
-            auto offset = decodeUleb128(data, pos);
-            if (!n_blocks || *n_blocks > data.size() || !offset)
-                return fail();
+            if (auto s = str("section symbol", range.sectionSymbol);
+                !s.ok())
+                return ctx(std::move(s));
+            auto n_blocks = uleb("block count");
+            auto offset = uleb("range offset");
+            if (!n_blocks.ok())
+                return ctx(n_blocks.status());
+            if (!offset.ok())
+                return ctx(offset.status());
+            if (*n_blocks > data.size())
+                return ctx(makeError(ErrorCode::kMalformed,
+                                     "block count " +
+                                         std::to_string(*n_blocks) +
+                                         " exceeds payload size"));
             uint64_t cursor = *offset;
             for (uint64_t b = 0; b < *n_blocks; ++b) {
                 BbEntry bb;
-                auto id_flags = decodeUleb128(data, pos);
-                auto size = decodeUleb128(data, pos);
-                if (!id_flags || !size)
-                    return fail();
+                auto id_flags = uleb("block id");
+                auto size = uleb("block size");
+                if (!id_flags.ok())
+                    return ctx(id_flags.status());
+                if (!size.ok())
+                    return ctx(size.status());
                 bb.bbId = static_cast<uint32_t>(*id_flags >> 3);
                 bb.flags = static_cast<uint8_t>(*id_flags & 0x7);
                 bb.offset = static_cast<uint32_t>(cursor);
                 bb.size = static_cast<uint32_t>(*size);
                 cursor += *size;
                 if (features & kAddrMapFeatureHashes) {
-                    auto hash = decodeUleb128(data, pos);
-                    if (!hash)
-                        return fail();
+                    auto hash = uleb("block hash");
+                    if (!hash.ok())
+                        return ctx(hash.status());
                     bb.hash = *hash;
                 }
                 if (features & kAddrMapFeatureSuccessors) {
-                    auto n_succs = decodeUleb128(data, pos);
-                    if (!n_succs || *n_succs > data.size())
-                        return fail();
+                    auto n_succs = uleb("successor count");
+                    if (!n_succs.ok())
+                        return ctx(n_succs.status());
+                    if (*n_succs > data.size())
+                        return ctx(makeError(
+                            ErrorCode::kMalformed,
+                            "successor count " +
+                                std::to_string(*n_succs) +
+                                " exceeds payload size"));
                     bb.succs.reserve(*n_succs);
                     for (uint64_t s = 0; s < *n_succs; ++s) {
-                        auto succ = decodeUleb128(data, pos);
-                        if (!succ)
-                            return fail();
-                        bb.succs.push_back(static_cast<uint32_t>(*succ));
+                        auto succ = uleb("successor id");
+                        if (!succ.ok())
+                            return ctx(succ.status());
+                        bb.succs.push_back(
+                            static_cast<uint32_t>(*succ));
                     }
                 }
                 range.blocks.push_back(std::move(bb));
@@ -180,9 +270,24 @@ decodeAddrMaps(const std::vector<uint8_t> &data, bool *ok)
         }
         maps.push_back(std::move(map));
     }
-    if (pos != data.size())
-        return fail();
+    if (pos != payload_end)
+        return makeError(ErrorCode::kMalformed,
+                         "trailing bytes after last function entry");
     return maps;
+}
+
+std::vector<FunctionAddrMap>
+decodeAddrMaps(const std::vector<uint8_t> &data, bool *ok)
+{
+    auto maps = decodeAddrMapsChecked(data);
+    if (!maps.ok()) {
+        if (ok)
+            *ok = false;
+        return {};
+    }
+    if (ok)
+        *ok = true;
+    return std::move(maps).value();
 }
 
 } // namespace propeller::elf

@@ -21,7 +21,10 @@
  *    feature-bit field, and adds the stale-profile metadata — a stable
  *    per-block fingerprint, a per-function hash and per-block successor
  *    lists.  These are what let a profile collected on last week's binary
- *    be matched onto this week's build (src/stale).
+ *    be matched onto this week's build (src/stale).  A v2 blob ends with
+ *    an 8-byte FNV-1a checksum over every preceding byte: ULEB128 streams
+ *    can absorb bit flips silently, and the checksum is what makes any
+ *    corruption of the metadata a *detected* rejection (ISSUE 4).
  *
  * v1 blobs still decode (a non-empty v1 blob can never start with 0x00:
  * a zero function count must be the entire payload).  Unknown versions or
@@ -31,6 +34,8 @@
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "support/status.h"
 
 namespace propeller::elf {
 
@@ -121,8 +126,17 @@ std::vector<uint8_t> encodeAddrMaps(const std::vector<FunctionAddrMap> &maps,
 /**
  * Decode section bytes produced by encodeAddrMaps().
  *
- * Accepts both v1 and v2 blobs; rejects unknown versions and unknown
- * feature bits.
+ * Accepts both v1 and v2 blobs; rejects unknown versions, unknown
+ * feature bits, and (for v2) any blob whose trailing checksum does not
+ * verify.  Errors carry a context chain naming the failing function /
+ * range / block, so a corrupt object is attributable from the workflow
+ * layer.
+ */
+support::StatusOr<std::vector<FunctionAddrMap>>
+decodeAddrMapsChecked(const std::vector<uint8_t> &data);
+
+/**
+ * Legacy wrapper around decodeAddrMapsChecked().
  *
  * @return decoded maps; returns an empty vector on malformed input (and
  *         sets @p ok to false if provided).

@@ -228,7 +228,11 @@ struct ObjectFile
     /** Serialize to bytes for the content-addressed build cache. */
     std::vector<uint8_t> serialize() const;
 
-    /** Inverse of serialize(); asserts on malformed input. */
+    /** Inverse of serialize(); corruption is a typed error. */
+    static support::StatusOr<ObjectFile>
+    deserializeChecked(const std::vector<uint8_t> &data);
+
+    /** Inverse of serialize(); aborts on malformed input. */
     static ObjectFile deserialize(const std::vector<uint8_t> &data);
 
     /** Content hash for cache keys. */

@@ -1,7 +1,7 @@
-#include <cassert>
-
 #include "elf/object.h"
+#include "support/check.h"
 #include "support/leb128.h"
+#include "support/status.h"
 
 /**
  * @file
@@ -38,7 +38,13 @@ putU64(uint64_t v, std::vector<uint8_t> &out)
     encodeUleb128(v, out);
 }
 
-/** Streaming reader over a byte vector; asserts on malformed input. */
+/**
+ * Streaming reader over a byte vector.
+ *
+ * Malformed input latches an error instead of asserting; once failed,
+ * every accessor returns a benign default so the decode loop can bail at
+ * the next checkpoint without undefined behavior.
+ */
 class Reader
 {
   public:
@@ -47,16 +53,36 @@ class Reader
     uint64_t
     u64()
     {
+        if (failed())
+            return 0;
         auto v = decodeUleb128(data_, pos_);
-        assert(v && "truncated object file");
+        if (!v) {
+            fail("truncated object file");
+            return 0;
+        }
         return *v;
+    }
+
+    /** u64 bounded by the payload size (guards reserve() calls). */
+    uint64_t
+    count(const char *what)
+    {
+        uint64_t n = u64();
+        if (!failed() && n > data_.size()) {
+            fail(what);
+            return 0;
+        }
+        return n;
     }
 
     std::string
     str()
     {
         uint64_t len = u64();
-        assert(pos_ + len <= data_.size() && "truncated string");
+        if (failed() || pos_ + len > data_.size()) {
+            fail("truncated string");
+            return {};
+        }
         std::string s(data_.begin() + pos_, data_.begin() + pos_ + len);
         pos_ += len;
         return s;
@@ -66,7 +92,10 @@ class Reader
     bytes()
     {
         uint64_t len = u64();
-        assert(pos_ + len <= data_.size() && "truncated byte run");
+        if (failed() || pos_ + len > data_.size()) {
+            fail("truncated byte run");
+            return {};
+        }
         std::vector<uint8_t> b(data_.begin() + pos_,
                                data_.begin() + pos_ + len);
         pos_ += len;
@@ -76,15 +105,33 @@ class Reader
     uint8_t
     u8()
     {
-        assert(pos_ < data_.size());
+        if (failed())
+            return 0;
+        if (pos_ >= data_.size()) {
+            fail("truncated byte");
+            return 0;
+        }
         return data_[pos_++];
     }
 
-    bool done() const { return pos_ == data_.size(); }
+    void
+    fail(const std::string &why)
+    {
+        if (!failed_) {
+            failed_ = true;
+            error_ = why;
+        }
+    }
+
+    bool failed() const { return failed_; }
+    const std::string &error() const { return error_; }
+    bool done() const { return failed_ || pos_ == data_.size(); }
 
   private:
     const std::vector<uint8_t> &data_;
     size_t pos_ = 0;
+    bool failed_ = false;
+    std::string error_;
 };
 
 } // namespace
@@ -150,29 +197,39 @@ ObjectFile::serialize() const
     return out;
 }
 
-ObjectFile
-ObjectFile::deserialize(const std::vector<uint8_t> &data)
+support::StatusOr<ObjectFile>
+ObjectFile::deserializeChecked(const std::vector<uint8_t> &data)
 {
+    using support::ErrorCode;
+    using support::makeError;
+
     Reader r(data);
     uint64_t magic = r.u64();
-    assert(magic == kMagic && "bad object file magic");
-    (void)magic;
+    if (r.failed())
+        return makeError(ErrorCode::kTruncated, r.error());
+    if (magic != kMagic)
+        return makeError(ErrorCode::kMalformed, "bad object file magic");
 
     ObjectFile obj;
     obj.name = r.str();
 
-    uint64_t n_sections = r.u64();
+    uint64_t n_sections = r.count("oversized section count");
     obj.sections.reserve(n_sections);
-    for (uint64_t i = 0; i < n_sections; ++i) {
+    for (uint64_t i = 0; i < n_sections && !r.failed(); ++i) {
         Section sec;
         sec.name = r.str();
-        sec.type = static_cast<SectionType>(r.u8());
+        uint8_t type = r.u8();
+        if (type > static_cast<uint8_t>(SectionType::Other)) {
+            r.fail("invalid section type " + std::to_string(type));
+            break;
+        }
+        sec.type = static_cast<SectionType>(type);
         sec.alignment = static_cast<uint32_t>(r.u64());
         sec.isHandAsm = r.u8() != 0;
         sec.bytes = r.bytes();
-        uint64_t n_pieces = r.u64();
+        uint64_t n_pieces = r.count("oversized piece count");
         sec.pieces.reserve(n_pieces);
-        for (uint64_t p = 0; p < n_pieces; ++p) {
+        for (uint64_t p = 0; p < n_pieces && !r.failed(); ++p) {
             TextPiece piece;
             if (r.u8()) {
                 BlockMark mark;
@@ -183,7 +240,13 @@ ObjectFile::deserialize(const std::vector<uint8_t> &data)
             piece.bytes = r.bytes();
             if (r.u8()) {
                 BranchSite bs;
-                bs.op = static_cast<isa::Opcode>(r.u8());
+                uint8_t op = r.u8();
+                if (!r.failed() && !isa::isValidOpcode(op)) {
+                    r.fail("invalid branch-site opcode " +
+                           std::to_string(op));
+                    break;
+                }
+                bs.op = static_cast<isa::Opcode>(op);
                 bs.flags = r.u8();
                 bs.bias = r.u8();
                 bs.branchId = static_cast<uint32_t>(r.u64());
@@ -197,25 +260,35 @@ ObjectFile::deserialize(const std::vector<uint8_t> &data)
         obj.sections.push_back(std::move(sec));
     }
 
-    uint64_t n_symbols = r.u64();
+    uint64_t n_symbols = r.count("oversized symbol count");
     obj.symbols.reserve(n_symbols);
-    for (uint64_t i = 0; i < n_symbols; ++i) {
+    for (uint64_t i = 0; i < n_symbols && !r.failed(); ++i) {
         Symbol sym;
         sym.name = r.str();
         sym.sectionIndex = static_cast<uint32_t>(r.u64());
-        sym.kind = static_cast<SymbolKind>(r.u8());
+        uint8_t kind = r.u8();
+        if (!r.failed() && kind > static_cast<uint8_t>(SymbolKind::Cluster)) {
+            r.fail("invalid symbol kind " + std::to_string(kind));
+            break;
+        }
+        sym.kind = static_cast<SymbolKind>(kind);
         sym.parentFunction = r.str();
         obj.symbols.push_back(std::move(sym));
     }
 
-    bool ok = true;
-    obj.addrMaps = decodeAddrMaps(r.bytes(), &ok);
-    assert(ok && "bad bb_addr_map payload");
-    (void)ok;
+    if (!r.failed()) {
+        auto maps = decodeAddrMapsChecked(r.bytes());
+        if (!maps.ok()) {
+            support::Status s = maps.status();
+            return std::move(s).withContext("object " + obj.name +
+                                            ": .bb_addr_map");
+        }
+        obj.addrMaps = std::move(maps).value();
+    }
 
-    uint64_t n_frames = r.u64();
+    uint64_t n_frames = r.count("oversized frame count");
     obj.frames.reserve(n_frames);
-    for (uint64_t i = 0; i < n_frames; ++i) {
+    for (uint64_t i = 0; i < n_frames && !r.failed(); ++i) {
         FrameDescriptor fde;
         fde.sectionSymbol = r.str();
         fde.codeLength = static_cast<uint32_t>(r.u64());
@@ -223,13 +296,27 @@ ObjectFile::deserialize(const std::vector<uint8_t> &data)
         obj.frames.push_back(std::move(fde));
     }
 
-    uint64_t n_checks = r.u64();
-    for (uint64_t i = 0; i < n_checks; ++i)
+    uint64_t n_checks = r.count("oversized integrity-check count");
+    for (uint64_t i = 0; i < n_checks && !r.failed(); ++i)
         obj.integrityCheckedFunctions.push_back(r.str());
 
     obj.debugRelocs = static_cast<uint32_t>(r.u64());
-    assert(r.done() && "trailing bytes in object file");
+    if (r.failed())
+        return makeError(ErrorCode::kMalformed, r.error())
+            .withContext("object " + obj.name);
+    if (!r.done())
+        return makeError(ErrorCode::kMalformed,
+                         "trailing bytes in object file")
+            .withContext("object " + obj.name);
     return obj;
+}
+
+ObjectFile
+ObjectFile::deserialize(const std::vector<uint8_t> &data)
+{
+    auto obj = deserializeChecked(data);
+    PROPELLER_CHECK(obj.ok(), "bad object file");
+    return std::move(obj).value();
 }
 
 } // namespace propeller::elf

@@ -1,0 +1,204 @@
+#include "faultinject/faultinject.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "support/hash.h"
+
+namespace propeller::faultinject {
+
+using support::ErrorCode;
+using support::makeError;
+using support::StatusOr;
+
+namespace {
+
+// Site tags keying the per-decision RNG streams: the fault for one shard
+// / key / object depends only on (seed, site, identity), never on how
+// many hooks fired before it.
+constexpr uint64_t kSiteProfile = 0x70726f66; // 'prof'
+constexpr uint64_t kSiteCache = 0x63616368;   // 'cach'
+constexpr uint64_t kSiteAddrMap = 0x62626d70; // 'bbmp'
+constexpr uint64_t kSiteExec = 0x65786563;    // 'exec'
+
+void
+flipBit(std::vector<uint8_t> &bytes, Rng &rng, FaultStats *stats)
+{
+    uint64_t pos = rng.below(bytes.size());
+    bytes[pos] ^= static_cast<uint8_t>(1u << rng.below(8));
+    if (stats)
+        ++stats->bitFlips;
+}
+
+} // namespace
+
+void
+mutateBytes(std::vector<uint8_t> &bytes, Rng &rng, FaultStats *stats)
+{
+    if (bytes.empty())
+        return;
+    switch (rng.below(3)) {
+      case 0:
+        flipBit(bytes, rng, stats);
+        return;
+      case 1: {
+        // Truncation keeps at least 2 bytes: a one-byte 0x00 remnant is
+        // the *valid* legacy v1 encoding of "no address maps" (see
+        // bb_addr_map.h), which would turn an injected fault into an
+        // undetectable format ambiguity rather than a corruption.
+        if (bytes.size() <= 2) {
+            flipBit(bytes, rng, stats);
+            return;
+        }
+        bytes.resize(rng.range(2, bytes.size() - 1));
+        if (stats)
+            ++stats->truncations;
+        return;
+      }
+      default: {
+        uint64_t start = rng.below(bytes.size());
+        uint64_t len = rng.range(
+            1, std::min<uint64_t>(16, bytes.size() - start));
+        bool changed = false;
+        for (uint64_t i = start; i < start + len; ++i) {
+            changed = changed || bytes[i] != 0;
+            bytes[i] = 0;
+        }
+        if (!changed) {
+            // The run was already zero; fall back to a flip so the
+            // mutation is guaranteed to take effect.
+            flipBit(bytes, rng, stats);
+            return;
+        }
+        if (stats)
+            ++stats->zeroRuns;
+        return;
+      }
+    }
+}
+
+StatusOr<FaultSpec>
+parseFaultSpec(const std::string &text)
+{
+    FaultSpec spec;
+    size_t pos = 0;
+    while (pos < text.size()) {
+        size_t comma = text.find(',', pos);
+        if (comma == std::string::npos)
+            comma = text.size();
+        std::string pair = text.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (pair.empty())
+            continue;
+        size_t eq = pair.find('=');
+        if (eq == std::string::npos)
+            return makeError(ErrorCode::kMalformed,
+                             "fault spec entry '" + pair +
+                                 "' is not key=value");
+        std::string key = pair.substr(0, eq);
+        std::string value = pair.substr(eq + 1);
+        char *end = nullptr;
+        if (key == "seed") {
+            unsigned long long seed = std::strtoull(value.c_str(), &end, 10);
+            if (end == value.c_str() || *end != '\0')
+                return makeError(ErrorCode::kMalformed,
+                                 "seed '" + value + "' is not an integer");
+            spec.seed = seed;
+            continue;
+        }
+        double rate = std::strtod(value.c_str(), &end);
+        if (end == value.c_str() || *end != '\0' || rate < 0.0 ||
+            rate > 1.0)
+            return makeError(ErrorCode::kMalformed,
+                             "rate '" + value + "' for key '" + key +
+                                 "' is not in [0, 1]");
+        if (key == "profile")
+            spec.profileRate = rate;
+        else if (key == "cache")
+            spec.cacheRate = rate;
+        else if (key == "addrmap")
+            spec.addrMapRate = rate;
+        else if (key == "exec")
+            spec.execFailRate = rate;
+        else
+            return makeError(ErrorCode::kMalformed,
+                             "unknown fault spec key '" + key + "'");
+    }
+    return spec;
+}
+
+void
+FaultInjector::onProfileShards(std::vector<std::vector<uint8_t>> &shards)
+{
+    if (spec_.profileRate <= 0.0)
+        return;
+    for (size_t i = 0; i < shards.size(); ++i) {
+        Rng rng(mix64(spec_.seed, kSiteProfile, i));
+        if (shards[i].empty() || !rng.chance(spec_.profileRate))
+            continue;
+        mutateBytes(shards[i], rng, &stats_);
+        ++stats_.profileShardsCorrupted;
+        stats_.corruptedShardIndices.push_back(i);
+    }
+}
+
+void
+FaultInjector::onCachePopulated(buildsys::ArtifactCache &cache)
+{
+    if (spec_.cacheRate <= 0.0)
+        return;
+    // Each key is corrupted at most once over the workflow's lifetime:
+    // an evicted-and-rebuilt artifact is not re-corrupted, so injected
+    // and detected counts can be compared exactly.
+    for (uint64_t key : cache.keys()) {
+        if (corruptedKeys_.count(key))
+            continue;
+        Rng rng(mix64(spec_.seed, kSiteCache, key));
+        if (!rng.chance(spec_.cacheRate))
+            continue;
+        corruptedKeys_.insert(key);
+        bool mutated = cache.corruptStored(
+            key,
+            [&](std::vector<uint8_t> &bytes) {
+                mutateBytes(bytes, rng, &stats_);
+            },
+            /*rehash=*/false);
+        if (mutated) {
+            ++stats_.cacheEntriesCorrupted;
+            stats_.corruptedCacheKeys.push_back(key);
+        }
+    }
+}
+
+void
+FaultInjector::onPhase2Objects(std::vector<elf::ObjectFile> &objects)
+{
+    if (spec_.addrMapRate <= 0.0)
+        return;
+    for (auto &obj : objects) {
+        int sect = obj.findSection(".bb_addr_map");
+        if (sect < 0 || obj.sections[sect].bytes.empty())
+            continue;
+        Rng rng(mix64(spec_.seed, kSiteAddrMap, fnv1a(obj.name)));
+        if (!rng.chance(spec_.addrMapRate))
+            continue;
+        mutateBytes(obj.sections[sect].bytes, rng, &stats_);
+        ++stats_.addrMapsCorrupted;
+        stats_.corruptedObjectNames.push_back(obj.name);
+    }
+}
+
+bool
+FaultInjector::failAction(const std::string &module_name, uint32_t attempt)
+{
+    if (spec_.execFailRate <= 0.0)
+        return false;
+    Rng rng(mix64(spec_.seed, mix64(kSiteExec, fnv1a(module_name)),
+                  attempt));
+    if (!rng.chance(spec_.execFailRate))
+        return false;
+    ++stats_.actionFailures;
+    return true;
+}
+
+} // namespace propeller::faultinject

@@ -1,0 +1,131 @@
+#ifndef PROPELLER_FAULTINJECT_FAULTINJECT_H
+#define PROPELLER_FAULTINJECT_FAULTINJECT_H
+
+/**
+ * @file
+ * Deterministic seeded fault injection for the relink pipeline.
+ *
+ * Warehouse-scale reality: profile shards rot on distributed storage,
+ * cached objects get bit flips from flaky disks, remote executors flake
+ * mid-action.  Propeller's deployment contract (paper section 6) is that
+ * none of this may ever ship a broken binary — corruption must be
+ * *detected* (checksums, structural validation), *attributed* (counters,
+ * failure summaries) and *absorbed* (quarantine to baseline layout,
+ * cache eviction + rebuild, bounded retry).
+ *
+ * This harness drives the buildsys::FaultHooks seams with three
+ * mutation primitives — bit flip, truncate, zero run — applied to
+ * profile shards, cached artifacts, and `.bb_addr_map` section payloads.
+ * Every decision is *keyed*, not drawn from a sequential stream: the
+ * fault for shard i or cache key k depends only on (seed, site, i/k), so
+ * an injection run is reproducible at any thread count and regardless of
+ * how many times a hook fires.
+ *
+ * Driven by `propeller-cli run --fault-inject <spec>` and the
+ * bench_faults gate.
+ */
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "build/workflow.h"
+#include "support/rng.h"
+#include "support/status.h"
+
+namespace propeller::faultinject {
+
+/** What to corrupt, how often, under which seed. */
+struct FaultSpec
+{
+    uint64_t seed = 1;
+
+    /** Fraction of serialized profile shards corrupted. */
+    double profileRate = 0.0;
+
+    /** Fraction of cached artifacts corrupted (silent storage rot). */
+    double cacheRate = 0.0;
+
+    /** Fraction of objects whose .bb_addr_map payload is corrupted. */
+    double addrMapRate = 0.0;
+
+    /** Probability a codegen action attempt fails transiently. */
+    double execFailRate = 0.0;
+
+    bool
+    any() const
+    {
+        return profileRate > 0.0 || cacheRate > 0.0 || addrMapRate > 0.0 ||
+               execFailRate > 0.0;
+    }
+};
+
+/**
+ * Parse a spec string: comma-separated `key=value` pairs with keys
+ * `seed` (integer) and `profile`/`cache`/`addrmap`/`exec` (rates in
+ * [0, 1]).  Example: "seed=7,profile=0.25,cache=0.25,addrmap=0.25".
+ */
+support::StatusOr<FaultSpec> parseFaultSpec(const std::string &text);
+
+/** What the harness actually injected (ground truth for the gates). */
+struct FaultStats
+{
+    uint32_t profileShardsCorrupted = 0;
+    uint32_t cacheEntriesCorrupted = 0;
+    uint32_t addrMapsCorrupted = 0;
+    uint32_t actionFailures = 0; ///< Transient executor faults injected.
+
+    // By mutation primitive.
+    uint32_t bitFlips = 0;
+    uint32_t truncations = 0;
+    uint32_t zeroRuns = 0;
+
+    // Identities of what was hit — the ground truth the gates compare
+    // detection counters and quarantine lists against.
+    std::vector<std::string> corruptedObjectNames;
+    std::vector<size_t> corruptedShardIndices;
+    std::vector<uint64_t> corruptedCacheKeys;
+
+    /** Total byte-level corruptions injected (excludes exec faults). */
+    uint32_t
+    corruptions() const
+    {
+        return profileShardsCorrupted + cacheEntriesCorrupted +
+               addrMapsCorrupted;
+    }
+};
+
+/**
+ * Apply one randomly chosen mutation (bit flip / truncate / zero run) to
+ * @p bytes, guaranteeing the bytes actually change; no-op only when
+ * empty.  Exposed for the fuzz property tests.
+ */
+void mutateBytes(std::vector<uint8_t> &bytes, Rng &rng,
+                 FaultStats *stats = nullptr);
+
+/** The FaultHooks implementation a Workflow runs under injection. */
+class FaultInjector : public buildsys::FaultHooks
+{
+  public:
+    explicit FaultInjector(const FaultSpec &spec) : spec_(spec) {}
+
+    void onCachePopulated(buildsys::ArtifactCache &cache) override;
+    void onProfileShards(
+        std::vector<std::vector<uint8_t>> &shards) override;
+    void onPhase2Objects(std::vector<elf::ObjectFile> &objects) override;
+    bool failAction(const std::string &module_name,
+                    uint32_t attempt) override;
+
+    const FaultSpec &spec() const { return spec_; }
+    const FaultStats &stats() const { return stats_; }
+
+  private:
+    FaultSpec spec_;
+    FaultStats stats_;
+    std::set<uint64_t> corruptedKeys_; ///< Cache keys hit (once each).
+};
+
+} // namespace propeller::faultinject
+
+#endif // PROPELLER_FAULTINJECT_FAULTINJECT_H

@@ -1,7 +1,8 @@
 #include "isa/isa.h"
 
-#include <cassert>
 #include <cstdio>
+
+#include "support/check.h"
 
 namespace propeller::isa {
 
@@ -65,7 +66,9 @@ Instruction::sizeOf(Opcode op)
       case Opcode::JccNear:
         return 11;
     }
-    assert(false && "unknown opcode");
+    // Reaching here means a caller fabricated an Opcode from an unchecked
+    // byte; decode() filters input bytes through isValidOpcode() first.
+    PROPELLER_CHECK(false, "unknown opcode");
     return 0;
 }
 
@@ -93,7 +96,8 @@ Instruction::encode(std::vector<uint8_t> &out) const
         put16(out, imm & 0xffff);
         break;
       case Opcode::JmpShort:
-        assert(fitsRel8(rel) && "short jump displacement out of range");
+        PROPELLER_CHECK(fitsRel8(rel),
+                        "short jump displacement out of range");
         out.push_back(static_cast<uint8_t>(static_cast<int8_t>(rel)));
         break;
       case Opcode::JmpNear:
@@ -101,7 +105,8 @@ Instruction::encode(std::vector<uint8_t> &out) const
         put32(out, static_cast<uint32_t>(rel));
         break;
       case Opcode::JccShort:
-        assert(fitsRel8(rel) && "short branch displacement out of range");
+        PROPELLER_CHECK(fitsRel8(rel),
+                        "short branch displacement out of range");
         out.push_back(flags);
         out.push_back(bias);
         put32(out, branchId);
@@ -116,13 +121,10 @@ Instruction::encode(std::vector<uint8_t> &out) const
     }
 }
 
-std::optional<Instruction>
-decode(const uint8_t *data, size_t avail)
+bool
+isValidOpcode(uint8_t byte)
 {
-    if (avail == 0)
-        return std::nullopt;
-    auto op = static_cast<Opcode>(data[0]);
-    switch (op) {
+    switch (static_cast<Opcode>(byte)) {
       case Opcode::Nop:
       case Opcode::Halt:
       case Opcode::Ret:
@@ -136,10 +138,20 @@ decode(const uint8_t *data, size_t avail)
       case Opcode::JccNear:
       case Opcode::Call:
       case Opcode::Prefetch:
-        break;
+        return true;
       default:
-        return std::nullopt; // Undefined opcode: looks like embedded data.
+        return false;
     }
+}
+
+std::optional<Instruction>
+decode(const uint8_t *data, size_t avail)
+{
+    if (avail == 0)
+        return std::nullopt;
+    if (!isValidOpcode(data[0]))
+        return std::nullopt; // Undefined opcode: looks like embedded data.
+    auto op = static_cast<Opcode>(data[0]);
 
     size_t size = Instruction::sizeOf(op);
     if (avail < size)

@@ -128,6 +128,9 @@ struct Instruction
     bool operator==(const Instruction &other) const = default;
 };
 
+/** True if @p byte is a defined opcode (gaps decode as embedded data). */
+bool isValidOpcode(uint8_t byte);
+
 /**
  * Decode one instruction from @p data (at most @p avail bytes).
  *

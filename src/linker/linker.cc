@@ -1,9 +1,11 @@
 #include "linker/linker.h"
 
-#include <cassert>
+#include <algorithm>
+#include <set>
 #include <unordered_map>
 
 #include "isa/isa.h"
+#include "support/check.h"
 #include "support/hash.h"
 
 namespace propeller::linker {
@@ -15,6 +17,8 @@ using elf::ObjectFile;
 using elf::Section;
 using elf::SectionType;
 using isa::Opcode;
+using support::ErrorCode;
+using support::makeError;
 
 constexpr uint64_t kHugePage = 2 * 1024 * 1024;
 
@@ -87,9 +91,9 @@ struct Sect
 
 } // namespace
 
-Executable
-link(const std::vector<ObjectFile> &objects, const Options &opts,
-     LinkStats *stats_out)
+support::StatusOr<Executable>
+linkChecked(const std::vector<ObjectFile> &objects, const Options &opts,
+            LinkStats *stats_out)
 {
     LinkStats stats;
     MemoryMeter meter;
@@ -111,8 +115,12 @@ link(const std::vector<ObjectFile> &objects, const Options &opts,
             const Section &sec = obj.sections[si];
             if (sec.type != SectionType::Text)
                 continue;
-            const elf::Symbol *sym =
-                sym_of_section.at(static_cast<uint32_t>(si));
+            auto sym_it = sym_of_section.find(static_cast<uint32_t>(si));
+            if (sym_it == sym_of_section.end())
+                return makeError(ErrorCode::kMalformed,
+                                 "object " + obj.name + ": text section " +
+                                     sec.name + " has no defining symbol");
+            const elf::Symbol *sym = sym_it->second;
 
             Sect sect;
             sect.symbol = sym->name;
@@ -149,17 +157,31 @@ link(const std::vector<ObjectFile> &objects, const Options &opts,
                     .emplace(sect.symbol,
                              static_cast<uint32_t>(sects.size()))
                     .second;
-            assert(inserted && "duplicate section symbol");
-            (void)inserted;
+            if (!inserted)
+                return makeError(ErrorCode::kMalformed,
+                                 "duplicate section symbol " + sect.symbol +
+                                     " (object " + obj.name + ")");
             sects.push_back(std::move(sect));
         }
     }
 
-    // Resolve every site's target section now that all symbols are known.
+    // Resolve every site's target section now that all symbols are known,
+    // and validate block-level targets up front so the layout loop below
+    // can index without re-checking.
     for (auto &site : sites) {
         auto it = sect_by_symbol.find(site.src->targetSymbol);
-        assert(it != sect_by_symbol.end() && "unresolved symbol");
+        if (it == sect_by_symbol.end())
+            return makeError(ErrorCode::kUnresolved,
+                             "unresolved symbol " + site.src->targetSymbol +
+                                 " (referenced from " +
+                                 sects[site.sect].symbol + ")");
         site.targetSect = static_cast<int32_t>(it->second);
+        if (site.src->targetBb != elf::kSectionStart &&
+            !sects[it->second].slotOf.count(site.src->targetBb))
+            return makeError(ErrorCode::kUnresolved,
+                             "branch to unmapped block #" +
+                                 std::to_string(site.src->targetBb) +
+                                 " in " + site.src->targetSymbol);
     }
 
     // Modelled memory: runtime floor (allocator, string tables, output
@@ -172,28 +194,22 @@ link(const std::vector<ObjectFile> &objects, const Options &opts,
         block_count += s.blockIds.size();
     meter.charge(block_count * 24);
 
-    // ---- Global layout order (symbol ordering file, paper 3.4) ---------
-    std::vector<uint32_t> order;
-    order.reserve(sects.size());
-    std::vector<bool> placed(sects.size(), false);
-    for (const auto &name : opts.symbolOrder) {
-        auto it = sect_by_symbol.find(name);
-        if (it == sect_by_symbol.end() || placed[it->second])
-            continue;
-        placed[it->second] = true;
-        order.push_back(it->second);
-    }
-    for (uint32_t i = 0; i < sects.size(); ++i) {
-        if (!placed[i])
-            order.push_back(i);
-    }
-    stats.sectionsLinked = static_cast<uint32_t>(order.size());
-
     uint64_t base = opts.textBase;
     if (opts.hugePagesText)
         base = alignUp(base, kHugePage);
 
-    // ---- Branch sizing / relaxation fixpoint (paper 4.2) ---------------
+    // ---- Layout + relaxation under the overflow quarantine -------------
+    //
+    // The symbol ordering file can place a function's sections anywhere in
+    // the image; at real scale a bad ordering (or a hostile knob setting)
+    // can push a branch past its encodable displacement.  Rather than
+    // failing the whole link, the offending *function* is quarantined:
+    // its sections drop out of the ordered prefix back to input order,
+    // and sizing reruns.  Each round quarantines at least one new
+    // function, so the loop terminates.
+    std::vector<uint32_t> order;
+    order.reserve(sects.size());
+
     auto computeLayout = [&]() {
         uint64_t cursor = base;
         for (uint32_t idx : order) {
@@ -220,58 +236,122 @@ link(const std::vector<ObjectFile> &objects, const Options &opts,
         const Sect &target = sects[site.targetSect];
         if (site.src->targetBb == elf::kSectionStart)
             return target.addr;
+        // Validated when sites were resolved above.
         auto it = target.slotOf.find(site.src->targetBb);
-        assert(it != target.slotOf.end() && "branch to unmapped block");
+        PROPELLER_CHECK(it != target.slotOf.end(),
+                        "branch to unmapped block");
         return target.addr + target.blockOffsets[it->second];
     };
 
-    // All sites start Long (compiler-emitted near forms).
-    constexpr int kMaxIterations = 64;
-    constexpr int kGrowOnlyAfter = 48;
-    bool changed = true;
-    int iter = 0;
-    while (changed && iter < kMaxIterations) {
-        ++iter;
-        computeLayout();
-        changed = false;
-        for (auto &site : sites) {
-            if (site.isCall())
-                continue;
-            uint64_t site_start = sects[site.sect].addr + site.offset;
-            uint64_t target = targetAddress(site);
+    // Displacements the near (rel32) forms can encode, possibly narrowed
+    // by the test knob.
+    const int64_t max_disp =
+        std::min<int64_t>(opts.maxBranchDisplacement, INT32_MAX);
 
-            SiteState desired = SiteState::Long;
-            if (opts.relax) {
-                // Fall-through deletion: the jump lands exactly past its
-                // own encoding, so removing it preserves control flow.
-                if (site.src->isFallThrough &&
-                    target == site_start + site.encodedSize()) {
-                    desired = SiteState::Deleted;
-                } else {
-                    Opcode short_op = site.src->op == Opcode::JccNear
-                                          ? Opcode::JccShort
-                                          : Opcode::JmpShort;
-                    uint64_t short_size =
-                        isa::Instruction::sizeOf(short_op);
-                    int64_t disp = static_cast<int64_t>(target) -
-                                   static_cast<int64_t>(site_start +
-                                                        short_size);
-                    desired = isa::fitsRel8(disp) ? SiteState::Short
-                                                  : SiteState::Long;
+    std::set<std::string> quarantined_fns;
+    uint64_t image_end = 0;
+    for (;;) {
+        // Global layout order (symbol ordering file, paper 3.4), minus
+        // quarantined functions.
+        order.clear();
+        std::vector<bool> placed(sects.size(), false);
+        for (const auto &name : opts.symbolOrder) {
+            auto it = sect_by_symbol.find(name);
+            if (it == sect_by_symbol.end() || placed[it->second])
+                continue;
+            if (quarantined_fns.count(sects[it->second].parentFunction))
+                continue;
+            placed[it->second] = true;
+            order.push_back(it->second);
+        }
+        for (uint32_t i = 0; i < sects.size(); ++i) {
+            if (!placed[i])
+                order.push_back(i);
+        }
+
+        // All sites start Long (compiler-emitted near forms).
+        for (auto &site : sites)
+            site.state = SiteState::Long;
+        constexpr int kMaxIterations = 64;
+        constexpr int kGrowOnlyAfter = 48;
+        bool changed = true;
+        int iter = 0;
+        while (changed && iter < kMaxIterations) {
+            ++iter;
+            computeLayout();
+            changed = false;
+            for (auto &site : sites) {
+                if (site.isCall())
+                    continue;
+                uint64_t site_start = sects[site.sect].addr + site.offset;
+                uint64_t target = targetAddress(site);
+
+                SiteState desired = SiteState::Long;
+                if (opts.relax) {
+                    // Fall-through deletion: the jump lands exactly past
+                    // its own encoding, so removing it preserves control
+                    // flow.
+                    if (site.src->isFallThrough &&
+                        target == site_start + site.encodedSize()) {
+                        desired = SiteState::Deleted;
+                    } else {
+                        Opcode short_op = site.src->op == Opcode::JccNear
+                                              ? Opcode::JccShort
+                                              : Opcode::JmpShort;
+                        uint64_t short_size =
+                            isa::Instruction::sizeOf(short_op);
+                        int64_t disp = static_cast<int64_t>(target) -
+                                       static_cast<int64_t>(site_start +
+                                                            short_size);
+                        desired = isa::fitsRel8(disp) ? SiteState::Short
+                                                      : SiteState::Long;
+                    }
+                }
+                if (desired != site.state) {
+                    // Late iterations only allow growing, which
+                    // guarantees convergence even with alignment-induced
+                    // oscillation.
+                    if (iter > kGrowOnlyAfter &&
+                        desired != SiteState::Long)
+                        continue;
+                    site.state = desired;
+                    changed = true;
                 }
             }
-            if (desired != site.state) {
-                // Late iterations only allow growing, which guarantees
-                // convergence even with alignment-induced oscillation.
-                if (iter > kGrowOnlyAfter && desired != SiteState::Long)
-                    continue;
-                site.state = desired;
-                changed = true;
-            }
         }
+        stats.relaxIterations = static_cast<uint32_t>(iter);
+        image_end = computeLayout();
+
+        // Scan every surviving site for displacement overflow.  Short
+        // forms were verified by fitsRel8 during sizing; near forms
+        // (including calls) must fit max_disp.
+        std::set<std::string> offenders;
+        for (const auto &site : sites) {
+            if (site.state != SiteState::Long)
+                continue;
+            uint64_t site_start = sects[site.sect].addr + site.offset;
+            int64_t disp = static_cast<int64_t>(targetAddress(site)) -
+                           static_cast<int64_t>(site_start +
+                                                site.encodedSize());
+            if (disp > max_disp || disp < -max_disp - 1)
+                offenders.insert(sects[site.sect].parentFunction);
+        }
+        if (offenders.empty())
+            break;
+
+        bool progress = false;
+        for (const auto &fn : offenders)
+            progress |= quarantined_fns.insert(fn).second;
+        if (!opts.quarantineOnOverflow || !progress)
+            return makeError(ErrorCode::kOutOfRange,
+                             "branch displacement overflow in function " +
+                                 *offenders.begin());
     }
-    stats.relaxIterations = static_cast<uint32_t>(iter);
-    uint64_t image_end = computeLayout();
+    stats.sectionsLinked = static_cast<uint32_t>(order.size());
+    stats.quarantinedFunctions =
+        static_cast<uint32_t>(quarantined_fns.size());
+    stats.quarantined.assign(quarantined_fns.begin(),
+                             quarantined_fns.end());
 
     for (const auto &site : sites) {
         if (site.state == SiteState::Deleted)
@@ -322,29 +402,52 @@ link(const std::vector<ObjectFile> &objects, const Options &opts,
             int64_t disp = static_cast<int64_t>(targetAddress(site)) -
                            static_cast<int64_t>(site_start +
                                                 site.encodedSize());
-            assert(disp >= INT32_MIN && disp <= INT32_MAX &&
-                   "branch displacement overflow");
+            // The overflow scan above guarantees encodability here.
+            PROPELLER_CHECK(disp >= INT32_MIN && disp <= INT32_MAX,
+                            "branch displacement overflow");
             inst.rel = static_cast<int32_t>(disp);
             encoded.clear();
             inst.encode(encoded);
-            assert(encoded.size() == site.encodedSize());
+            PROPELLER_CHECK(encoded.size() == site.encodedSize(),
+                            "encoded size mismatch");
             std::copy(encoded.begin(), encoded.end(),
                       exe.text.begin() + pos);
             pos += encoded.size();
         }
-        assert(pos == sect.addr - base + sect.size);
+        PROPELLER_CHECK(pos == sect.addr - base + sect.size,
+                        "section emit cursor mismatch");
     }
 
     // ---- Symbols, BB map, integrity checks ------------------------------
     std::unordered_map<std::string, size_t> func_map_index;
     std::vector<ExecFuncMap> func_maps;
     std::unordered_map<std::string, bool> addr_map_kept;
+    // Decoded from the actual section *bytes*, not the structured
+    // ObjectFile field: the bytes are what a cache or disk corruption
+    // hits, and decoding them here is what turns that corruption into a
+    // per-object metadata rejection instead of silent bad mappings.
+    std::unordered_map<std::string, std::vector<elf::FunctionAddrMap>>
+        decoded_maps;
     for (const auto &obj : objects) {
-        bool has_section = obj.findSection(".bb_addr_map") >= 0;
+        int sect_idx = obj.findSection(".bb_addr_map");
         bool dropped =
             opts.stripAddrMaps ||
             (opts.dropAddrMapsOf && opts.dropAddrMapsOf->count(obj.name));
-        addr_map_kept[obj.name] = has_section && !dropped;
+        bool kept = sect_idx >= 0 && !dropped;
+        if (kept) {
+            auto maps =
+                elf::decodeAddrMapsChecked(obj.sections[sect_idx].bytes);
+            if (maps.ok()) {
+                decoded_maps[obj.name] = std::move(maps).value();
+            } else {
+                // Degrade: this object's functions become unprofiled
+                // (baseline layout downstream), the relink proceeds.
+                kept = false;
+                ++stats.addrMapsRejected;
+                stats.rejectedAddrMapObjects.push_back(obj.name);
+            }
+        }
+        addr_map_kept[obj.name] = kept;
     }
 
     // Stale-profile fingerprints live in the object address maps (the
@@ -359,7 +462,7 @@ link(const std::vector<ObjectFile> &objects, const Options &opts,
     for (const auto &obj : objects) {
         if (!addr_map_kept[obj.name])
             continue;
-        for (const auto &map : obj.addrMaps) {
+        for (const auto &map : decoded_maps[obj.name]) {
             FuncFp &fp = fp_of[map.functionName];
             fp.functionHash = map.functionHash;
             for (const auto &range : map.ranges) {
@@ -434,7 +537,9 @@ link(const std::vector<ObjectFile> &objects, const Options &opts,
 
     // Entry point.
     auto entry_it = sect_by_symbol.find(opts.entrySymbol);
-    assert(entry_it != sect_by_symbol.end() && "entry symbol not found");
+    if (entry_it == sect_by_symbol.end())
+        return makeError(ErrorCode::kUnresolved,
+                         "entry symbol " + opts.entrySymbol + " not found");
     exe.entryAddress = sects[entry_it->second].addr;
 
     // Startup integrity checks: hash the primary range of each checked
@@ -442,7 +547,10 @@ link(const std::vector<ObjectFile> &objects, const Options &opts,
     for (const auto &obj : objects) {
         for (const auto &fn : obj.integrityCheckedFunctions) {
             auto it = sect_by_symbol.find(fn);
-            assert(it != sect_by_symbol.end());
+            if (it == sect_by_symbol.end())
+                return makeError(ErrorCode::kUnresolved,
+                                 "integrity-checked function " + fn +
+                                     " has no section symbol");
             const Sect &sect = sects[it->second];
             IntegrityCheck check;
             check.function = fn;
@@ -492,6 +600,15 @@ link(const std::vector<ObjectFile> &objects, const Options &opts,
     if (stats_out)
         *stats_out = stats;
     return exe;
+}
+
+Executable
+link(const std::vector<ObjectFile> &objects, const Options &opts,
+     LinkStats *stats_out)
+{
+    auto exe = linkChecked(objects, opts, stats_out);
+    PROPELLER_CHECK(exe.ok(), exe.status().toString().c_str());
+    return std::move(exe).value();
 }
 
 } // namespace propeller::linker

@@ -20,6 +20,7 @@
  *    table and the Figure 6 size breakdown.
  */
 
+#include <cstdint>
 #include <set>
 #include <string>
 #include <vector>
@@ -27,6 +28,7 @@
 #include "elf/object.h"
 #include "linker/executable.h"
 #include "support/memory_meter.h"
+#include "support/status.h"
 
 namespace propeller::linker {
 
@@ -72,6 +74,21 @@ struct Options
 
     /** Modelled memory meter to charge (optional). */
     MemoryMeter *meter = nullptr;
+
+    /**
+     * Largest branch displacement magnitude the target encodes.  The
+     * default matches rel32; tests lower it to exercise the overflow
+     * quarantine at model scale.
+     */
+    int64_t maxBranchDisplacement = INT32_MAX;
+
+    /**
+     * On displacement overflow, quarantine the offending function —
+     * revert its sections to input order, dropping its optimized
+     * layout — instead of failing the whole link (paper §6: never ship
+     * a broken binary; degrade per function).
+     */
+    bool quarantineOnOverflow = true;
 };
 
 /** Link-time statistics. */
@@ -83,13 +100,38 @@ struct LinkStats
     uint32_t branchesShrunk = 0;  ///< Near forms relaxed to short.
     uint32_t relaxIterations = 0;
     uint64_t peakMemory = 0;      ///< Modelled peak bytes.
+
+    /** Functions reverted to input-order layout (overflow quarantine). */
+    uint32_t quarantinedFunctions = 0;
+    std::vector<std::string> quarantined; ///< Their names.
+
+    /** Input objects whose .bb_addr_map bytes failed to decode. */
+    uint32_t addrMapsRejected = 0;
+    std::vector<std::string> rejectedAddrMapObjects; ///< Their names.
 };
 
 /**
  * Link @p objects into an executable.
  *
- * Asserts on unresolved symbols or duplicate section symbols — in this
- * closed world those are always producer bugs.
+ * Corrupt input is a typed error (unresolved symbols, duplicate section
+ * symbols, branches to unmapped blocks, a missing entry symbol) — the
+ * caller decides whether to abort the build or fall back.  Two failure
+ * classes degrade instead of failing:
+ *
+ *  - a kept object whose .bb_addr_map section bytes do not decode loses
+ *    its metadata (functions become unprofiled; counted in
+ *    LinkStats::addrMapsRejected);
+ *  - a branch displacement overflow quarantines the offending function
+ *    back to input order (LinkStats::quarantined) when
+ *    Options::quarantineOnOverflow is set.
+ */
+support::StatusOr<Executable>
+linkChecked(const std::vector<elf::ObjectFile> &objects, const Options &opts,
+            LinkStats *stats = nullptr);
+
+/**
+ * Link @p objects, aborting on malformed input (trusted-input paths —
+ * in a closed-world build those failures are always producer bugs).
  */
 Executable link(const std::vector<elf::ObjectFile> &objects,
                 const Options &opts, LinkStats *stats = nullptr);

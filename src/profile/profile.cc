@@ -1,12 +1,42 @@
 #include "profile/profile.h"
 
 #include <algorithm>
-#include <cassert>
 
+#include "support/check.h"
+#include "support/hash.h"
 #include "support/leb128.h"
 #include "support/thread_pool.h"
 
 namespace propeller::profile {
+
+namespace {
+
+using support::ErrorCode;
+using support::makeError;
+using support::StatusOr;
+
+/** Leading magic of a serialized profile ("perf.data" file id). */
+constexpr uint8_t kProfileMagic[4] = {'L', 'B', 'R', '1'};
+
+/** Append @p v as 8 little-endian bytes. */
+void
+put64(std::vector<uint8_t> &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+/** Read 8 little-endian bytes at @p p. */
+uint64_t
+get64(const uint8_t *p)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
 
 uint64_t
 Profile::sizeInBytes() const
@@ -23,6 +53,7 @@ std::vector<uint8_t>
 Profile::serialize() const
 {
     std::vector<uint8_t> out;
+    out.insert(out.end(), std::begin(kProfileMagic), std::end(kProfileMagic));
     encodeUleb128(binaryHash, out);
     encodeUleb128(totalRetired, out);
     encodeUleb128(samples.size(), out);
@@ -33,36 +64,133 @@ Profile::serialize() const
             encodeUleb128(sample.records[i].to, out);
         }
     }
+    put64(out, fnv1a(out.data(), out.size()));
     return out;
+}
+
+StatusOr<Profile>
+Profile::deserializeChecked(const std::vector<uint8_t> &data)
+{
+    constexpr size_t kMinSize = sizeof(kProfileMagic) + 3 + 8;
+    if (data.size() < kMinSize)
+        return makeError(ErrorCode::kTruncated,
+                         "profile shorter than header + checksum (" +
+                             std::to_string(data.size()) + " bytes)");
+    if (!std::equal(std::begin(kProfileMagic), std::end(kProfileMagic),
+                    data.begin()))
+        return makeError(ErrorCode::kMalformed, "bad profile magic");
+
+    size_t payload_end = data.size() - 8;
+    uint64_t want = get64(data.data() + payload_end);
+    uint64_t got = fnv1a(data.data(), payload_end);
+    if (want != got)
+        return makeError(ErrorCode::kChecksumMismatch,
+                         "profile content checksum does not verify");
+
+    Profile p;
+    size_t pos = sizeof(kProfileMagic);
+    auto next = [&](const char *what) -> StatusOr<uint64_t> {
+        auto v = decodeUleb128(data, pos);
+        if (!v || pos > payload_end)
+            return makeError(ErrorCode::kTruncated,
+                             std::string("truncated ") + what);
+        return *v;
+    };
+    PROPELLER_ASSIGN_OR_RETURN(p.binaryHash, next("binary hash"));
+    PROPELLER_ASSIGN_OR_RETURN(p.totalRetired, next("retired count"));
+    PROPELLER_ASSIGN_OR_RETURN(uint64_t n, next("sample count"));
+    // Every sample needs at least one byte, so a larger count is corrupt
+    // input (guards the reserve() below against fuzzed bytes).
+    if (n > payload_end - pos)
+        return makeError(ErrorCode::kMalformed,
+                         "sample count " + std::to_string(n) +
+                             " exceeds payload size");
+    p.samples.reserve(n);
+    for (uint64_t s = 0; s < n; ++s) {
+        LbrSample sample;
+        if (pos >= payload_end)
+            return makeError(ErrorCode::kTruncated,
+                             "sample " + std::to_string(s) +
+                                 ": missing record count");
+        sample.count = data[pos++];
+        if (sample.count > kLbrDepth)
+            return makeError(ErrorCode::kMalformed,
+                             "sample " + std::to_string(s) + ": " +
+                                 std::to_string(sample.count) +
+                                 " records exceeds LBR depth");
+        for (unsigned i = 0; i < sample.count; ++i) {
+            PROPELLER_ASSIGN_OR_RETURN(sample.records[i].from,
+                                       next("branch source"));
+            PROPELLER_ASSIGN_OR_RETURN(sample.records[i].to,
+                                       next("branch target"));
+        }
+        p.samples.push_back(sample);
+    }
+    if (pos != payload_end)
+        return makeError(ErrorCode::kMalformed,
+                         "trailing bytes after last sample");
+    return p;
 }
 
 Profile
 Profile::deserialize(const std::vector<uint8_t> &data)
 {
-    Profile p;
-    size_t pos = 0;
-    auto next = [&]() {
-        auto v = decodeUleb128(data, pos);
-        assert(v && "truncated profile");
-        return *v;
-    };
-    p.binaryHash = next();
-    p.totalRetired = next();
-    uint64_t n = next();
-    p.samples.reserve(n);
-    for (uint64_t s = 0; s < n; ++s) {
-        LbrSample sample;
-        assert(pos < data.size());
-        sample.count = data[pos++];
-        assert(sample.count <= kLbrDepth);
-        for (unsigned i = 0; i < sample.count; ++i) {
-            sample.records[i].from = next();
-            sample.records[i].to = next();
-        }
-        p.samples.push_back(sample);
+    auto p = deserializeChecked(data);
+    PROPELLER_CHECK(p.ok(), "truncated profile");
+    return std::move(p).value();
+}
+
+std::vector<std::vector<uint8_t>>
+serializeShards(const Profile &profile, uint32_t samplesPerShard)
+{
+    size_t n = profile.samples.size();
+    size_t per = samplesPerShard == 0 ? std::max<size_t>(n, 1)
+                                      : samplesPerShard;
+    size_t shards = std::max<size_t>((n + per - 1) / per, 1);
+    std::vector<std::vector<uint8_t>> out;
+    out.reserve(shards);
+    for (size_t s = 0; s < shards; ++s) {
+        Profile shard;
+        shard.binaryHash = profile.binaryHash;
+        shard.totalRetired = profile.totalRetired;
+        size_t begin = s * per;
+        size_t end = std::min(n, begin + per);
+        shard.samples.assign(profile.samples.begin() + begin,
+                             profile.samples.begin() + end);
+        out.push_back(shard.serialize());
     }
-    assert(pos == data.size());
-    return p;
+    return out;
+}
+
+Profile
+loadShards(const std::vector<std::vector<uint8_t>> &shards,
+           ShardLoadStats *stats)
+{
+    Profile merged;
+    bool have_header = false;
+    ShardLoadStats local;
+    local.shardsTotal = static_cast<uint32_t>(shards.size());
+    for (size_t s = 0; s < shards.size(); ++s) {
+        auto decoded = Profile::deserializeChecked(shards[s]);
+        if (!decoded.ok()) {
+            ++local.shardsRejected;
+            if (local.firstError.empty())
+                local.firstError = ("shard " + std::to_string(s) + ": ") +
+                                   decoded.status().toString();
+            continue;
+        }
+        if (!have_header) {
+            merged.binaryHash = decoded->binaryHash;
+            merged.totalRetired = decoded->totalRetired;
+            have_header = true;
+        }
+        merged.samples.insert(merged.samples.end(),
+                              decoded->samples.begin(),
+                              decoded->samples.end());
+    }
+    if (stats)
+        *stats = local;
+    return merged;
 }
 
 void

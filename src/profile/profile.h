@@ -16,8 +16,11 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "support/status.h"
 
 namespace propeller::profile {
 
@@ -53,9 +56,46 @@ struct Profile
     /** Serialized size in bytes (what profile conversion must read). */
     uint64_t sizeInBytes() const;
 
+    /**
+     * Wire format: 4-byte magic, ULEB128 fields, and a trailing 8-byte
+     * FNV-1a checksum over everything before it.  ULEB128 streams can
+     * absorb bit flips silently; the checksum is what turns any
+     * corruption into a *detected* rejection (ISSUE 4).
+     */
     std::vector<uint8_t> serialize() const;
+
+    /** Decode @p data; corruption is a typed error, never an abort. */
+    static support::StatusOr<Profile>
+    deserializeChecked(const std::vector<uint8_t> &data);
+
+    /** Decode @p data, aborting on corruption (trusted-input paths). */
     static Profile deserialize(const std::vector<uint8_t> &data);
 };
+
+/** Outcome of salvaging a sharded profile (see loadShards()). */
+struct ShardLoadStats
+{
+    uint32_t shardsTotal = 0;    ///< Shards presented.
+    uint32_t shardsRejected = 0; ///< Shards dropped as corrupt.
+    std::string firstError;      ///< Diagnostic for the first rejection.
+};
+
+/**
+ * Split @p profile into independently-decodable shards of at most
+ * @p samplesPerShard samples each (0 = one shard).  Every shard is a
+ * complete Profile serialization carrying the session's binaryHash and
+ * totalRetired, so losing any subset of shards loses only those samples.
+ */
+std::vector<std::vector<uint8_t>>
+serializeShards(const Profile &profile, uint32_t samplesPerShard);
+
+/**
+ * Reassemble a profile from shards, dropping (and counting) corrupt
+ * ones.  This is the "degrade, don't die" ingest path: a bit-flipped
+ * shard costs its samples, not the run.
+ */
+Profile loadShards(const std::vector<std::vector<uint8_t>> &shards,
+                   ShardLoadStats *stats = nullptr);
 
 /**
  * Aggregated form: branch edge counts plus fall-through ranges.

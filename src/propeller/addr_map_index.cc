@@ -1,10 +1,43 @@
 #include "propeller/addr_map_index.h"
 
 #include <algorithm>
-#include <cassert>
+#include <set>
 #include <unordered_map>
+#include <unordered_set>
 
 namespace propeller::core {
+
+namespace {
+
+/**
+ * True if the function's combined block list (across all of its maps) is
+ * internally consistent and fits the text image.
+ */
+bool
+mapIsSane(const std::vector<const linker::ExecBlock *> &blocks,
+          uint64_t text_start, uint64_t text_end)
+{
+    std::unordered_set<uint32_t> ids;
+    std::vector<std::pair<uint64_t, uint64_t>> extents;
+    for (const auto *block : blocks) {
+        if (!ids.insert(block->bbId).second)
+            return false; // Duplicate block id.
+        uint64_t end = block->address + block->size;
+        if (block->address < text_start || end > text_end ||
+            end < block->address)
+            return false; // Outside the text image (or size wraps).
+        if (block->size > 0)
+            extents.emplace_back(block->address, end);
+    }
+    std::sort(extents.begin(), extents.end());
+    for (size_t i = 1; i < extents.size(); ++i) {
+        if (extents[i - 1].second > extents[i].first)
+            return false; // Overlapping blocks.
+    }
+    return true;
+}
+
+} // namespace
 
 BlockRef
 AddrMapIndex::toRef(const Interval &iv)
@@ -21,8 +54,28 @@ AddrMapIndex::toRef(const Interval &iv)
 
 AddrMapIndex::AddrMapIndex(const linker::Executable &exe)
 {
+    // Sanitation pass: group blocks per function (a function may carry
+    // several maps) and quarantine inconsistent ones before indexing.
+    std::unordered_map<std::string, std::vector<const linker::ExecBlock *>>
+        blocks_of;
+    for (const auto &map : exe.bbAddrMap) {
+        auto &blocks = blocks_of[map.function];
+        for (const auto &block : map.blocks)
+            blocks.push_back(&block);
+    }
+    std::set<std::string> bad;
+    uint64_t text_start = exe.textBase;
+    uint64_t text_end = exe.textBase + exe.text.size();
+    for (const auto &[name, blocks] : blocks_of) {
+        if (!mapIsSane(blocks, text_start, text_end))
+            bad.insert(name);
+    }
+    quarantined_.assign(bad.begin(), bad.end());
+
     std::unordered_map<std::string, uint32_t> func_index;
     for (const auto &map : exe.bbAddrMap) {
+        if (bad.count(map.function))
+            continue;
         auto [it, inserted] = func_index.emplace(
             map.function, static_cast<uint32_t>(functionNames_.size()));
         if (inserted) {

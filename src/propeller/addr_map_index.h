@@ -39,11 +39,26 @@ struct BlockRef
     bool operator==(const BlockRef &) const = default;
 };
 
-/** Sorted interval index over an executable's BB address map. */
+/**
+ * Sorted interval index over an executable's BB address map.
+ *
+ * Construction sanitizes the metadata: a function whose map is
+ * internally inconsistent — duplicate block ids, blocks outside the text
+ * image, overlapping blocks — is dropped from the index entirely
+ * (quarantined), so its samples simply go unmapped and the function
+ * keeps its baseline layout, instead of feeding the layout pass garbage
+ * intervals.  Honest metadata is indexed unchanged.
+ */
 class AddrMapIndex
 {
   public:
     explicit AddrMapIndex(const linker::Executable &exe);
+
+    /** Functions dropped by construction-time sanitation, sorted. */
+    const std::vector<std::string> &quarantined() const
+    {
+        return quarantined_;
+    }
 
     /** Resolve @p addr to the block containing it. */
     std::optional<BlockRef> lookup(uint64_t addr) const;
@@ -111,6 +126,7 @@ class AddrMapIndex
 
     std::vector<Interval> intervals_; ///< Sorted by start address.
     std::vector<std::string> functionNames_;
+    std::vector<std::string> quarantined_;
     std::vector<uint32_t> entryBlocks_;
     std::vector<uint64_t> functionHashes_;
     /** Per function: interval indices in address order. */

@@ -29,9 +29,13 @@ runWholeProgramAnalysis(const linker::Executable &metadata_exe,
     profile::AggregatedProfile agg = profile::aggregate(prof, agg_opts);
     local.charge((agg.branches.size() + agg.ranges.size()) * 48);
 
-    // The BB address map interval index.
+    // The BB address map interval index (sanitizing construction:
+    // functions with inconsistent metadata drop out here).
     AddrMapIndex index(metadata_exe);
     result.stats.indexFootprint = index.footprint();
+    result.stats.quarantinedFunctions = index.quarantined();
+    result.stats.quarantined =
+        static_cast<uint32_t>(index.quarantined().size());
     local.charge(result.stats.indexFootprint);
 
     // The whole-program DCFG: proportional to *sampled* code only — this

@@ -33,6 +33,14 @@ struct WpaStats
     ExtTspStats extTsp;
 
     /**
+     * Functions whose address-map metadata failed sanitation and were
+     * dropped from the index: their samples go unmapped and they keep
+     * their baseline layout ("degrade, don't die" — ISSUE 4).
+     */
+    uint32_t quarantined = 0;
+    std::vector<std::string> quarantinedFunctions; ///< Their names, sorted.
+
+    /**
      * The profile's binary identity does not match the binary being
      * analyzed: the samples were collected on a *different* build, and the
      * address-based mapping this pass performed is unsound.  Callers must

@@ -1,0 +1,39 @@
+#ifndef PROPELLER_SUPPORT_CHECK_H
+#define PROPELLER_SUPPORT_CHECK_H
+
+/**
+ * @file
+ * Always-on structural checks.
+ *
+ * `assert` vanishes under -DNDEBUG, which turns producer-bug guards into
+ * silent corruption in standard Release builds (the failure mode ISSUE 4
+ * closes).  PROPELLER_CHECK is the always-on replacement for *invariants* —
+ * conditions that only a bug in this codebase can violate.  Conditions
+ * that external *input* can violate (truncated profiles, corrupt cached
+ * artifacts, malformed metadata) must not abort at all: they return a
+ * support::Status instead (see support/status.h).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace propeller {
+
+[[noreturn]] inline void
+checkFailed(const char *condition, const char *file, int line,
+            const char *message)
+{
+    std::fprintf(stderr, "%s:%d: check failed: %s (%s)\n", file, line,
+                 message, condition);
+    std::fflush(stderr);
+    std::abort();
+}
+
+} // namespace propeller
+
+/** Abort (in every build type) with @p msg unless @p cond holds. */
+#define PROPELLER_CHECK(cond, msg)                                         \
+    ((cond) ? static_cast<void>(0)                                         \
+            : ::propeller::checkFailed(#cond, __FILE__, __LINE__, (msg)))
+
+#endif // PROPELLER_SUPPORT_CHECK_H

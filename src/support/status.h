@@ -1,0 +1,195 @@
+#ifndef PROPELLER_SUPPORT_STATUS_H
+#define PROPELLER_SUPPORT_STATUS_H
+
+/**
+ * @file
+ * Typed, exception-free error propagation.
+ *
+ * The deployment contract of a relinking optimizer is "degrade, don't
+ * die" (paper section 3/6): malformed inputs — truncated profiles,
+ * bit-flipped cache artifacts, corrupt .bb_addr_map payloads — must be
+ * *diagnosable rejections*, never aborts and never silent acceptance.
+ * Status carries an error code plus a human-readable context chain built
+ * up as the error propagates outward ("object mod_003.o: function #7:
+ * truncated block list"), so a failure seen at the workflow layer still
+ * names the byte-level cause.
+ *
+ * StatusOr<T> is the value-or-error return type of the checked decode
+ * paths.  Neither type ever throws.
+ */
+
+#include <string>
+#include <utility>
+
+#include "support/check.h"
+
+namespace propeller::support {
+
+/** Machine-readable failure category. */
+enum class ErrorCode : uint8_t {
+    kOk = 0,
+    kTruncated,          ///< Input ended before the structure did.
+    kMalformed,          ///< Structurally invalid input.
+    kChecksumMismatch,   ///< Content checksum did not verify.
+    kUnknownVersion,     ///< Wire version from the future.
+    kUnsupportedFeature, ///< Unknown feature bits set.
+    kUnresolved,         ///< A reference names a missing entity.
+    kOutOfRange,         ///< A value exceeds a representable limit.
+    kExhausted,          ///< A bounded retry/repair budget ran out.
+};
+
+/** Short stable name of @p code (for logs and reports). */
+inline const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::kOk:
+        return "ok";
+      case ErrorCode::kTruncated:
+        return "truncated";
+      case ErrorCode::kMalformed:
+        return "malformed";
+      case ErrorCode::kChecksumMismatch:
+        return "checksum-mismatch";
+      case ErrorCode::kUnknownVersion:
+        return "unknown-version";
+      case ErrorCode::kUnsupportedFeature:
+        return "unsupported-feature";
+      case ErrorCode::kUnresolved:
+        return "unresolved";
+      case ErrorCode::kOutOfRange:
+        return "out-of-range";
+      case ErrorCode::kExhausted:
+        return "exhausted";
+    }
+    return "unknown";
+}
+
+/** An error code plus an outward-growing context chain.  Never throws. */
+class [[nodiscard]] Status
+{
+  public:
+    /** Success. */
+    Status() = default;
+
+    Status(ErrorCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {
+    }
+
+    bool ok() const { return code_ == ErrorCode::kOk; }
+    ErrorCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** "checksum-mismatch: shard 2: bad trailer" style rendering. */
+    std::string
+    toString() const
+    {
+        if (ok())
+            return "ok";
+        return std::string(errorCodeName(code_)) + ": " + message_;
+    }
+
+    /** Prepend @p context as the error travels outward. */
+    Status &&
+    withContext(const std::string &context) &&
+    {
+        if (!ok())
+            message_ = context + ": " + message_;
+        return std::move(*this);
+    }
+
+    bool operator==(const Status &) const = default;
+
+  private:
+    ErrorCode code_ = ErrorCode::kOk;
+    std::string message_;
+};
+
+inline Status
+okStatus()
+{
+    return Status();
+}
+
+inline Status
+makeError(ErrorCode code, std::string message)
+{
+    return Status(code, std::move(message));
+}
+
+/** A T or the Status explaining why there is none. */
+template <typename T> class [[nodiscard]] StatusOr
+{
+  public:
+    StatusOr(Status status) : status_(std::move(status))
+    {
+        PROPELLER_CHECK(!status_.ok(),
+                        "StatusOr constructed from an ok Status");
+    }
+
+    StatusOr(T value) : status_(), value_(std::move(value)), has_value_(true)
+    {
+    }
+
+    bool ok() const { return has_value_; }
+    const Status &status() const { return status_; }
+
+    const T &
+    value() const &
+    {
+        PROPELLER_CHECK(has_value_, status_.toString().c_str());
+        return value_;
+    }
+
+    T &
+    value() &
+    {
+        PROPELLER_CHECK(has_value_, status_.toString().c_str());
+        return value_;
+    }
+
+    T &&
+    value() &&
+    {
+        PROPELLER_CHECK(has_value_, status_.toString().c_str());
+        return std::move(value_);
+    }
+
+    const T &operator*() const & { return value(); }
+    T &operator*() & { return value(); }
+    T &&operator*() && { return std::move(*this).value(); }
+    const T *operator->() const { return &value(); }
+    T *operator->() { return &value(); }
+
+  private:
+    Status status_;
+    T value_{};
+    bool has_value_ = false;
+};
+
+} // namespace propeller::support
+
+/** Propagate a non-ok Status to the caller. */
+#define PROPELLER_RETURN_IF_ERROR(expr)                                    \
+    do {                                                                   \
+        ::propeller::support::Status status_macro_tmp_ = (expr);           \
+        if (!status_macro_tmp_.ok())                                       \
+            return status_macro_tmp_;                                      \
+    } while (0)
+
+#define PROPELLER_STATUS_CONCAT_INNER_(a, b) a##b
+#define PROPELLER_STATUS_CONCAT_(a, b) PROPELLER_STATUS_CONCAT_INNER_(a, b)
+
+/** `PROPELLER_ASSIGN_OR_RETURN(auto x, makeX())` — unwrap or propagate. */
+#define PROPELLER_ASSIGN_OR_RETURN(lhs, expr)                              \
+    PROPELLER_ASSIGN_OR_RETURN_IMPL_(                                      \
+        PROPELLER_STATUS_CONCAT_(status_or_tmp_, __COUNTER__), lhs, expr)
+
+#define PROPELLER_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr)                   \
+    auto tmp = (expr);                                                     \
+    if (!tmp.ok())                                                         \
+        return tmp.status();                                               \
+    lhs = std::move(tmp).value()
+
+#endif // PROPELLER_SUPPORT_STATUS_H

@@ -1,0 +1,516 @@
+/**
+ * @file
+ * Fault-tolerance tests: the fuzz property that corrupt inputs are
+ * rejected with typed errors (never a crash, never silent acceptance),
+ * artifact-cache integrity verification, shard salvage, fault-spec
+ * parsing, deterministic injection, and the workflow-level degradation
+ * paths (retry, poisoned-cache rebuild, zero-fault byte identity).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "build/cache.h"
+#include "build/workflow.h"
+#include "codegen/codegen.h"
+#include "elf/bb_addr_map.h"
+#include "elf/object.h"
+#include "faultinject/faultinject.h"
+#include "linker/linker.h"
+#include "profile/profile.h"
+#include "support/rng.h"
+#include "test_util.h"
+
+namespace propeller {
+namespace {
+
+using faultinject::FaultInjector;
+using faultinject::FaultSpec;
+using faultinject::mutateBytes;
+using faultinject::parseFaultSpec;
+
+/** A real .bb_addr_map payload as codegen emits it (v2, checksummed). */
+std::vector<uint8_t>
+validAddrMapBlob()
+{
+    ir::Program program = test::tinyProgram();
+    codegen::Options opts;
+    opts.emitAddrMapSection = true;
+    auto objects = codegen::compileProgram(program, opts);
+    int sect = objects[0].findSection(".bb_addr_map");
+    EXPECT_GE(sect, 0);
+    return objects[0].sections[sect].bytes;
+}
+
+/** A deterministic profile with enough samples to shard. */
+profile::Profile
+validProfile()
+{
+    profile::Profile p;
+    p.binaryHash = 0xabcdef12345678ull;
+    p.totalRetired = 987654;
+    for (uint32_t i = 0; i < 40; ++i) {
+        profile::LbrSample sample;
+        sample.count = 4;
+        for (uint32_t j = 0; j < sample.count; ++j) {
+            sample.records[j].from = 0x400000 + i * 64 + j * 8;
+            sample.records[j].to = 0x401000 + i * 32 + j * 4;
+        }
+        p.samples.push_back(sample);
+    }
+    return p;
+}
+
+size_t
+countFailures(const buildsys::PhaseReport &report, const std::string &prefix)
+{
+    size_t n = 0;
+    for (const auto &line : report.failures)
+        if (line.rfind(prefix, 0) == 0)
+            ++n;
+    return n;
+}
+
+// ---- The ISSUE fuzz property: 200 random mutations of a valid blob ----
+// must each produce a clean typed error — never a crash (the test binary
+// would die) and never silent acceptance (ok() would be true).
+
+TEST(FuzzRejection, AddrMapMutationsNeverAcceptedSilently)
+{
+    const std::vector<uint8_t> blob = validAddrMapBlob();
+    ASSERT_FALSE(blob.empty());
+    ASSERT_TRUE(elf::decodeAddrMapsChecked(blob).ok());
+
+    for (uint64_t seed = 0; seed < 200; ++seed) {
+        Rng rng(mix64(0xbbaddbeef, seed));
+        std::vector<uint8_t> mutated = blob;
+        mutateBytes(mutated, rng);
+        ASSERT_NE(mutated, blob) << "seed " << seed;
+        auto decoded = elf::decodeAddrMapsChecked(mutated);
+        EXPECT_FALSE(decoded.ok())
+            << "seed " << seed << ": corrupt blob accepted silently";
+        if (!decoded.ok()) {
+            EXPECT_FALSE(decoded.status().message().empty())
+                << "seed " << seed;
+        }
+    }
+}
+
+TEST(FuzzRejection, ProfileMutationsNeverAcceptedSilently)
+{
+    const std::vector<uint8_t> blob = validProfile().serialize();
+    ASSERT_TRUE(profile::Profile::deserializeChecked(blob).ok());
+
+    for (uint64_t seed = 0; seed < 200; ++seed) {
+        Rng rng(mix64(0x9e0f11e5, seed));
+        std::vector<uint8_t> mutated = blob;
+        mutateBytes(mutated, rng);
+        ASSERT_NE(mutated, blob) << "seed " << seed;
+        auto decoded = profile::Profile::deserializeChecked(mutated);
+        EXPECT_FALSE(decoded.ok())
+            << "seed " << seed << ": corrupt profile accepted silently";
+    }
+}
+
+// ---- Artifact cache integrity -----------------------------------------
+
+TEST(ArtifactCacheIntegrity, SilentRotEvictedOnLookup)
+{
+    buildsys::ArtifactCache cache;
+    cache.put(7, {1, 2, 3, 4});
+    ASSERT_TRUE(cache.corruptStored(
+        7, [](std::vector<uint8_t> &bytes) { bytes[0] ^= 0x80; }));
+    EXPECT_EQ(cache.lookup(7), nullptr);
+    EXPECT_EQ(cache.stats().corruptions, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.stats().entries, 0u);
+    EXPECT_FALSE(cache.contains(7));
+}
+
+TEST(ArtifactCacheIntegrity, ScrubSweepsCorruptEntries)
+{
+    buildsys::ArtifactCache cache;
+    cache.put(1, {10, 11});
+    cache.put(2, {20, 21});
+    cache.put(3, {30, 31});
+    ASSERT_TRUE(cache.corruptStored(
+        2, [](std::vector<uint8_t> &bytes) { bytes[1] ^= 1; }));
+    EXPECT_EQ(cache.scrub(), 1u);
+    EXPECT_EQ(cache.stats().corruptions, 1u);
+    EXPECT_EQ(cache.stats().entries, 2u);
+    // A second sweep over the now-clean store finds nothing.
+    EXPECT_EQ(cache.scrub(), 0u);
+    EXPECT_EQ(cache.keys(), (std::vector<uint64_t>{1, 3}));
+}
+
+TEST(ArtifactCacheIntegrity, PoisonedEntryPassesHashNeedsEvictCorrupt)
+{
+    buildsys::ArtifactCache cache;
+    cache.put(5, {1, 2, 3});
+    // rehash=true models an artifact poisoned *before* it reached the
+    // store: the hash describes the poisoned bytes, so byte verification
+    // passes and only structural validation can catch it.
+    ASSERT_TRUE(cache.corruptStored(
+        5, [](std::vector<uint8_t> &bytes) { bytes = {0xde, 0xad}; },
+        /*rehash=*/true));
+    EXPECT_NE(cache.lookup(5), nullptr);
+    EXPECT_EQ(cache.stats().corruptions, 0u);
+    cache.evictCorrupt(5);
+    EXPECT_EQ(cache.stats().corruptions, 1u);
+    EXPECT_EQ(cache.stats().entries, 0u);
+    // Evicting an absent key is a no-op, not a double count.
+    cache.evictCorrupt(5);
+    EXPECT_EQ(cache.stats().corruptions, 1u);
+}
+
+TEST(ArtifactCacheIntegrity, CorruptStoredTracksSizeDelta)
+{
+    buildsys::ArtifactCache cache;
+    cache.put(4, std::vector<uint8_t>(10, 0x55));
+    EXPECT_EQ(cache.stats().storedBytes, 10u);
+    ASSERT_TRUE(cache.corruptStored(
+        4, [](std::vector<uint8_t> &bytes) { bytes.resize(4); }));
+    EXPECT_EQ(cache.stats().storedBytes, 4u);
+    EXPECT_FALSE(cache.corruptStored(
+        99, [](std::vector<uint8_t> &bytes) { bytes.clear(); }));
+}
+
+// ---- Fault spec parsing -----------------------------------------------
+
+TEST(FaultSpecParse, ParsesFullSpec)
+{
+    auto spec = parseFaultSpec("seed=7,profile=0.25,cache=0.5,addrmap=1,"
+                               "exec=0");
+    ASSERT_TRUE(spec.ok());
+    EXPECT_EQ(spec->seed, 7u);
+    EXPECT_DOUBLE_EQ(spec->profileRate, 0.25);
+    EXPECT_DOUBLE_EQ(spec->cacheRate, 0.5);
+    EXPECT_DOUBLE_EQ(spec->addrMapRate, 1.0);
+    EXPECT_DOUBLE_EQ(spec->execFailRate, 0.0);
+    EXPECT_TRUE(spec->any());
+
+    auto empty = parseFaultSpec("");
+    ASSERT_TRUE(empty.ok());
+    EXPECT_FALSE(empty->any());
+}
+
+TEST(FaultSpecParse, RejectsMalformedSpecs)
+{
+    EXPECT_FALSE(parseFaultSpec("profile").ok());
+    EXPECT_FALSE(parseFaultSpec("profile=2").ok());
+    EXPECT_FALSE(parseFaultSpec("profile=-0.1").ok());
+    EXPECT_FALSE(parseFaultSpec("profile=abc").ok());
+    EXPECT_FALSE(parseFaultSpec("bogus=0.5").ok());
+    EXPECT_FALSE(parseFaultSpec("seed=1.5").ok());
+}
+
+// ---- Sharded profile salvage ------------------------------------------
+
+TEST(ShardSalvage, RoundTripIsLossless)
+{
+    profile::Profile p = validProfile();
+    auto shards = profile::serializeShards(p, 16);
+    ASSERT_EQ(shards.size(), 3u); // 16 + 16 + 8 samples.
+    profile::ShardLoadStats stats;
+    profile::Profile loaded = profile::loadShards(shards, &stats);
+    EXPECT_EQ(stats.shardsTotal, 3u);
+    EXPECT_EQ(stats.shardsRejected, 0u);
+    EXPECT_EQ(loaded.serialize(), p.serialize());
+}
+
+TEST(ShardSalvage, CorruptShardCostsItsSamplesNotTheRun)
+{
+    profile::Profile p = validProfile();
+    auto shards = profile::serializeShards(p, 16);
+    ASSERT_EQ(shards.size(), 3u);
+    Rng rng(mix64(0x5a17a6e, 1));
+    mutateBytes(shards[1], rng);
+
+    profile::ShardLoadStats stats;
+    profile::Profile loaded = profile::loadShards(shards, &stats);
+    EXPECT_EQ(stats.shardsRejected, 1u);
+    EXPECT_FALSE(stats.firstError.empty());
+    EXPECT_EQ(loaded.samples.size(), p.samples.size() - 16);
+    // Session identity survives losing a middle shard.
+    EXPECT_EQ(loaded.binaryHash, p.binaryHash);
+    EXPECT_EQ(loaded.totalRetired, p.totalRetired);
+}
+
+// ---- Deterministic injection ------------------------------------------
+
+TEST(FaultInjection, SameSpecSameDecisionsSameBytes)
+{
+    profile::Profile p = validProfile();
+    FaultSpec spec;
+    spec.seed = 41;
+    spec.profileRate = 0.5;
+
+    auto run = [&](std::vector<std::vector<uint8_t>> &shards) {
+        FaultInjector injector(spec);
+        injector.onProfileShards(shards);
+        return injector.stats();
+    };
+    auto shards_a = profile::serializeShards(p, 8);
+    auto shards_b = profile::serializeShards(p, 8);
+    auto stats_a = run(shards_a);
+    auto stats_b = run(shards_b);
+
+    EXPECT_GT(stats_a.profileShardsCorrupted, 0u);
+    EXPECT_EQ(stats_a.profileShardsCorrupted, stats_b.profileShardsCorrupted);
+    EXPECT_EQ(stats_a.corruptedShardIndices, stats_b.corruptedShardIndices);
+    EXPECT_EQ(shards_a, shards_b);
+}
+
+// ---- Cluster directive sanitizing -------------------------------------
+
+TEST(SanitizeClusterMap, DropsInvalidSpecsKeepsValid)
+{
+    ir::Program program = test::tinyProgram();
+
+    codegen::ClusterMap clusters;
+    codegen::ClusterSpec good;
+    good.clusters = {{0, 1}, {2, 3}};
+    good.coldIndex = 1;
+    clusters.emplace("work", good);
+
+    codegen::ClusterSpec ghost;
+    ghost.clusters = {{0}};
+    clusters.emplace("ghost", ghost); // Unknown function.
+
+    codegen::ClusterSpec partial;
+    partial.clusters = {{0, 1}}; // Blocks 2 and 3 of "main" unlisted.
+    clusters.emplace("main", partial);
+
+    auto dropped = codegen::sanitizeClusterMap(program, clusters);
+    EXPECT_EQ(dropped, (std::vector<std::string>{"ghost", "main"}));
+    ASSERT_EQ(clusters.size(), 1u);
+    EXPECT_TRUE(clusters.count("work"));
+
+    // Entry block not first in the primary cluster.
+    codegen::ClusterMap bad_head;
+    codegen::ClusterSpec head;
+    head.clusters = {{1, 0, 2, 3}};
+    bad_head.emplace("work", head);
+    EXPECT_EQ(codegen::sanitizeClusterMap(program, bad_head).size(), 1u);
+    EXPECT_TRUE(bad_head.empty());
+
+    // Cold index out of range.
+    codegen::ClusterMap bad_cold;
+    codegen::ClusterSpec cold = good;
+    cold.coldIndex = 9;
+    bad_cold.emplace("work", cold);
+    EXPECT_EQ(codegen::sanitizeClusterMap(program, bad_cold).size(), 1u);
+
+    // A sanitized-valid map is untouched.
+    codegen::ClusterMap valid;
+    valid.emplace("work", good);
+    EXPECT_TRUE(codegen::sanitizeClusterMap(program, valid).empty());
+    EXPECT_EQ(valid.size(), 1u);
+}
+
+// ---- Linker typed errors + overflow quarantine ------------------------
+
+TEST(LinkerTypedErrors, UnresolvedSymbolIsError)
+{
+    ir::Program program = test::tinyProgram();
+    auto objects = codegen::compileProgram(program, {});
+    for (auto &sec : objects[0].sections)
+        for (auto &piece : sec.pieces)
+            if (piece.site && piece.site->op == isa::Opcode::Call)
+                piece.site->targetSymbol = "ghost";
+    linker::Options opts;
+    opts.entrySymbol = "main";
+    auto exe = linker::linkChecked(objects, opts);
+    ASSERT_FALSE(exe.ok());
+    EXPECT_EQ(exe.status().code(), support::ErrorCode::kUnresolved);
+    EXPECT_NE(exe.status().message().find("unresolved symbol"),
+              std::string::npos);
+}
+
+TEST(LinkerTypedErrors, DuplicateSectionSymbolIsError)
+{
+    ir::Program program = test::tinyProgram();
+    auto objects = codegen::compileProgram(program, {});
+    auto duplicate = objects[0];
+    duplicate.name = "copy.o";
+    objects.push_back(duplicate);
+    linker::Options opts;
+    opts.entrySymbol = "main";
+    auto exe = linker::linkChecked(objects, opts);
+    ASSERT_FALSE(exe.ok());
+    EXPECT_EQ(exe.status().code(), support::ErrorCode::kMalformed);
+}
+
+TEST(LinkerTypedErrors, MissingEntrySymbolIsError)
+{
+    ir::Program program = test::tinyProgram();
+    auto objects = codegen::compileProgram(program, {});
+    linker::Options opts;
+    opts.entrySymbol = "nonexistent";
+    auto exe = linker::linkChecked(objects, opts);
+    ASSERT_FALSE(exe.ok());
+    EXPECT_NE(exe.status().message().find("entry symbol"),
+              std::string::npos);
+}
+
+TEST(LinkerQuarantine, OverflowRevertsFunctionNotBuild)
+{
+    // tinyProgram plus a large pad function: an adversarial symbol order
+    // places the pad between "work" and its out-of-line blocks, pushing
+    // the conditional branch past the (narrowed) displacement limit.
+    ir::Program program = test::tinyProgram();
+    auto pad = test::makeFunction("pad", 1);
+    for (int i = 0; i < 400; ++i)
+        pad->blocks[0]->insts.push_back(ir::makeWork(6, 60 + i));
+    pad->blocks[0]->insts.push_back(ir::makeRet());
+    program.modules[0]->functions.push_back(std::move(pad));
+
+    codegen::Options copts;
+    copts.bbSections = codegen::BbSectionsMode::All;
+    auto objects = codegen::compileProgram(program, copts);
+
+    linker::Options opts;
+    opts.entrySymbol = "main";
+    opts.symbolOrder = {"work", "pad", "work.b1", "work.b2", "work.b3"};
+    opts.maxBranchDisplacement = 256;
+
+    linker::LinkStats stats;
+    auto exe = linker::linkChecked(objects, opts, &stats);
+    ASSERT_TRUE(exe.ok()) << exe.status().toString();
+    EXPECT_GE(stats.quarantinedFunctions, 1u);
+    EXPECT_EQ(stats.quarantinedFunctions, stats.quarantined.size());
+    EXPECT_NE(std::find(stats.quarantined.begin(), stats.quarantined.end(),
+                        "work"),
+              stats.quarantined.end());
+
+    // Without the quarantine the same inputs are a typed error, still
+    // not a crash.
+    opts.quarantineOnOverflow = false;
+    auto failed = linker::linkChecked(objects, opts);
+    ASSERT_FALSE(failed.ok());
+    EXPECT_EQ(failed.status().code(), support::ErrorCode::kOutOfRange);
+}
+
+// ---- Workflow-level degradation ---------------------------------------
+
+TEST(WorkflowFaults, ZeroRateHooksKeepBinaryByteIdentical)
+{
+    buildsys::Workflow clean(test::smallConfig(71));
+    buildsys::Workflow hooked(test::smallConfig(71));
+    FaultInjector injector(FaultSpec{});
+    hooked.setFaultHooks(&injector);
+
+    // Hooks attached but inert: the profile still round-trips the shard
+    // wire path, yet every product stays byte-identical.
+    const auto &a = clean.propellerBinary();
+    const auto &b = hooked.propellerBinary();
+    EXPECT_EQ(a.text, b.text);
+    EXPECT_EQ(a.identityHash, b.identityHash);
+    EXPECT_EQ(injector.stats().corruptions(), 0u);
+    EXPECT_EQ(hooked.cacheStats().corruptions, 0u);
+}
+
+TEST(WorkflowFaults, InjectedFaultsDetectedExactly)
+{
+    buildsys::Workflow wf(test::smallConfig(71));
+    FaultSpec spec;
+    spec.seed = 11;
+    spec.profileRate = 0.5;
+    spec.cacheRate = 0.3;
+    spec.addrMapRate = 0.3;
+    spec.execFailRate = 0.15;
+    FaultInjector injector(spec);
+    wf.setFaultHooks(&injector);
+
+    // The core property: the pipeline never aborts under injection.
+    const auto &po = wf.propellerBinary();
+    EXPECT_FALSE(po.text.empty());
+    wf.scrubCache(); // End-of-build sweep catches never-served entries.
+
+    const auto &stats = injector.stats();
+    ASSERT_GT(stats.corruptions(), 0u);
+
+    // Every injected fault is detected and attributed, class by class.
+    EXPECT_EQ(wf.report("phase3.collect").quarantined,
+              stats.profileShardsCorrupted);
+    EXPECT_EQ(wf.cacheStats().corruptions, stats.cacheEntriesCorrupted);
+    EXPECT_EQ(countFailures(wf.report("phase2.link"),
+                            ".bb_addr_map rejected: "),
+              stats.addrMapsCorrupted);
+    uint32_t retries = wf.report("phase2.codegen").retries +
+                       wf.report("phase4.codegen").retries;
+    EXPECT_EQ(retries, stats.actionFailures);
+}
+
+TEST(WorkflowFaults, TransientActionFailureRetriedWithBackoff)
+{
+    struct FailOnce : buildsys::FaultHooks
+    {
+        bool
+        failAction(const std::string &module_name, uint32_t attempt) override
+        {
+            return module_name == "mod_0000" && attempt == 1;
+        }
+    };
+
+    buildsys::Workflow clean(test::smallConfig(71));
+    buildsys::Workflow flaky(test::smallConfig(71));
+    FailOnce hooks;
+    flaky.setFaultHooks(&hooks);
+
+    const auto &a = clean.metadataBinary();
+    const auto &b = flaky.metadataBinary();
+    EXPECT_EQ(a.text, b.text); // Degrades in makespan, never in output.
+    EXPECT_EQ(flaky.report("phase2.codegen").retries, 1u);
+    EXPECT_GT(flaky.report("phase2.codegen").makespanSec,
+              clean.report("phase2.codegen").makespanSec);
+}
+
+TEST(WorkflowFaults, PoisonedCacheArtifactRebuiltStructurally)
+{
+    // Poison every artifact *after* rehash: byte verification passes, so
+    // only the structural deserializeChecked on the hit path catches it.
+    struct Poison : buildsys::FaultHooks
+    {
+        bool done = false;
+        void
+        onCachePopulated(buildsys::ArtifactCache &cache) override
+        {
+            if (done)
+                return;
+            done = true;
+            for (uint64_t key : cache.keys())
+                cache.corruptStored(
+                    key,
+                    [](std::vector<uint8_t> &bytes) {
+                        bytes = {0xde, 0xad, 0xbe};
+                    },
+                    /*rehash=*/true);
+        }
+    };
+
+    buildsys::Workflow clean(test::smallConfig(71));
+    buildsys::Workflow poisoned(test::smallConfig(71));
+    Poison hooks;
+    poisoned.setFaultHooks(&hooks);
+
+    const auto &a = clean.propellerBinary();
+    const auto &b = poisoned.propellerBinary();
+    EXPECT_EQ(a.text, b.text);
+    EXPECT_EQ(a.identityHash, b.identityHash);
+
+    // Every cold-module hit was rejected structurally and rebuilt.
+    const auto &report = poisoned.report("phase4.codegen");
+    EXPECT_GT(report.cacheCorruptions, 0u);
+    EXPECT_EQ(report.cacheHits, 0u);
+    EXPECT_EQ(countFailures(report, "cache artifact rejected ("),
+              report.cacheCorruptions);
+}
+
+} // namespace
+} // namespace propeller

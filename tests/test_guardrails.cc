@@ -14,7 +14,10 @@
 namespace propeller {
 namespace {
 
-#ifndef NDEBUG
+// The linker guardrails are PROPELLER_CHECKs on the abort-on-corruption
+// wrapper (linker::link), which stay armed in Release builds, so these
+// death tests run unconditionally.  Typed-error behaviour of the same
+// failures via linkChecked() is covered in test_faults.cc.
 
 TEST(GuardrailsDeathTest, LinkerRejectsUnresolvedSymbol)
 {
@@ -55,6 +58,11 @@ TEST(GuardrailsDeathTest, LinkerRejectsMissingEntry)
     opts.entrySymbol = "nonexistent";
     EXPECT_DEATH(linker::link(objects, opts), "entry symbol");
 }
+
+// The codegen guardrails are plain asserts (cluster specs reaching the
+// backend have been sanitized; a violation is a producer bug), so their
+// death tests only exist in Debug builds.
+#ifndef NDEBUG
 
 TEST(GuardrailsDeathTest, CodegenRejectsIncompleteClusterSpec)
 {

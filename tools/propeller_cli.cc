@@ -6,7 +6,17 @@
  *
  *   list                         list the named workloads
  *   run <workload>               full pipeline: baseline vs Propeller vs
- *                                BOLT with counters and phase reports
+ *                                BOLT with counters and phase reports;
+ *                                with --fault-inject <spec> the pipeline
+ *                                runs under seeded corruption of profile
+ *                                shards, cached objects and .bb_addr_map
+ *                                payloads (src/faultinject) and reports
+ *                                what was injected, detected and
+ *                                quarantined; with --stale-profile N the
+ *                                whole drift sweep replays end-to-end
+ *                                (profile last week's build, optimize a
+ *                                build drifted N%, compare against the
+ *                                fresh-profile ground truth)
  *   wpa <workload>               print the Phase 3 artifacts
  *                                (cc_prof.txt / ld_prof.txt); with
  *                                --stale-profile N the profile is applied
@@ -31,6 +41,7 @@
 #include <vector>
 
 #include "build/workflow.h"
+#include "faultinject/faultinject.h"
 #include "sim/machine.h"
 #include "stale/stale.h"
 #include "support/table.h"
@@ -49,6 +60,10 @@ bool g_stale_requested = false;
 
 /** --allow-stale: route mismatched profiles through the stale matcher. */
 bool g_allow_stale = false;
+
+/** --fault-inject <spec>: run the pipeline under seeded corruption. */
+std::string g_fault_spec;
+bool g_fault_requested = false;
 
 /** Look up a workload and apply the global --jobs override. */
 workload::WorkloadConfig
@@ -93,11 +108,148 @@ printCounters(const char *label, const sim::RunResult &r,
                 static_cast<unsigned long long>(r.counters.dsbMisses));
 }
 
+int usage();
+
+/**
+ * `run --stale-profile N`: the end-to-end drift replay.  Last week's
+ * build is profiled; this week's build (drifted N%) is optimized with
+ * that stale profile, and both are compared against the fresh-profile
+ * ground truth on the drifted binary.
+ */
+int
+cmdRunStale(const workload::WorkloadConfig &cfg)
+{
+    // Last week: the pristine build and its profile.
+    buildsys::Workflow wf(cfg);
+    const linker::Executable &profiled = wf.metadataBinary();
+    const profile::Profile &prof = wf.profile();
+
+    // This week: the same program, drifted.
+    ir::Program drifted = workload::generate(cfg);
+    workload::DriftSpec dspec;
+    dspec.seed = cfg.seed + 1;
+    dspec.rate = g_stale_pct / 100.0;
+    workload::DriftStats drift = workload::applyDrift(drifted, dspec);
+
+    codegen::Options copts;
+    copts.emitAddrMapSection = true;
+    std::vector<elf::ObjectFile> objects =
+        codegen::compileProgram(drifted, copts);
+    linker::Options mopts;
+    mopts.entrySymbol = drifted.entryFunction;
+    mopts.outputName = cfg.name + ".pm-drift";
+    linker::Executable target = linker::link(objects, mopts);
+
+    bool mismatch =
+        prof.binaryHash != 0 && prof.binaryHash != target.identityHash;
+    if (mismatch && !g_allow_stale) {
+        std::fprintf(stderr,
+                     "propeller-cli: profile identity mismatch after %u "
+                     "drift mutations; rerun with --allow-stale to match "
+                     "by CFG fingerprint.\n",
+                     drift.total());
+        return 1;
+    }
+
+    // Ground truth: a fresh profile of the drifted build.
+    profile::Profile fresh_prof =
+        sim::run(target, workload::profileOptions(cfg)).profile;
+    core::WpaResult fresh = core::runWholeProgramAnalysis(target,
+                                                          fresh_prof);
+
+    core::WpaResult stale_wpa;
+    stale::StaleMatchStats match;
+    bool via_matcher = false;
+    if (!mismatch) {
+        stale_wpa = core::runWholeProgramAnalysis(target, prof);
+    } else {
+        stale::StaleWpaResult swr =
+            stale::runStaleWholeProgramAnalysis(target, profiled, prof);
+        stale_wpa = std::move(swr.wpa);
+        match = swr.match;
+        via_matcher = true;
+    }
+
+    // Relink the drifted build three ways: baseline order, fresh-profile
+    // layout, stale-profile layout.
+    auto optimized = [&](const core::WpaResult &wpa, const char *suffix) {
+        codegen::Options oc;
+        oc.emitAddrMapSection = true;
+        oc.bbSections = codegen::BbSectionsMode::Clusters;
+        codegen::ClusterMap clusters = wpa.ccProf.clusters;
+        codegen::sanitizeClusterMap(drifted, clusters);
+        oc.clusters = &clusters;
+        linker::Options lo;
+        lo.entrySymbol = drifted.entryFunction;
+        lo.symbolOrder = wpa.ldProf.symbolOrder;
+        lo.stripAddrMaps = true;
+        lo.outputName = cfg.name + suffix;
+        return linker::link(codegen::compileProgram(drifted, oc), lo);
+    };
+    linker::Options bopts;
+    bopts.entrySymbol = drifted.entryFunction;
+    bopts.stripAddrMaps = true;
+    bopts.outputName = cfg.name + ".base-drift";
+    linker::Executable base_exe = linker::link(objects, bopts);
+    linker::Executable fresh_exe = optimized(fresh, ".po-fresh");
+    linker::Executable stale_exe = optimized(stale_wpa, ".po-stale");
+
+    std::printf("drifted build: %u mutations at %.0f%% drift, text %s\n",
+                drift.total(), g_stale_pct,
+                formatBytes(base_exe.sizes.text).c_str());
+    if (via_matcher)
+        std::printf("stale match: %.1f%% of blocks (%.1f%% of weight), "
+                    "%u identical + %u matched + %u dropped functions\n",
+                    match.blockMatchRate() * 100.0,
+                    match.weightMatchRate() * 100.0,
+                    match.functionsIdentical, match.functionsMatched,
+                    match.functionsDropped);
+    else
+        std::printf("profile identity matches (no drift in layout-"
+                    "relevant code); fresh pipeline used\n");
+
+    sim::MachineOptions eopts = workload::evalOptions(cfg);
+    sim::RunResult rbase = sim::run(base_exe, eopts);
+    sim::RunResult rfresh = sim::run(fresh_exe, eopts);
+    sim::RunResult rstale = sim::run(stale_exe, eopts);
+    std::printf("\nperformance on the drifted build:\n");
+    printCounters("baseline", rbase, rbase);
+    printCounters("fresh", rfresh, rbase);
+    printCounters("stale", rstale, rbase);
+
+    double fresh_win = static_cast<double>(rbase.counters.cycles()) -
+                       static_cast<double>(rfresh.counters.cycles());
+    double stale_win = static_cast<double>(rbase.counters.cycles()) -
+                       static_cast<double>(rstale.counters.cycles());
+    if (fresh_win > 0.0)
+        std::printf("\nstale profile retains %.1f%% of the fresh-profile "
+                    "cycle win\n",
+                    100.0 * stale_win / fresh_win);
+    return 0;
+}
+
 int
 cmdRun(const std::string &name)
 {
     workload::WorkloadConfig cfg = namedConfig(name);
+    if (g_stale_requested)
+        return cmdRunStale(cfg);
+
+    faultinject::FaultSpec fault_spec;
+    if (g_fault_requested) {
+        auto parsed = faultinject::parseFaultSpec(g_fault_spec);
+        if (!parsed.ok()) {
+            std::fprintf(stderr, "propeller-cli: bad --fault-inject: %s\n",
+                         parsed.status().toString().c_str());
+            return usage();
+        }
+        fault_spec = *parsed;
+    }
+    faultinject::FaultInjector injector(fault_spec);
+
     buildsys::Workflow wf(cfg);
+    if (g_fault_requested)
+        wf.setFaultHooks(&injector);
     std::printf("workload %s: %zu modules, %zu functions, %zu blocks, "
                 "text %s\n\n",
                 name.c_str(), wf.program().modules.size(),
@@ -131,6 +283,36 @@ cmdRun(const std::string &name)
                     phase, r.makespanMinutes(),
                     formatBytes(r.peakActionMemory).c_str(), r.actions,
                     r.cacheHits);
+    }
+
+    if (g_fault_requested) {
+        wf.scrubCache();
+        const faultinject::FaultStats &fs = injector.stats();
+        std::printf("\nfault injection (%s):\n", g_fault_spec.c_str());
+        std::printf("  injected: %u profile shards, %u cache entries, "
+                    "%u addr maps, %u exec faults (%u flips, %u "
+                    "truncations, %u zero runs)\n",
+                    fs.profileShardsCorrupted, fs.cacheEntriesCorrupted,
+                    fs.addrMapsCorrupted, fs.actionFailures, fs.bitFlips,
+                    fs.truncations, fs.zeroRuns);
+        uint32_t retries = 0;
+        for (const char *phase : {"phase2.codegen", "phase4.codegen"})
+            retries += wf.hasReport(phase) ? wf.report(phase).retries : 0;
+        std::printf("  detected: %u shards rejected, %llu cache "
+                    "corruptions evicted, %u quarantined in WPA, %u "
+                    "action retries\n",
+                    wf.report("phase3.collect").quarantined,
+                    static_cast<unsigned long long>(
+                        wf.cacheStats().corruptions),
+                    wf.wpa().stats.quarantined, retries);
+        for (const char *phase :
+             {"phase2.codegen", "phase2.link", "phase3.collect",
+              "phase3.wpa", "phase4.codegen", "phase4.link"}) {
+            if (!wf.hasReport(phase))
+                continue;
+            for (const auto &line : wf.report(phase).failures)
+                std::printf("    [%s] %s\n", phase, line.c_str());
+        }
     }
     return 0;
 }
@@ -288,10 +470,14 @@ usage()
                 "options:\n"
                 "  --jobs N            worker threads for codegen/WPA\n"
                 "                      (default: all hardware threads)\n"
-                "  --stale-profile N   wpa: apply the profile to a binary\n"
-                "                      drifted N%% from the profiled one\n"
+                "  --stale-profile N   run/wpa: apply the profile to a\n"
+                "                      binary drifted N%% from the\n"
+                "                      profiled one\n"
                 "  --allow-stale       accept a mismatched profile and\n"
-                "                      match it by CFG fingerprint\n");
+                "                      match it by CFG fingerprint\n"
+                "  --fault-inject S    run: seeded corruption spec, e.g.\n"
+                "                      seed=7,profile=0.25,cache=0.25,\n"
+                "                      addrmap=0.25,exec=0.1\n");
     return 2;
 }
 
@@ -332,6 +518,11 @@ main(int argc, char **argv)
         }
         if (arg == "--allow-stale") {
             g_allow_stale = true;
+            continue;
+        }
+        if (arg == "--fault-inject" && i + 1 < argc) {
+            g_fault_spec = argv[++i];
+            g_fault_requested = true;
             continue;
         }
         args.push_back(std::move(arg));

@@ -106,8 +106,8 @@ main()
 {
     std::printf("== Function splitting with basic block sections ==\n\n");
     ir::Program program = makeProgram();
-    if (auto errors = ir::verify(program); !errors.empty()) {
-        std::printf("IR invalid: %s\n", errors[0].c_str());
+    if (support::Status status = ir::verify(program); !status.ok()) {
+        std::printf("IR invalid: %s\n", status.toString().c_str());
         return 1;
     }
 

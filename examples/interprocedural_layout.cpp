@@ -115,8 +115,8 @@ main()
 {
     std::printf("== Inter-procedural layout (paper Figure 3) ==\n\n");
     ir::Program program = makeProgram();
-    if (auto errors = ir::verify(program); !errors.empty()) {
-        std::printf("IR invalid: %s\n", errors[0].c_str());
+    if (support::Status status = ir::verify(program); !status.ok()) {
+        std::printf("IR invalid: %s\n", status.toString().c_str());
         return 1;
     }
 

@@ -85,9 +85,9 @@ main()
     std::printf("== Propeller quickstart ==\n\n");
 
     ir::Program program = makeProgram();
-    auto errors = ir::verify(program);
-    if (!errors.empty()) {
-        std::printf("IR invalid: %s\n", errors[0].c_str());
+    support::Status status = ir::verify(program);
+    if (!status.ok()) {
+        std::printf("IR invalid: %s\n", status.toString().c_str());
         return 1;
     }
 

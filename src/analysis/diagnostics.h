@@ -1,0 +1,129 @@
+#ifndef PROPELLER_ANALYSIS_DIAGNOSTICS_H
+#define PROPELLER_ANALYSIS_DIAGNOSTICS_H
+
+/**
+ * @file
+ * Diagnostics engine for the post-link static verifier.
+ *
+ * Every check the verifier performs has a *stable* identifier (PV001,
+ * PV002, ...) so that suppression lists, CI gates and dashboards keep
+ * working as checks are added.  Diagnostics carry a severity, the
+ * function they are attributed to, the offending address (when there is
+ * one), and a human-readable message; the engine renders them as text
+ * (one diagnostic per line, compiler style) or JSON (CI artifacts).
+ *
+ * Suppression happens at report time: a suppressed check id is counted
+ * but never stored, so a clean-with-suppressions run is distinguishable
+ * from a genuinely clean one.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace propeller::analysis {
+
+/**
+ * Stable check identifiers.  Never renumber; retired checks keep their
+ * id reserved.  The catalogue is documented in DESIGN.md ("Static
+ * verification").
+ */
+enum class CheckId : uint16_t {
+    PV001 = 1,  ///< Symbol range outside the text image or empty.
+    PV002 = 2,  ///< Overlapping symbol ranges.
+    PV003 = 3,  ///< Entry address is not a primary function entry.
+    PV004 = 4,  ///< Disassembly failure (embedded data / truncation).
+    PV005 = 5,  ///< Branch or call target not at an instruction boundary.
+    PV006 = 6,  ///< Terminator disagrees with addr-map successor list.
+    PV007 = 7,  ///< Fall-through escapes the owning function.
+    PV008 = 8,  ///< Call target is not a function entry.
+    PV009 = 9,  ///< Addr-map block address off any instruction boundary.
+    PV010 = 10, ///< Addr-map blocks do not tile their symbol range.
+    PV011 = 11, ///< .eh_frame coverage gap or length mismatch.
+    PV012 = 12, ///< Startup integrity-check hash mismatch.
+    PV013 = 13, ///< Invalid cc_prof cluster directive.
+    PV014 = 14, ///< Invalid ld_prof symbol-order directive.
+    PV015 = 15, ///< Final layout does not honor the symbol order.
+    PV016 = 16, ///< Profile flow-conservation anomaly.
+};
+
+/** "PV001" etc.; stable, parseable in suppression lists. */
+const char *checkName(CheckId id);
+
+/** One-line description of the check (for catalogues and renderers). */
+const char *checkTitle(CheckId id);
+
+/** Parse "PV004" into a CheckId; false on unknown names. */
+bool parseCheckId(const std::string &name, CheckId &out);
+
+enum class Severity : uint8_t {
+    Note,    ///< Informational; never fails a gate.
+    Warning, ///< Suspicious but not provably wrong.
+    Error,   ///< The binary (or directive set) is provably malformed.
+};
+
+const char *severityName(Severity severity);
+
+/** One verifier finding. */
+struct Diagnostic
+{
+    CheckId id = CheckId::PV001;
+    Severity severity = Severity::Error;
+    std::string function; ///< Attributed function ("" = whole binary).
+    uint64_t address = 0; ///< Offending address; 0 when not address-like.
+    std::string message;
+
+    /** Compiler-style one-liner: "error[PV004] fn_0012@0x4010: ...". */
+    std::string render() const;
+};
+
+/**
+ * Collects diagnostics, applies suppressions, renders reports.
+ */
+class DiagnosticEngine
+{
+  public:
+    /** Suppress a check id (its reports are counted, not stored). */
+    void suppress(CheckId id);
+
+    /**
+     * Parse a comma-separated suppression list ("PV004,PV011").
+     * @return false on any unknown id (valid prefix still applies).
+     */
+    bool parseSuppressions(const std::string &csv);
+
+    /** Report a finding (dropped and counted if suppressed). */
+    void report(CheckId id, Severity severity, std::string function,
+                uint64_t address, std::string message);
+
+    const std::vector<Diagnostic> &diagnostics() const { return diags_; }
+
+    uint32_t errorCount() const { return errors_; }
+    uint32_t warningCount() const { return warnings_; }
+    uint32_t noteCount() const { return notes_; }
+    uint32_t suppressedCount() const { return suppressed_; }
+
+    /** No stored errors or warnings (notes alone stay "clean"). */
+    bool clean() const { return errors_ == 0 && warnings_ == 0; }
+
+    /** Sorted unique names of functions with stored diagnostics. */
+    std::vector<std::string> affectedFunctions() const;
+
+    /** One diagnostic per line plus a trailing summary line. */
+    std::string renderText() const;
+
+    /** JSON object: counts plus a "diagnostics" array. */
+    std::string renderJson() const;
+
+  private:
+    std::vector<Diagnostic> diags_;
+    uint64_t suppressMask_ = 0; ///< Bit (id-1) set = suppressed.
+    uint32_t errors_ = 0;
+    uint32_t warnings_ = 0;
+    uint32_t notes_ = 0;
+    uint32_t suppressed_ = 0;
+};
+
+} // namespace propeller::analysis
+
+#endif // PROPELLER_ANALYSIS_DIAGNOSTICS_H

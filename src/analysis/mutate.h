@@ -1,0 +1,82 @@
+#ifndef PROPELLER_ANALYSIS_MUTATE_H
+#define PROPELLER_ANALYSIS_MUTATE_H
+
+/**
+ * @file
+ * Seeded defect injection for mutation-testing the static verifier.
+ *
+ * Each DefectClass models one way a buggy relinker (or a bit flip the
+ * fault-tolerance layer missed) could corrupt a shipped binary or its
+ * Phase 3 artifacts, keyed to the single PV0xx check that *must* catch
+ * it.  bench_verify injects every class at several seeds and gates CI on
+ * 100% detection — the verifier's own test oracle, in the spirit of
+ * src/faultinject (which mutation-tests the *pipeline*'s fault paths;
+ * this harness mutation-tests the *checker*).
+ *
+ * All site selection is keyed-RNG deterministic: the same (class, seed)
+ * over the same inputs always mutates the same site.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/diagnostics.h"
+#include "linker/executable.h"
+#include "propeller/dcfg.h"
+#include "propeller/directives.h"
+
+namespace propeller::analysis {
+
+/** One seedable defect class; see expectedCheck() for the PV pairing. */
+enum class DefectClass : uint8_t {
+    BranchDisplacement,  ///< Branch retargeted off any boundary (PV005).
+    SwappedFallThrough,  ///< Terminator sent to a non-successor (PV006).
+    AddrMapAddress,      ///< Addr-map block address skew (PV009).
+    AddrMapSize,         ///< Addr-map block size skew (PV010).
+    EhFrameGap,          ///< One FDE's coverage dropped (PV011).
+    OverlappingCode,     ///< Symbol range grown over its neighbor (PV002).
+    BadClusterDirective, ///< cc_prof duplicate/missing/unknown (PV013).
+    BadOrderDirective,   ///< ld_prof references a phantom symbol (PV014).
+    BadSymbolOrder,      ///< ld_prof entries swapped post-link (PV015).
+    EmbeddedData,        ///< Invalid opcode byte planted in code (PV004).
+    TruncatedFunction,   ///< Symbol end cut mid-instruction (PV004).
+    EntrySkew,           ///< Entry address nudged off entry (PV003).
+    IntegritySkew,       ///< Startup integrity hash corrupted (PV012).
+    FlowAnomaly,         ///< One DCFG edge weight blown up (PV016).
+};
+
+/** Number of defect classes (they are dense from 0). */
+constexpr size_t kDefectClassCount = 14;
+
+/** Stable name for reports ("branch-displacement", ...). */
+const char *defectName(DefectClass cls);
+
+/** The check id that must fire when this class is injected. */
+CheckId expectedCheck(DefectClass cls);
+
+/** All classes, for sweeping. */
+const DefectClass *allDefectClasses();
+
+/**
+ * The mutable pipeline products a defect can land in.  Classes touching
+ * a null target report "no eligible site".
+ */
+struct MutationTarget
+{
+    linker::Executable *exe = nullptr;
+    core::CcProfile *cc = nullptr;
+    core::LdProfile *ld = nullptr;
+    core::WholeProgramDcfg *dcfg = nullptr;
+};
+
+/**
+ * Inject one @p cls defect at a @p seed -keyed site into @p target.
+ * @return a description of the mutated site, or "" when the target has
+ *         no eligible site for this class (nothing was modified).
+ */
+std::string injectDefect(DefectClass cls, uint64_t seed,
+                         const MutationTarget &target);
+
+} // namespace propeller::analysis
+
+#endif // PROPELLER_ANALYSIS_MUTATE_H

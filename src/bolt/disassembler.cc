@@ -20,24 +20,50 @@ BoltFunction::blockAt(uint64_t addr) const
     return static_cast<int>(it - blocks.begin());
 }
 
-namespace {
-
-/** Linear disassembly of [start, end); false on any decode failure. */
-bool
-decodeRange(const linker::Executable &exe, uint64_t start, uint64_t end,
-            std::vector<BoltInst> &out)
+const char *
+decodeErrorName(DecodeError error)
 {
+    switch (error) {
+      case DecodeError::None:
+        return "none";
+      case DecodeError::InvalidOpcode:
+        return "invalid-opcode";
+      case DecodeError::Truncated:
+        return "truncated";
+    }
+    return "none";
+}
+
+RangeDisassembly
+disassembleRange(const linker::Executable &exe, uint64_t start,
+                 uint64_t end)
+{
+    RangeDisassembly out;
+    if (start < exe.textBase || end > exe.textEnd() || start > end) {
+        out.error = DecodeError::Truncated;
+        out.errorAddr = start;
+        return out;
+    }
     uint64_t pc = start;
     while (pc < end) {
         uint64_t offset = pc - exe.textBase;
         auto inst = isa::decode(exe.text.data() + offset, end - pc);
-        if (!inst)
-            return false; // Embedded data or truncated encoding.
-        out.push_back({pc, *inst});
+        if (!inst) {
+            // A defined opcode that would not fit the remaining bytes is
+            // a truncated encoding; anything else is embedded data.
+            out.error = isa::isValidOpcode(exe.text[offset])
+                            ? DecodeError::Truncated
+                            : DecodeError::InvalidOpcode;
+            out.errorAddr = pc;
+            return out;
+        }
+        out.insts.push_back({pc, *inst});
         pc += inst->size();
     }
-    return true;
+    return out;
 }
+
+namespace {
 
 void
 buildBlocks(BoltFunction &fn)
@@ -114,9 +140,12 @@ disassembleBinary(const linker::Executable &exe)
             // rewritable from disassembly.
             fn.ok = false;
         } else {
-            fn.ok = decodeRange(exe, fn.start, fn.end, fn.insts);
-            if (!fn.ok)
-                fn.insts.clear();
+            RangeDisassembly dis = disassembleRange(exe, fn.start, fn.end);
+            fn.ok = dis.ok();
+            fn.error = dis.error;
+            fn.errorAddr = dis.errorAddr;
+            if (fn.ok)
+                fn.insts = std::move(dis.insts);
         }
         if (fn.ok)
             buildBlocks(fn);

@@ -41,6 +41,36 @@ struct BoltBlock
     uint64_t freq = 0; ///< Filled by profile attribution.
 };
 
+/** Why linear disassembly of a range stopped early. */
+enum class DecodeError : uint8_t {
+    None,          ///< The whole range decoded.
+    InvalidOpcode, ///< Byte is not a defined opcode (embedded data).
+    Truncated,     ///< Valid opcode, encoding runs past the range end.
+};
+
+const char *decodeErrorName(DecodeError error);
+
+/**
+ * Result of linearly disassembling one address range.  On failure,
+ * @ref insts holds everything decoded *before* @ref errorAddr — the
+ * prefix is still useful to the static verifier for boundary analysis.
+ */
+struct RangeDisassembly
+{
+    std::vector<BoltInst> insts;
+    DecodeError error = DecodeError::None;
+    uint64_t errorAddr = 0; ///< First undecodable address (on failure).
+
+    bool ok() const { return error == DecodeError::None; }
+};
+
+/**
+ * Linear disassembly of [start, end) within @p exe's text image.
+ * The range must lie inside the image (checked).
+ */
+RangeDisassembly disassembleRange(const linker::Executable &exe,
+                                  uint64_t start, uint64_t end);
+
 /** A discovered and (possibly) disassembled function. */
 struct BoltFunction
 {
@@ -50,6 +80,10 @@ struct BoltFunction
 
     /** False when disassembly failed (embedded data / hand-asm). */
     bool ok = true;
+
+    /** Why decode failed (None for hand-asm/multi-range skips). */
+    DecodeError error = DecodeError::None;
+    uint64_t errorAddr = 0; ///< First undecodable address, if any.
 
     std::vector<BoltInst> insts;
     std::vector<BoltBlock> blocks;

@@ -4,7 +4,10 @@
 #include <cassert>
 
 #include "linker/linker.h"
+#include "propeller/addr_map_index.h"
+#include "propeller/profile_mapper.h"
 #include "sim/machine.h"
+#include "support/check.h"
 #include "support/hash.h"
 #include "support/thread_pool.h"
 
@@ -517,6 +520,85 @@ Workflow::propellerBinary()
 {
     ensurePhase4();
     return *propellerBinary_;
+}
+
+void
+Workflow::ensureVerify()
+{
+    if (verify_)
+        return;
+    ensurePhase4();
+
+    // PO ships with .bb_addr_map stripped, so relink a metadata-keeping
+    // twin from the same Phase 4 objects under the same options.
+    // Stripping only drops metadata — it never moves text — so the twin
+    // must be byte-identical to PO; checking that makes every finding
+    // below a finding about the shipped image.
+    linker::Options opts = linkOptions();
+    opts.outputName = config_.name + ".po-verify";
+    opts.symbolOrder = wpa().ldProf.symbolOrder;
+    verifyTwin_ = linker::link(*phase4Objects_, opts, nullptr);
+    PROPELLER_CHECK(verifyTwin_->text == propellerBinary_->text,
+                    "verification twin text diverged from PO");
+
+    analysis::VerifyOptions vopts;
+    vopts.expectedOrder = &wpa().ldProf;
+    // Functions deliberately degraded upstream sit at input order, not
+    // profile order; exempting them keeps PV015 about real link bugs.
+    for (const auto &name : wpa().stats.quarantinedFunctions)
+        vopts.exemptFunctions.insert(name);
+    const std::string kQuarantinePrefix = "function quarantined: ";
+    for (const auto &line : report("phase4.link").failures)
+        if (line.rfind(kQuarantinePrefix, 0) == 0)
+            vopts.exemptFunctions.insert(
+                line.substr(kQuarantinePrefix.size()));
+
+    analysis::VerifyReport rep = analysis::verifyExecutable(*verifyTwin_,
+                                                            vopts);
+    rep.merge(analysis::lintDirectives(wpa().ccProf, wpa().ldProf,
+                                       metadataBinary(), vopts));
+    {
+        profile::AggregationOptions agg_opts;
+        agg_opts.threads = config_.jobs;
+        profile::AggregatedProfile agg =
+            profile::aggregate(profile(), agg_opts);
+        core::AddrMapIndex index(metadataBinary());
+        core::WholeProgramDcfg dcfg = core::buildDcfg(agg, index);
+        rep.merge(analysis::lintProfileFlow(dcfg, vopts));
+    }
+
+    PhaseReport report;
+    report.phase = "phase5.verify";
+    report.makespanSec = cost_.makespan(
+        {static_cast<double>(rep.bytesVerified) * cost_.verifySecPerByte},
+        1);
+    report.actions = 1;
+    // Decoded instruction stream plus the per-range bookkeeping.
+    report.peakActionMemory =
+        rep.instructionsDecoded * 56 + rep.rangesDecoded * 96;
+    report.memoryLimitExceeded =
+        report.peakActionMemory > limits_.ramPerAction;
+    report.quarantined =
+        static_cast<uint32_t>(rep.engine.affectedFunctions().size());
+    for (const auto &diag : rep.engine.diagnostics())
+        report.failures.push_back(diag.render());
+    reports_["phase5.verify"] = std::move(report);
+
+    verify_ = std::move(rep);
+}
+
+const analysis::VerifyReport &
+Workflow::verifyReport()
+{
+    ensureVerify();
+    return *verify_;
+}
+
+const linker::Executable &
+Workflow::verifiedBinary()
+{
+    ensureVerify();
+    return *verifyTwin_;
 }
 
 const std::vector<std::string> &

@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/verifier.h"
 #include "bolt/bolt.h"
 #include "build/cache.h"
 #include "codegen/codegen.h"
@@ -104,6 +105,7 @@ struct CostModel
     double wpaSecPerProfileByte = 2e-5; ///< Profile conversion rate.
     double wpaSecPerHotFunction = 0.02; ///< Layout per hot function.
     double boltSecPerInst = 2e-5;       ///< BOLT disassembly+rewrite.
+    double verifySecPerByte = 4e-6;     ///< Phase 5 disassembly+checks.
 
     /** Makespan of @p costs (seconds each) on @p workers workers. */
     double makespan(const std::vector<double> &costs,
@@ -223,6 +225,21 @@ class Workflow
     const linker::Executable &propellerBinary();
 
     /**
+     * Phase 5 (optional): statically verify the shipped Propeller
+     * binary.  PO links with stripped addr maps, so the verifier runs
+     * over a metadata-keeping twin relinked from the exact Phase 4
+     * objects — text is checked byte-identical to PO, making every
+     * machine-code finding a finding about the shipped bits.  Also
+     * lints the applied Phase 3 artifacts (cc_prof / ld_prof, profile
+     * flow) and records a "phase5.verify" PhaseReport with one failure
+     * line per diagnostic, attributed to the offending function.
+     */
+    const analysis::VerifyReport &verifyReport();
+
+    /** The metadata-keeping verification twin of propellerBinary(). */
+    const linker::Executable &verifiedBinary();
+
+    /**
      * A Propeller binary under non-default layout options (ablations:
      * splitting off, inter-procedural, ...).  Runs a fresh WPA and a
      * Phase-4-style cached rebuild without disturbing the canonical
@@ -324,6 +341,7 @@ class Workflow
 
     const std::vector<elf::ObjectFile> &phase2Objects();
     void ensurePhase4();
+    void ensureVerify();
     core::LayoutOptions defaultLayoutOptions() const;
     linker::Options linkOptions();
     uint64_t moduleHash(size_t module_index) const;
@@ -345,6 +363,8 @@ class Workflow
     std::optional<core::WpaResult> wpa_;
     std::optional<linker::Executable> propellerBinary_;
     std::optional<std::vector<elf::ObjectFile>> phase4Objects_;
+    std::optional<analysis::VerifyReport> verify_;
+    std::optional<linker::Executable> verifyTwin_;
     std::optional<linker::Executable> iterative_;
     std::vector<std::string> coldObjects_;
 };

@@ -5,63 +5,75 @@
 
 namespace propeller::ir {
 
+using support::ErrorCode;
+using support::Status;
+
 namespace {
 
 void
 verifyFunction(const Function &fn, const std::string &mod_name,
                const std::unordered_set<std::string> &all_functions,
                std::unordered_set<uint32_t> &branch_ids,
-               std::vector<std::string> &errors)
+               std::vector<Status> &errors)
 {
-    auto err = [&](const std::string &msg) {
-        errors.push_back(mod_name + "/" + fn.name + ": " + msg);
+    auto err = [&](ErrorCode code, const std::string &msg) {
+        errors.push_back(
+            Status(code, mod_name + "/" + fn.name + ": " + msg));
     };
 
     if (fn.blocks.empty()) {
-        err("function has no blocks");
+        err(ErrorCode::kMalformed, "function has no blocks");
         return;
     }
     if (fn.entry().isLandingPad)
-        err("entry block is a landing pad");
+        err(ErrorCode::kMalformed, "entry block is a landing pad");
 
     std::unordered_set<uint32_t> ids;
     for (const auto &bb : fn.blocks) {
-        if (!ids.insert(bb->id).second)
-            err("duplicate block id " + std::to_string(bb->id));
+        if (!ids.insert(bb->id).second) {
+            err(ErrorCode::kMalformed,
+                "duplicate block id " + std::to_string(bb->id));
+        }
     }
 
     for (const auto &bb : fn.blocks) {
         const std::string where = "bb" + std::to_string(bb->id);
         if (bb->insts.empty()) {
-            err(where + ": empty block");
+            err(ErrorCode::kMalformed, where + ": empty block");
             continue;
         }
         for (size_t i = 0; i + 1 < bb->insts.size(); ++i) {
-            if (bb->insts[i].isTerminator())
-                err(where + ": terminator before end of block");
+            if (bb->insts[i].isTerminator()) {
+                err(ErrorCode::kMalformed,
+                    where + ": terminator before end of block");
+            }
         }
         const Inst &term = bb->insts.back();
         if (!term.isTerminator()) {
-            err(where + ": block does not end with a terminator");
+            err(ErrorCode::kMalformed,
+                where + ": block does not end with a terminator");
             continue;
         }
         for (uint32_t succ : bb->successors()) {
             if (!ids.count(succ)) {
-                err(where + ": branch to unknown block " +
-                    std::to_string(succ));
+                err(ErrorCode::kUnresolved,
+                    where + ": branch to unknown block " +
+                        std::to_string(succ));
             }
         }
         if (term.kind == InstKind::CondBr) {
             if (!branch_ids.insert(term.branchId).second) {
-                err(where + ": duplicate branch id " +
-                    std::to_string(term.branchId));
+                err(ErrorCode::kMalformed,
+                    where + ": duplicate branch id " +
+                        std::to_string(term.branchId));
             }
         }
         for (const Inst &inst : bb->insts) {
             if (inst.kind == InstKind::Call &&
                 !all_functions.count(inst.callee)) {
-                err(where + ": call to unknown function '" + inst.callee +
-                    "'");
+                err(ErrorCode::kUnresolved,
+                    where + ": call to unknown function '" + inst.callee +
+                        "'");
             }
         }
     }
@@ -69,24 +81,31 @@ verifyFunction(const Function &fn, const std::string &mod_name,
 
 } // namespace
 
-std::vector<std::string>
-verify(const Program &program)
+std::vector<Status>
+verifyAll(const Program &program)
 {
-    std::vector<std::string> errors;
+    std::vector<Status> errors;
 
     std::unordered_set<std::string> function_names;
     std::unordered_set<std::string> module_names;
     for (const auto &mod : program.modules) {
         if (mod->name.empty())
-            errors.push_back("unnamed module");
-        if (!module_names.insert(mod->name).second)
-            errors.push_back("duplicate module name '" + mod->name + "'");
+            errors.push_back(
+                Status(ErrorCode::kMalformed, "unnamed module"));
+        if (!module_names.insert(mod->name).second) {
+            errors.push_back(Status(ErrorCode::kMalformed,
+                                    "duplicate module name '" + mod->name +
+                                        "'"));
+        }
         for (const auto &fn : mod->functions) {
-            if (fn->name.empty())
-                errors.push_back(mod->name + ": unnamed function");
+            if (fn->name.empty()) {
+                errors.push_back(Status(ErrorCode::kMalformed,
+                                        mod->name + ": unnamed function"));
+            }
             if (!function_names.insert(fn->name).second) {
-                errors.push_back("duplicate function name '" + fn->name +
-                                 "'");
+                errors.push_back(Status(ErrorCode::kMalformed,
+                                        "duplicate function name '" +
+                                            fn->name + "'"));
             }
         }
     }
@@ -99,10 +118,26 @@ verify(const Program &program)
     }
 
     if (!function_names.count(program.entryFunction)) {
-        errors.push_back("entry function '" + program.entryFunction +
-                         "' not found");
+        errors.push_back(Status(ErrorCode::kUnresolved,
+                                "entry function '" +
+                                    program.entryFunction +
+                                    "' not found"));
     }
     return errors;
+}
+
+Status
+verify(const Program &program)
+{
+    std::vector<Status> errors = verifyAll(program);
+    if (errors.empty())
+        return Status();
+    Status first = std::move(errors.front());
+    if (errors.size() > 1) {
+        return std::move(first).withContext(
+            std::to_string(errors.size()) + " violations, first");
+    }
+    return first;
 }
 
 } // namespace propeller::ir

@@ -9,10 +9,10 @@
  * verifier guarantees the invariants codegen and the simulator rely on.
  */
 
-#include <string>
 #include <vector>
 
 #include "ir/ir.h"
+#include "support/status.h"
 
 namespace propeller::ir {
 
@@ -31,9 +31,20 @@ namespace propeller::ir {
  *  - conditional-branch ids are unique program-wide;
  *  - the entry function exists.
  *
- * @return a list of human-readable violations; empty means valid.
+ * Violations are typed: dangling references (branches, calls, the entry
+ * function) carry ErrorCode::kUnresolved; structural breakage carries
+ * ErrorCode::kMalformed.
+ *
+ * @return every violation found; empty means valid.
  */
-std::vector<std::string> verify(const Program &program);
+std::vector<support::Status> verifyAll(const Program &program);
+
+/**
+ * Single-status form of verifyAll(): ok() when the program is valid,
+ * otherwise the first violation with the total count appended as
+ * context.
+ */
+support::Status verify(const Program &program);
 
 } // namespace propeller::ir
 

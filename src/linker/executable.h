@@ -59,6 +59,23 @@ struct ExecFuncMap
 };
 
 /**
+ * Final address range covered by one .eh_frame FDE.
+ *
+ * FrameDescriptor::codeLength is stamped at codegen time, *before* the
+ * linker's branch relaxation shrinks sections — so the authoritative
+ * unwind coverage must be re-derived at link time from the final section
+ * layout.  The static verifier (src/analysis) requires every text symbol
+ * range to be covered exactly; a gap here is the paper's section 2.2
+ * failure mode (C++ exceptions unwinding through moved code).
+ */
+struct FrameCoverage
+{
+    std::string sectionSymbol;
+    uint64_t start = 0;
+    uint64_t end = 0;
+};
+
+/**
  * Startup code-integrity check (FIPS-140-2 analogue, paper section 5.8).
  *
  * The expected hash is application data baked in at (re)link time; the
@@ -115,6 +132,13 @@ struct Executable
     std::vector<FuncRange> symbols;
     std::vector<ExecFuncMap> bbAddrMap;
     std::vector<IntegrityCheck> integrityChecks;
+
+    /**
+     * Unwind coverage per text section, in layout order (final
+     * addresses; see FrameCoverage).  Empty for rewritten binaries that
+     * do not regenerate unwind metadata (e.g. the BOLT path).
+     */
+    std::vector<FrameCoverage> frames;
 
     SectionSizes sizes;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "isa/isa.h"
 #include "support/check.h"
@@ -518,6 +519,24 @@ linkChecked(const std::vector<ObjectFile> &objects, const Options &opts,
         }
     }
     exe.bbAddrMap = std::move(func_maps);
+
+    // Re-derive unwind coverage from the *final* layout: the codegen-time
+    // FrameDescriptor::codeLength predates relaxation, so each FDE's
+    // covered range is the post-relaxation section extent.
+    {
+        std::unordered_set<std::string> fde_symbols;
+        for (const auto &obj : objects) {
+            for (const auto &fde : obj.frames)
+                fde_symbols.insert(fde.sectionSymbol);
+        }
+        for (uint32_t idx : order) {
+            const Sect &sect = sects[idx];
+            if (!fde_symbols.count(sect.symbol))
+                continue;
+            exe.frames.push_back(FrameCoverage{
+                sect.symbol, sect.addr, sect.addr + sect.size});
+        }
+    }
 
     // Binary identity: the linked text content plus the section layout.
     // Any relink that moves or changes code — new compiler output, a

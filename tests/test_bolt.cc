@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "bolt/bolt.h"
+#include "analysis/verifier.h"
 #include "bolt/disassembler.h"
 #include "build/workflow.h"
 #include "codegen/codegen.h"
@@ -250,6 +251,94 @@ TEST(BoltOptimize, ReducesTakenBranches)
     linker::Executable bo = wf.boltBinary();
     sim::RunResult bolted = sim::run(bo, opts);
     EXPECT_LT(bolted.counters.takenBranches, base.counters.takenBranches);
+}
+
+/**
+ * The disassembler's failure classification and the static verifier's
+ * PV004 verdict come from the same decode walk: whatever range decode
+ * rejects, the verifier must flag — on the same inputs, for the same
+ * reason.
+ */
+TEST(Disassembler, EmbeddedDataClassifiedAndVerifierAgrees)
+{
+    linker::Executable exe = linkTiny();
+    const linker::FuncRange *victim = nullptr;
+    for (const auto &sym : exe.symbols)
+        if (sym.isPrimary && !victim)
+            victim = &sym;
+    ASSERT_NE(victim, nullptr);
+
+    // Plant an invalid-opcode byte at the second instruction boundary.
+    RangeDisassembly clean =
+        disassembleRange(exe, victim->start, victim->end);
+    ASSERT_TRUE(clean.ok());
+    ASSERT_GT(clean.insts.size(), 1u);
+    uint64_t plant = clean.insts[1].addr;
+    exe.text[plant - exe.textBase] = 0x00; // not a valid opcode
+
+    RangeDisassembly dis =
+        disassembleRange(exe, victim->start, victim->end);
+    EXPECT_FALSE(dis.ok());
+    EXPECT_EQ(dis.error, DecodeError::InvalidOpcode);
+    EXPECT_EQ(dis.errorAddr, plant);
+    EXPECT_STREQ(decodeErrorName(dis.error), "invalid-opcode");
+
+    analysis::VerifyOptions opts;
+    opts.checkIntegrity = false; // byte patch invalidates the hash too
+    analysis::VerifyReport rep = analysis::verifyExecutable(exe, opts);
+    bool pv004 = false;
+    for (const auto &d : rep.engine.diagnostics())
+        pv004 = pv004 || (d.id == analysis::CheckId::PV004 &&
+                          d.address == plant &&
+                          d.function == victim->parentFunction);
+    EXPECT_TRUE(pv004) << rep.engine.renderText();
+}
+
+TEST(Disassembler, TruncationClassifiedAndVerifierAgrees)
+{
+    linker::Executable exe = linkTiny();
+    linker::FuncRange *victim = nullptr;
+    for (auto &sym : exe.symbols)
+        if (sym.isPrimary && !victim)
+            victim = &sym;
+    ASSERT_NE(victim, nullptr);
+
+    // Cut the symbol one byte into its last multi-byte instruction.
+    RangeDisassembly clean =
+        disassembleRange(exe, victim->start, victim->end);
+    ASSERT_TRUE(clean.ok());
+    const BoltInst *wide = nullptr;
+    for (const auto &bi : clean.insts)
+        if (bi.inst.size() >= 2)
+            wide = &bi;
+    ASSERT_NE(wide, nullptr);
+    uint64_t cut = wide->addr + 1;
+    victim->end = cut;
+
+    RangeDisassembly dis =
+        disassembleRange(exe, victim->start, victim->end);
+    EXPECT_FALSE(dis.ok());
+    EXPECT_EQ(dis.error, DecodeError::Truncated);
+    EXPECT_EQ(dis.errorAddr, wide->addr);
+
+    analysis::VerifyOptions opts;
+    opts.checkAddrMap = false;  // the shrunk symbol no longer tiles
+    opts.checkEhFrame = false;  // nor matches its FDE length
+    analysis::VerifyReport rep = analysis::verifyExecutable(exe, opts);
+    bool pv004 = false;
+    for (const auto &d : rep.engine.diagnostics())
+        pv004 = pv004 || (d.id == analysis::CheckId::PV004 &&
+                          d.function == victim->parentFunction);
+    EXPECT_TRUE(pv004) << rep.engine.renderText();
+}
+
+TEST(Disassembler, RangeOutsideImageIsTruncated)
+{
+    linker::Executable exe = linkTiny();
+    RangeDisassembly dis =
+        disassembleRange(exe, exe.textBase - 16, exe.textBase);
+    EXPECT_FALSE(dis.ok());
+    EXPECT_EQ(dis.error, DecodeError::Truncated);
 }
 
 TEST(BoltOptimize, MemoryScalesWithWholeBinary)

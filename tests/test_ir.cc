@@ -78,7 +78,7 @@ TEST(IrProgram, QueriesOnTinyProgram)
 TEST(IrVerifier, AcceptsTinyProgram)
 {
     Program program = test::tinyProgram();
-    EXPECT_TRUE(verify(program).empty());
+    EXPECT_TRUE(verify(program).ok());
 }
 
 /** A mutation to apply to tinyProgram plus the expected error substring. */
@@ -161,13 +161,17 @@ TEST_P(VerifierViolations, AreReported)
 {
     Program program = test::tinyProgram();
     GetParam().mutate(program);
-    std::vector<std::string> errors = verify(program);
+    std::vector<support::Status> errors = verifyAll(program);
     ASSERT_FALSE(errors.empty());
+    EXPECT_FALSE(verify(program).ok());
     bool found = false;
-    for (const auto &error : errors)
-        found |= error.find(GetParam().expected) != std::string::npos;
+    for (const auto &error : errors) {
+        EXPECT_FALSE(error.ok());
+        found |= error.message().find(GetParam().expected) !=
+                 std::string::npos;
+    }
     EXPECT_TRUE(found) << "expected '" << GetParam().expected
-                       << "', got: " << errors[0];
+                       << "', got: " << errors[0].toString();
 }
 
 INSTANTIATE_TEST_SUITE_P(

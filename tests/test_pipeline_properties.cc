@@ -36,7 +36,7 @@ class PipelineProperties : public ::testing::TestWithParam<uint64_t>
 TEST_P(PipelineProperties, GeneratedProgramIsValid)
 {
     ir::Program program = workload::generate(config());
-    EXPECT_TRUE(ir::verify(program).empty());
+    EXPECT_TRUE(ir::verify(program).ok());
 }
 
 TEST_P(PipelineProperties, AllBinariesRetireIdenticalLogicalWork)

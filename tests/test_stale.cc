@@ -80,10 +80,9 @@ TEST(DriftMutator, MutatedProgramsStayVerifierClean)
             workload::DriftStats stats =
                 workload::applyDrift(program, {seed, rate});
             EXPECT_GT(stats.total(), 0u);
-            std::vector<std::string> errors = ir::verify(program);
-            EXPECT_TRUE(errors.empty())
-                << "seed " << seed << " rate " << rate << ": "
-                << (errors.empty() ? "" : errors.front());
+            support::Status status = ir::verify(program);
+            EXPECT_TRUE(status.ok()) << "seed " << seed << " rate "
+                                     << rate << ": " << status.toString();
         }
     }
 }
@@ -103,7 +102,7 @@ TEST(DriftMutator, DriftedProgramsStillRunAndProfile)
     workload::WorkloadConfig cfg = test::smallConfig();
     ir::Program program = workload::generate(cfg);
     workload::applyDrift(program, {3, 0.25});
-    ASSERT_TRUE(ir::verify(program).empty());
+    ASSERT_TRUE(ir::verify(program).ok());
     linker::Executable exe = buildMetadata(program);
     sim::RunResult run = sim::run(exe, workload::profileOptions(cfg));
     EXPECT_TRUE(run.startupOk);
@@ -250,7 +249,7 @@ TEST(StaleMatcher, MatchRateDegradesMonotonicallyWithDrift)
             ir::Program drifted = workload::generate(cfg);
             workload::applyDrift(
                 drifted, {static_cast<uint64_t>(seed), kRates[r]});
-            ASSERT_TRUE(ir::verify(drifted).empty());
+            ASSERT_TRUE(ir::verify(drifted).ok());
             linker::Executable exe_b = buildMetadata(drifted);
             core::AddrMapIndex index_b(exe_b);
             stale::StaleMatchResult match =

@@ -24,10 +24,10 @@ class NamedConfig : public ::testing::TestWithParam<const char *>
 TEST_P(NamedConfig, GeneratesValidProgram)
 {
     ir::Program program = generate(config());
-    std::vector<std::string> errors = ir::verify(program);
+    std::vector<support::Status> errors = ir::verifyAll(program);
     EXPECT_TRUE(errors.empty())
         << errors.size() << " errors, first: "
-        << (errors.empty() ? "" : errors[0]);
+        << (errors.empty() ? "ok" : errors[0].toString());
 }
 
 TEST_P(NamedConfig, CharacteristicsNearTargets)

@@ -24,6 +24,14 @@
  *                                one — rejected on identity mismatch
  *                                unless --allow-stale routes it through
  *                                the stale matcher (src/stale)
+ *   verify <workload>            statically verify the Propeller-
+ *                                optimized binary: IR invariants, then
+ *                                the post-link disassembly cross-check
+ *                                (src/analysis) over a metadata-keeping
+ *                                twin of PO plus lints of the applied
+ *                                Phase 3 artifacts; --json emits the CI
+ *                                artifact form, --suppress PV004,...
+ *                                mutes specific checks
  *   disasm <workload> <symbol>   disassemble one function of the
  *                                Propeller-optimized binary
  *   heatmap <workload>           instruction-access heat maps
@@ -40,8 +48,10 @@
 #include <string>
 #include <vector>
 
+#include "analysis/verifier.h"
 #include "build/workflow.h"
 #include "faultinject/faultinject.h"
+#include "ir/verifier.h"
 #include "sim/machine.h"
 #include "stale/stale.h"
 #include "support/table.h"
@@ -64,6 +74,12 @@ bool g_allow_stale = false;
 /** --fault-inject <spec>: run the pipeline under seeded corruption. */
 std::string g_fault_spec;
 bool g_fault_requested = false;
+
+/** --suppress LIST: check ids the verify subcommand mutes. */
+std::string g_suppress;
+
+/** --json: render the verify report as the CI artifact JSON. */
+bool g_json = false;
 
 /** Look up a workload and apply the global --jobs override. */
 workload::WorkloadConfig
@@ -406,6 +422,58 @@ cmdWpa(const std::string &name)
 }
 
 int
+cmdVerify(const std::string &name)
+{
+    workload::WorkloadConfig cfg = namedConfig(name);
+    buildsys::Workflow wf(cfg);
+
+    // IR invariants first — findings are typed support::Status now, so
+    // a violation names both its category and the offending construct.
+    std::vector<support::Status> ir_errors = ir::verifyAll(wf.program());
+    if (!ir_errors.empty()) {
+        for (const auto &status : ir_errors)
+            std::fprintf(stderr, "ir: %s\n", status.toString().c_str());
+        std::fprintf(stderr, "propeller-cli: IR verification failed "
+                             "(%zu violations)\n",
+                     ir_errors.size());
+        return 1;
+    }
+
+    // The canonical phase-5 pass (twin relink + all machine checks),
+    // refiltered through the user's suppression list.
+    const analysis::VerifyReport &full = wf.verifyReport();
+    analysis::VerifyReport rep;
+    if (!rep.engine.parseSuppressions(g_suppress)) {
+        std::fprintf(stderr,
+                     "propeller-cli: bad --suppress list '%s'\n",
+                     g_suppress.c_str());
+        return usage();
+    }
+    for (const auto &d : full.engine.diagnostics())
+        rep.engine.report(d.id, d.severity, d.function, d.address,
+                          d.message);
+    rep.functionsChecked = full.functionsChecked;
+    rep.rangesDecoded = full.rangesDecoded;
+    rep.handAsmSkipped = full.handAsmSkipped;
+    rep.instructionsDecoded = full.instructionsDecoded;
+    rep.bytesVerified = full.bytesVerified;
+
+    if (g_json) {
+        std::printf("%s\n", rep.engine.renderJson().c_str());
+    } else {
+        std::printf("verified %s: %u functions, %u ranges, %llu "
+                    "instructions, %s of text\n",
+                    wf.propellerBinary().name.c_str(),
+                    rep.functionsChecked, rep.rangesDecoded,
+                    static_cast<unsigned long long>(
+                        rep.instructionsDecoded),
+                    formatBytes(rep.bytesVerified).c_str());
+        std::printf("%s", rep.engine.renderText().c_str());
+    }
+    return rep.engine.errorCount() > 0 ? 1 : 0;
+}
+
+int
 cmdDisasm(const std::string &name, const std::string &symbol)
 {
     buildsys::Workflow wf(namedConfig(name));
@@ -465,6 +533,7 @@ usage()
                 "  list\n"
                 "  run <workload>\n"
                 "  wpa <workload>\n"
+                "  verify <workload>\n"
                 "  disasm <workload> <symbol>\n"
                 "  heatmap <workload>\n"
                 "options:\n"
@@ -477,7 +546,10 @@ usage()
                 "                      match it by CFG fingerprint\n"
                 "  --fault-inject S    run: seeded corruption spec, e.g.\n"
                 "                      seed=7,profile=0.25,cache=0.25,\n"
-                "                      addrmap=0.25,exec=0.1\n");
+                "                      addrmap=0.25,exec=0.1\n"
+                "  --suppress LIST     verify: mute check ids, e.g.\n"
+                "                      PV004,PV011\n"
+                "  --json              verify: emit the JSON report\n");
     return 2;
 }
 
@@ -525,6 +597,14 @@ main(int argc, char **argv)
             g_fault_requested = true;
             continue;
         }
+        if (arg == "--suppress" && i + 1 < argc) {
+            g_suppress = argv[++i];
+            continue;
+        }
+        if (arg == "--json") {
+            g_json = true;
+            continue;
+        }
         args.push_back(std::move(arg));
     }
     if (args.empty())
@@ -536,6 +616,8 @@ main(int argc, char **argv)
         return cmdRun(args[1]);
     if (cmd == "wpa" && args.size() == 2)
         return cmdWpa(args[1]);
+    if (cmd == "verify" && args.size() == 2)
+        return cmdVerify(args[1]);
     if (cmd == "disasm" && args.size() == 3)
         return cmdDisasm(args[1], args[2]);
     if (cmd == "heatmap" && args.size() == 2)

@@ -23,13 +23,11 @@ namespace {
 double
 timeLayout(buildsys::Workflow &wf, unsigned threads, int reps)
 {
-    core::LayoutOptions opts;
-    opts.threads = threads;
     std::vector<double> secs;
     for (int r = 0; r < reps; ++r) {
         auto t0 = std::chrono::steady_clock::now();
         core::WpaResult wpa = core::runWholeProgramAnalysis(
-            wf.metadataBinary(), wf.profile(), opts);
+            wf.metadataBinary(), wf.profile(), {}, threads);
         auto t1 = std::chrono::steady_clock::now();
         secs.push_back(std::chrono::duration<double>(t1 - t0).count());
         // Keep the result alive past the timestamp.

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Task-graph relink engine gate: on bigtable at 8 modelled workers the
+ * work-stealing schedule must land within 1.15x of the critical-path
+ * lower bound, beat the phase-barriered engine's summed makespan, and
+ * ship byte-identical artifacts at every worker count and under the
+ * barrier ablation.  Emits BENCH_taskgraph.json so CI tracks the
+ * schedule-quality trajectory over time.
+ *
+ * Usage: bench_taskgraph [output.json]
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "common.h"
+#include "sched/sched.h"
+
+using namespace propeller;
+
+namespace {
+
+constexpr const char *kWorkload = "bigtable";
+constexpr double kRatioGate = 1.15;
+
+/** One engine run: shipped bytes, modelled schedule, relink wall clock. */
+struct RunOutcome
+{
+    std::vector<uint8_t> text;
+    double wallSec = 0.0;
+    double modelMakespanSec = 0.0;
+    double lowerBoundSec = 0.0;
+    double criticalPathSec = 0.0;
+    double efficiency = 0.0;
+    uint64_t steals = 0;
+    uint32_t tasks = 0;
+    /** Barrier engine only: sum of the three relink phase makespans. */
+    double barrierSumSec = 0.0;
+    std::vector<sched::TaskSpan> spans;
+    std::vector<std::pair<std::string, sched::ScheduleReport::Window>>
+        windows;
+};
+
+RunOutcome
+runEngine(unsigned jobs, bool barrier, uint32_t workers = 8)
+{
+    workload::WorkloadConfig cfg = workload::configByName(kWorkload);
+    cfg.jobs = jobs;
+    cfg.barrierScheduler = barrier;
+    buildsys::Workflow wf(cfg);
+
+    // The gate is specified at 8 workers; bigtable's distributed build
+    // would otherwise model 40.
+    buildsys::BuildLimits limits;
+    limits.workers = workers;
+    wf.setBuildLimits(limits);
+
+    // Prime the serial upstream phases so the wall clock below times
+    // the relink (WPA + codegen + link), not profile collection.
+    wf.metadataBinary();
+    wf.profile();
+
+    auto t0 = std::chrono::steady_clock::now();
+    RunOutcome out;
+    out.text = wf.propellerBinary().text;
+    auto t1 = std::chrono::steady_clock::now();
+    out.wallSec = std::chrono::duration<double>(t1 - t0).count();
+
+    if (barrier) {
+        for (const char *phase :
+             {"phase3.wpa", "phase4.codegen", "phase4.link"})
+            out.barrierSumSec += wf.report(phase).makespanSec;
+    } else {
+        const sched::ScheduleReport &s = wf.relinkSchedule();
+        out.modelMakespanSec = s.makespanSec;
+        out.lowerBoundSec = s.lowerBoundSec;
+        out.criticalPathSec = s.criticalPathSec;
+        out.efficiency = s.parallelEfficiency;
+        out.steals = s.steals;
+        out.tasks = s.tasksExecuted;
+        if (jobs == 8) {
+            out.spans = s.spans;
+            for (const char *phase :
+                 {"phase3.wpa", "phase4.codegen", "phase4.link"})
+                out.windows.push_back({phase, s.phaseWindow(phase)});
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *out_path = argc > 1 ? argv[1] : "BENCH_taskgraph.json";
+    bench::printHeader(
+        "BENCH taskgraph", "work-stealing relink vs phase barriers",
+        "fine-grained task dependencies let codegen start the moment a "
+        "module's last layout lands and verification overlap the link "
+        "tail, so the relink makespan approaches the critical-path "
+        "lower bound instead of the sum of phase barriers");
+
+    RunOutcome graph1 = runEngine(1, false);
+    RunOutcome graph2 = runEngine(2, false);
+    RunOutcome graph8 = runEngine(8, false);
+    RunOutcome barrier = runEngine(8, true);
+
+    bool bytes_identical = graph1.text == graph8.text &&
+                           graph2.text == graph8.text &&
+                           barrier.text == graph8.text;
+    double ratio = graph8.lowerBoundSec > 0.0
+                       ? graph8.modelMakespanSec / graph8.lowerBoundSec
+                       : 1.0;
+    double speedup = graph8.modelMakespanSec > 0.0
+                         ? barrier.barrierSumSec / graph8.modelMakespanSec
+                         : 0.0;
+
+    std::printf("\n%s relink, %u tasks, 8 modelled workers:\n", kWorkload,
+                graph8.tasks);
+    std::printf("  %-26s %10.1f s\n", "critical path",
+                graph8.criticalPathSec);
+    std::printf("  %-26s %10.1f s\n", "lower bound",
+                graph8.lowerBoundSec);
+    std::printf("  %-26s %10.1f s  (%.3fx bound, gate <= %.2fx)\n",
+                "task-graph makespan", graph8.modelMakespanSec, ratio,
+                kRatioGate);
+    std::printf("  %-26s %10.1f s  (%.2fx slower than task graph)\n",
+                "barrier phase sum", barrier.barrierSumSec, speedup);
+    std::printf("  %-26s %9.0f%%\n", "parallel efficiency",
+                graph8.efficiency * 100.0);
+
+    std::printf("\nphase overlap windows (modelled, would be disjoint "
+                "under barriers):\n");
+    for (const auto &[phase, win] : graph8.windows)
+        std::printf("  %-16s [%7.1f, %7.1f] s\n", phase.c_str(),
+                    win.startSec, win.endSec);
+    std::vector<sched::TaskSpan> top = graph8.spans;
+    std::sort(top.begin(), top.end(),
+              [](const sched::TaskSpan &a, const sched::TaskSpan &b) {
+                  return a.costSec > b.costSec;
+              });
+    std::printf("costliest tasks:\n");
+    for (size_t i = 0; i < top.size() && i < 8; ++i)
+        std::printf("  %-24s %7.2f s  [%7.1f, %7.1f]\n",
+                    top[i].label.c_str(), top[i].costSec,
+                    top[i].startSec, top[i].endSec);
+    // Makespan vs. modelled workers: how each engine scales as the
+    // build system grants more executors (EXPERIMENTS.md table).
+    const uint32_t kWorkerSweep[] = {1, 2, 4, 8, 16};
+    std::vector<double> sweep_graph, sweep_barrier;
+    std::printf("\nmakespan vs modelled workers (graph vs barrier "
+                "sum):\n  %-8s %12s %14s %8s\n", "workers",
+                "task graph", "barrier sum", "speedup");
+    for (uint32_t w : kWorkerSweep) {
+        double g = w == 8 ? graph8.modelMakespanSec
+                          : runEngine(8, false, w).modelMakespanSec;
+        double b = w == 8 ? barrier.barrierSumSec
+                          : runEngine(8, true, w).barrierSumSec;
+        sweep_graph.push_back(g);
+        sweep_barrier.push_back(b);
+        std::printf("  %-8u %10.1f s %12.1f s %7.2fx\n", w, g, b,
+                    g > 0.0 ? b / g : 0.0);
+    }
+
+    std::printf("\nwall clock of the real relink (this machine):\n");
+    std::printf("  jobs=1 %.2fs   jobs=2 %.2fs   jobs=8 %.2fs   "
+                "(%llu steals at 8)\n",
+                graph1.wallSec, graph2.wallSec, graph8.wallSec,
+                static_cast<unsigned long long>(graph8.steals));
+    std::printf("\nartifacts byte-identical across jobs {1,2,8} and the "
+                "barrier ablation: %s\n",
+                bytes_identical ? "yes" : "NO");
+
+    bool ratio_ok = ratio <= kRatioGate;
+    bool beats_barrier =
+        graph8.modelMakespanSec < barrier.barrierSumSec;
+
+    FILE *out = std::fopen(out_path, "w");
+    if (!out) {
+        std::printf("cannot write %s\n", out_path);
+        return 1;
+    }
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"workload\": \"%s\",\n", kWorkload);
+    std::fprintf(out, "  \"model_workers\": 8,\n");
+    std::fprintf(out, "  \"tasks\": %u,\n", graph8.tasks);
+    std::fprintf(out, "  \"critical_path_sec\": %.3f,\n",
+                 graph8.criticalPathSec);
+    std::fprintf(out, "  \"lower_bound_sec\": %.3f,\n",
+                 graph8.lowerBoundSec);
+    std::fprintf(out, "  \"makespan_sec\": %.3f,\n",
+                 graph8.modelMakespanSec);
+    std::fprintf(out, "  \"makespan_over_lower_bound\": %.4f,\n", ratio);
+    std::fprintf(out, "  \"ratio_gate\": %.2f,\n", kRatioGate);
+    std::fprintf(out, "  \"barrier_phase_sum_sec\": %.3f,\n",
+                 barrier.barrierSumSec);
+    std::fprintf(out, "  \"speedup_over_barrier\": %.4f,\n", speedup);
+    std::fprintf(out, "  \"parallel_efficiency\": %.4f,\n",
+                 graph8.efficiency);
+    std::fprintf(out, "  \"wall_sec_jobs1\": %.4f,\n", graph1.wallSec);
+    std::fprintf(out, "  \"wall_sec_jobs2\": %.4f,\n", graph2.wallSec);
+    std::fprintf(out, "  \"wall_sec_jobs8\": %.4f,\n", graph8.wallSec);
+    std::fprintf(out, "  \"steals_jobs8\": %llu,\n",
+                 static_cast<unsigned long long>(graph8.steals));
+    std::fprintf(out, "  \"worker_sweep\": [1, 2, 4, 8, 16],\n");
+    std::fprintf(out, "  \"sweep_graph_makespan_sec\": [");
+    for (size_t i = 0; i < sweep_graph.size(); ++i)
+        std::fprintf(out, "%s%.3f", i ? ", " : "", sweep_graph[i]);
+    std::fprintf(out, "],\n");
+    std::fprintf(out, "  \"sweep_barrier_makespan_sec\": [");
+    for (size_t i = 0; i < sweep_barrier.size(); ++i)
+        std::fprintf(out, "%s%.3f", i ? ", " : "", sweep_barrier[i]);
+    std::fprintf(out, "],\n");
+    std::fprintf(out, "  \"bytes_identical\": %s,\n",
+                 bytes_identical ? "true" : "false");
+    std::fprintf(out, "  \"ratio_within_gate\": %s,\n",
+                 ratio_ok ? "true" : "false");
+    std::fprintf(out, "  \"beats_barrier\": %s\n",
+                 beats_barrier ? "true" : "false");
+    std::fprintf(out, "}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", out_path);
+
+    if (!bytes_identical) {
+        std::printf("GATE FAILED: artifacts differ across engines or "
+                    "worker counts\n");
+        return 1;
+    }
+    if (!ratio_ok) {
+        std::printf("GATE FAILED: makespan is %.3fx the lower bound "
+                    "(gate %.2fx)\n",
+                    ratio, kRatioGate);
+        return 1;
+    }
+    if (!beats_barrier) {
+        std::printf("GATE FAILED: task graph (%.1fs) does not beat the "
+                    "barrier phase sum (%.1fs)\n",
+                    graph8.modelMakespanSec, barrier.barrierSumSec);
+        return 1;
+    }
+    return 0;
+}

@@ -74,8 +74,9 @@ struct ExeVerifier
 
     void checkSymbols();
     void checkEntry();
-    void decodeAll();
-    void checkControlFlow();
+    void decodeRange(RangeInfo &info, VerifyReport &rep);
+    void indexBoundaries();
+    void checkControlFlowRange(const RangeInfo &info, VerifyReport &rep);
     void checkAddrMap();
     void checkEhFrame();
     void checkIntegrity();
@@ -143,41 +144,56 @@ ExeVerifier::checkEntry()
 }
 
 void
-ExeVerifier::decodeAll()
+ExeVerifier::decodeRange(RangeInfo &info, VerifyReport &rep)
 {
-    for (auto &info : ranges) {
-        if (!info.valid)
-            continue;
-        if (info.sym->isHandAsm) {
-            ++report.handAsmSkipped;
-            continue;
-        }
-        info.dis = bolt::disassembleRange(exe, info.sym->start,
-                                          info.sym->end);
-        ++report.rangesDecoded;
-        report.instructionsDecoded += info.dis.insts.size();
-        for (const auto &bi : info.dis.insts)
-            boundaries.insert(bi.addr);
-        if (info.dis.ok()) {
-            info.decoded = true;
-            report.bytesVerified += info.sym->end - info.sym->start;
-        } else {
-            diag(CheckId::PV004, Severity::Error,
-                 info.sym->parentFunction, info.dis.errorAddr,
-                 std::string("cannot disassemble symbol '") +
-                     info.sym->name + "': " +
-                     bolt::decodeErrorName(info.dis.error) + " at " +
-                     hex(info.dis.errorAddr));
-        }
+    // Writes only to this range's slot and @p rep: safe to run
+    // concurrently across distinct ranges.  The shared boundary index
+    // is built afterwards by indexBoundaries().
+    if (!info.valid)
+        return;
+    if (info.sym->isHandAsm) {
+        ++rep.handAsmSkipped;
+        return;
+    }
+    info.dis =
+        bolt::disassembleRange(exe, info.sym->start, info.sym->end);
+    ++rep.rangesDecoded;
+    rep.instructionsDecoded += info.dis.insts.size();
+    if (info.dis.ok()) {
+        info.decoded = true;
+        rep.bytesVerified += info.sym->end - info.sym->start;
+    } else {
+        rep.engine.report(CheckId::PV004, Severity::Error,
+                          info.sym->parentFunction, info.dis.errorAddr,
+                          std::string("cannot disassemble symbol '") +
+                              info.sym->name + "': " +
+                              bolt::decodeErrorName(info.dis.error) +
+                              " at " + hex(info.dis.errorAddr));
     }
 }
 
 void
-ExeVerifier::checkControlFlow()
+ExeVerifier::indexBoundaries()
 {
-    for (const auto &info : ranges) {
-        if (!info.decoded)
-            continue;
+    for (const auto &info : ranges)
+        for (const auto &bi : info.dis.insts)
+            boundaries.insert(bi.addr);
+}
+
+void
+ExeVerifier::checkControlFlowRange(const RangeInfo &info,
+                                   VerifyReport &rep)
+{
+    // Reads only shared immutable state (ranges, boundaries,
+    // primaryStarts — all frozen after indexBoundaries); reports into
+    // @p rep.  Safe to run concurrently across distinct ranges.
+    if (!info.decoded)
+        return;
+    auto diag = [&](CheckId id, Severity sev, const std::string &fn,
+                    uint64_t addr, std::string msg) {
+        rep.engine.report(id, sev, fn, addr, std::move(msg));
+    };
+    {
         const FuncRange &sym = *info.sym;
         for (const auto &bi : info.dis.insts) {
             const isa::Instruction &inst = bi.inst;
@@ -249,6 +265,17 @@ ExeVerifier::checkControlFlow()
             }
         }
     }
+}
+
+/** Run the decomposed passes back to back (the monolithic shape). */
+void
+runSerialRangePasses(ExeVerifier &v)
+{
+    for (auto &info : v.ranges)
+        v.decodeRange(info, v.report);
+    v.indexBoundaries();
+    for (const auto &info : v.ranges)
+        v.checkControlFlowRange(info, v.report);
 }
 
 void
@@ -546,8 +573,7 @@ verifyExecutable(const Executable &exe, const VerifyOptions &opts)
     ExeVerifier v{exe, opts, report, {}, {}, {}, {}};
     v.checkSymbols();
     v.checkEntry();
-    v.decodeAll();
-    v.checkControlFlow();
+    runSerialRangePasses(v);
     if (opts.checkAddrMap)
         v.checkAddrMap();
     if (opts.checkEhFrame)
@@ -556,6 +582,84 @@ verifyExecutable(const Executable &exe, const VerifyOptions &opts)
         v.checkIntegrity();
     v.checkSymbolOrder();
     return report;
+}
+
+struct ExecutableVerifier::Impl
+{
+    VerifyReport main;
+    ExeVerifier v;
+    std::vector<VerifyReport> decodeSlots;
+    std::vector<VerifyReport> checkSlots;
+
+    Impl(const Executable &exe, const VerifyOptions &opts)
+        : v{exe, opts, main, {}, {}, {}, {}}
+    {
+        main.engine.parseSuppressions(opts.suppress);
+        v.checkSymbols();
+        v.checkEntry();
+        decodeSlots.resize(v.ranges.size());
+        checkSlots.resize(v.ranges.size());
+    }
+};
+
+ExecutableVerifier::ExecutableVerifier(const linker::Executable &exe,
+                                       const VerifyOptions &opts)
+    : impl_(std::make_unique<Impl>(exe, opts))
+{
+}
+
+ExecutableVerifier::~ExecutableVerifier() = default;
+
+size_t
+ExecutableVerifier::rangeCount() const
+{
+    return impl_->v.ranges.size();
+}
+
+uint64_t
+ExecutableVerifier::rangeBytes(size_t r) const
+{
+    const FuncRange &sym = *impl_->v.ranges[r].sym;
+    return sym.end > sym.start ? sym.end - sym.start : 0;
+}
+
+void
+ExecutableVerifier::decodeRange(size_t r)
+{
+    impl_->v.decodeRange(impl_->v.ranges[r], impl_->decodeSlots[r]);
+}
+
+void
+ExecutableVerifier::buildIndex()
+{
+    impl_->v.indexBoundaries();
+}
+
+void
+ExecutableVerifier::checkRange(size_t r)
+{
+    impl_->v.checkControlFlowRange(impl_->v.ranges[r],
+                                   impl_->checkSlots[r]);
+}
+
+VerifyReport
+ExecutableVerifier::finish()
+{
+    // Deterministic merge: per-range findings re-emit in range order
+    // through the main engine (which owns the suppression set), exactly
+    // matching the monolithic pass's diagnostic order.
+    for (const auto &slot : impl_->decodeSlots)
+        impl_->main.merge(slot);
+    for (const auto &slot : impl_->checkSlots)
+        impl_->main.merge(slot);
+    if (impl_->v.opts.checkAddrMap)
+        impl_->v.checkAddrMap();
+    if (impl_->v.opts.checkEhFrame)
+        impl_->v.checkEhFrame();
+    if (impl_->v.opts.checkIntegrity)
+        impl_->v.checkIntegrity();
+    impl_->v.checkSymbolOrder();
+    return std::move(impl_->main);
 }
 
 VerifyReport

@@ -22,6 +22,7 @@
  */
 
 #include <cstdint>
+#include <memory>
 #include <set>
 #include <string>
 
@@ -86,6 +87,51 @@ struct VerifyReport
  */
 VerifyReport verifyExecutable(const linker::Executable &exe,
                               const VerifyOptions &opts = {});
+
+/**
+ * verifyExecutable decomposed into schedulable stages so the task-graph
+ * relink engine can overlap per-range decoding and control-flow checks
+ * with the tail of linking:
+ *
+ *   ctor            — symbol/entry checks (PV001-PV003), serial;
+ *   decodeRange(r)  — disassemble one range (PV004); thread-safe
+ *                     across distinct r;
+ *   buildIndex()    — instruction-boundary index over all decoded
+ *                     ranges; serial barrier, required before checks;
+ *   checkRange(r)   — control-flow checks (PV005/PV007/PV008) for one
+ *                     range; thread-safe across distinct r;
+ *   finish()        — metadata-wide checks (addr map, eh_frame,
+ *                     integrity, symbol order) plus the deterministic
+ *                     merge: per-range findings re-emit in range order,
+ *                     so the final report is byte-identical to the
+ *                     monolithic pass at any thread count.
+ *
+ * @p exe and @p opts must outlive the verifier.
+ */
+class ExecutableVerifier
+{
+  public:
+    ExecutableVerifier(const linker::Executable &exe,
+                       const VerifyOptions &opts);
+    ~ExecutableVerifier();
+    ExecutableVerifier(const ExecutableVerifier &) = delete;
+    ExecutableVerifier &operator=(const ExecutableVerifier &) = delete;
+
+    /** Symbol ranges, sorted by start address. */
+    size_t rangeCount() const;
+
+    /** Byte size of range @p r (cost-model input for task sizing). */
+    uint64_t rangeBytes(size_t r) const;
+
+    void decodeRange(size_t r);
+    void buildIndex();
+    void checkRange(size_t r);
+    VerifyReport finish();
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
 
 /**
  * Pre-link lint of the Phase 3 directive artifacts against the metadata

@@ -27,15 +27,20 @@
  * or bit-flipped artifact silently linked into the binary is the worst
  * failure mode a relinking optimizer can have.
  *
- * The cache is deliberately not thread-safe: the Workflow performs all
- * lookups and insertions on the coordinating thread and only fans the
- * *compilations* out to workers, which both models the real system (the
- * action cache is a remote service with its own serialization point) and
- * keeps hit/miss accounting deterministic.
+ * Thread safety: all operations serialize on an internal mutex, which
+ * models the real system (the action cache is a remote service with its
+ * own serialization point).  The task-graph relink engine performs
+ * lookups and insertions from concurrent codegen tasks; accounting
+ * stays deterministic because every task addresses a distinct key, so
+ * hit/miss/corruption totals are order-independent sums.  Returned byte
+ * pointers stay valid under concurrent inserts of *other* keys
+ * (unordered_map never moves values), and no two tasks touch the same
+ * key concurrently.
  */
 
 #include <algorithm>
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -86,6 +91,7 @@ class ArtifactCache
     const std::vector<uint8_t> *
     lookup(uint64_t key)
     {
+        std::lock_guard<std::mutex> lock(mu_);
         auto it = entries_.find(key);
         if (it == entries_.end()) {
             ++stats_.misses;
@@ -106,6 +112,7 @@ class ArtifactCache
     void
     put(uint64_t key, std::vector<uint8_t> bytes)
     {
+        std::lock_guard<std::mutex> lock(mu_);
         uint64_t hash = fnv1a(bytes.data(), bytes.size());
         auto it = entries_.find(key);
         if (it != entries_.end()) {
@@ -129,6 +136,7 @@ class ArtifactCache
     void
     evictCorrupt(uint64_t key)
     {
+        std::lock_guard<std::mutex> lock(mu_);
         auto it = entries_.find(key);
         if (it == entries_.end())
             return;
@@ -144,6 +152,7 @@ class ArtifactCache
     uint64_t
     scrub()
     {
+        std::lock_guard<std::mutex> lock(mu_);
         uint64_t evicted = 0;
         for (auto it = entries_.begin(); it != entries_.end();) {
             if (fnv1a(it->second.bytes.data(), it->second.bytes.size()) !=
@@ -173,6 +182,7 @@ class ArtifactCache
     bool
     corruptStored(uint64_t key, Mutator &&mutate, bool rehash = false)
     {
+        std::lock_guard<std::mutex> lock(mu_);
         auto it = entries_.find(key);
         if (it == entries_.end())
             return false;
@@ -187,12 +197,18 @@ class ArtifactCache
     }
 
     /** Presence test; does not count toward hit/miss statistics. */
-    bool contains(uint64_t key) const { return entries_.count(key) != 0; }
+    bool
+    contains(uint64_t key) const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return entries_.count(key) != 0;
+    }
 
     /** All stored keys, sorted (deterministic iteration for faults). */
     std::vector<uint64_t>
     keys() const
     {
+        std::lock_guard<std::mutex> lock(mu_);
         std::vector<uint64_t> out;
         out.reserve(entries_.size());
         for (const auto &[key, entry] : entries_)
@@ -218,6 +234,7 @@ class ArtifactCache
         return entries_.erase(it);
     }
 
+    mutable std::mutex mu_;
     std::unordered_map<uint64_t, Entry> entries_;
     CacheStats stats_;
 };

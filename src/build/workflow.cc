@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <unordered_map>
 
 #include "linker/linker.h"
 #include "propeller/addr_map_index.h"
@@ -293,6 +294,40 @@ Workflow::recordCodegenReport(const std::string &phase,
     reports_[phase] = std::move(report);
 }
 
+PhaseReport
+Workflow::makeLinkReport(const std::string &phase,
+                         const std::vector<elf::ObjectFile> &objects,
+                         const linker::LinkStats &stats,
+                         const std::vector<std::string> &cached_names)
+    const
+{
+    std::set<std::string> cached(cached_names.begin(),
+                                 cached_names.end());
+    double cost = 0.0;
+    for (const auto &obj : objects) {
+        double bytes = static_cast<double>(obj.sizeInBytes());
+        // Cold cache hits stream from the content store; fresh
+        // outputs must be gathered from the workers that built them.
+        cost += bytes * (cached.count(obj.name)
+                             ? cost_.fetchCachedSecPerByte
+                             : cost_.fetchFreshSecPerByte);
+        cost += bytes * cost_.linkSecPerByte;
+    }
+    PhaseReport report;
+    report.phase = phase;
+    report.makespanSec = cost_.makespan({cost}, 1);
+    report.actions = 1;
+    report.peakActionMemory = stats.peakMemory;
+    report.memoryLimitExceeded = stats.peakMemory > limits_.ramPerAction;
+    report.quarantined = stats.quarantinedFunctions +
+                         stats.addrMapsRejected;
+    for (const auto &name : stats.quarantined)
+        report.failures.push_back("function quarantined: " + name);
+    for (const auto &obj : stats.rejectedAddrMapObjects)
+        report.failures.push_back(".bb_addr_map rejected: " + obj);
+    return report;
+}
+
 linker::Executable
 Workflow::linkWithReport(const std::vector<elf::ObjectFile> &objects,
                          const linker::Options &opts,
@@ -301,35 +336,9 @@ Workflow::linkWithReport(const std::vector<elf::ObjectFile> &objects,
 {
     linker::LinkStats stats;
     linker::Executable exe = linker::link(objects, opts, &stats);
-
-    if (!phase.empty()) {
-        std::set<std::string> cached(cached_names.begin(),
-                                     cached_names.end());
-        double cost = 0.0;
-        for (const auto &obj : objects) {
-            double bytes = static_cast<double>(obj.sizeInBytes());
-            // Cold cache hits stream from the content store; fresh
-            // outputs must be gathered from the workers that built them.
-            cost += bytes * (cached.count(obj.name)
-                                 ? cost_.fetchCachedSecPerByte
-                                 : cost_.fetchFreshSecPerByte);
-            cost += bytes * cost_.linkSecPerByte;
-        }
-        PhaseReport report;
-        report.phase = phase;
-        report.makespanSec = cost_.makespan({cost}, 1);
-        report.actions = 1;
-        report.peakActionMemory = stats.peakMemory;
-        report.memoryLimitExceeded =
-            stats.peakMemory > limits_.ramPerAction;
-        report.quarantined = stats.quarantinedFunctions +
-                             stats.addrMapsRejected;
-        for (const auto &name : stats.quarantined)
-            report.failures.push_back("function quarantined: " + name);
-        for (const auto &obj : stats.rejectedAddrMapObjects)
-            report.failures.push_back(".bb_addr_map rejected: " + obj);
-        reports_[phase] = std::move(report);
-    }
+    if (!phase.empty())
+        reports_[phase] = makeLinkReport(phase, objects, stats,
+                                         cached_names);
     return exe;
 }
 
@@ -346,9 +355,9 @@ Workflow::linkOptions()
 core::LayoutOptions
 Workflow::defaultLayoutOptions() const
 {
-    core::LayoutOptions opts;
-    opts.threads = config_.jobs;
-    return opts;
+    // Concurrency is not a layout option: WorkloadConfig::jobs is passed
+    // to every parallel stage explicitly.
+    return core::LayoutOptions{};
 }
 
 const std::vector<elf::ObjectFile> &
@@ -469,29 +478,39 @@ Workflow::profile()
     return *profile_;
 }
 
+void
+Workflow::recordWpaReport()
+{
+    PhaseReport report;
+    report.phase = "phase3.wpa";
+    report.makespanSec = cost_.makespan(
+        {static_cast<double>(wpa_->stats.profileBytes) *
+             cost_.wpaSecPerProfileByte +
+         static_cast<double>(wpa_->stats.hotFunctions) *
+             cost_.wpaSecPerHotFunction},
+        1);
+    report.actions = 1;
+    report.peakActionMemory = wpa_->stats.peakMemory;
+    report.memoryLimitExceeded =
+        wpa_->stats.peakMemory > limits_.ramPerAction;
+    report.quarantined = wpa_->stats.quarantined;
+    for (const auto &name : wpa_->stats.quarantinedFunctions)
+        report.failures.push_back("addr map quarantined: " + name);
+    reports_["phase3.wpa"] = std::move(report);
+}
+
 const core::WpaResult &
 Workflow::wpa()
 {
     if (!wpa_) {
-        wpa_ = core::runWholeProgramAnalysis(metadataBinary(), profile(),
-                                             defaultLayoutOptions());
-
-        PhaseReport report;
-        report.phase = "phase3.wpa";
-        report.makespanSec = cost_.makespan(
-            {static_cast<double>(wpa_->stats.profileBytes) *
-                 cost_.wpaSecPerProfileByte +
-             static_cast<double>(wpa_->stats.hotFunctions) *
-                 cost_.wpaSecPerHotFunction},
-            1);
-        report.actions = 1;
-        report.peakActionMemory = wpa_->stats.peakMemory;
-        report.memoryLimitExceeded =
-            wpa_->stats.peakMemory > limits_.ramPerAction;
-        report.quarantined = wpa_->stats.quarantined;
-        for (const auto &name : wpa_->stats.quarantinedFunctions)
-            report.failures.push_back("addr map quarantined: " + name);
-        reports_["phase3.wpa"] = std::move(report);
+        if (usesTaskGraph()) {
+            runRelinkGraph(RelinkStage::Wpa);
+        } else {
+            wpa_ = core::runWholeProgramAnalysis(
+                metadataBinary(), profile(), defaultLayoutOptions(),
+                config_.jobs);
+            recordWpaReport();
+        }
     }
     return *wpa_;
 }
@@ -501,6 +520,10 @@ Workflow::ensurePhase4()
 {
     if (propellerBinary_)
         return;
+    if (usesTaskGraph()) {
+        runRelinkGraph(RelinkStage::Link);
+        return;
+    }
 
     CompileBatch batch = compileModules(&wpa().ccProf.clusters, nullptr);
     recordCodegenReport("phase4.codegen", batch);
@@ -523,10 +546,35 @@ Workflow::propellerBinary()
 }
 
 void
+Workflow::recordVerifyReport(const analysis::VerifyReport &rep)
+{
+    PhaseReport report;
+    report.phase = "phase5.verify";
+    report.makespanSec = cost_.makespan(
+        {static_cast<double>(rep.bytesVerified) * cost_.verifySecPerByte},
+        1);
+    report.actions = 1;
+    // Decoded instruction stream plus the per-range bookkeeping.
+    report.peakActionMemory =
+        rep.instructionsDecoded * 56 + rep.rangesDecoded * 96;
+    report.memoryLimitExceeded =
+        report.peakActionMemory > limits_.ramPerAction;
+    report.quarantined =
+        static_cast<uint32_t>(rep.engine.affectedFunctions().size());
+    for (const auto &diag : rep.engine.diagnostics())
+        report.failures.push_back(diag.render());
+    reports_["phase5.verify"] = std::move(report);
+}
+
+void
 Workflow::ensureVerify()
 {
     if (verify_)
         return;
+    if (usesTaskGraph()) {
+        runRelinkGraph(RelinkStage::Verify);
+        return;
+    }
     ensurePhase4();
 
     // PO ships with .bb_addr_map stripped, so relink a metadata-keeping
@@ -567,24 +615,506 @@ Workflow::ensureVerify()
         rep.merge(analysis::lintProfileFlow(dcfg, vopts));
     }
 
-    PhaseReport report;
-    report.phase = "phase5.verify";
-    report.makespanSec = cost_.makespan(
-        {static_cast<double>(rep.bytesVerified) * cost_.verifySecPerByte},
-        1);
-    report.actions = 1;
-    // Decoded instruction stream plus the per-range bookkeeping.
-    report.peakActionMemory =
-        rep.instructionsDecoded * 56 + rep.rangesDecoded * 96;
-    report.memoryLimitExceeded =
-        report.peakActionMemory > limits_.ramPerAction;
-    report.quarantined =
-        static_cast<uint32_t>(rep.engine.affectedFunctions().size());
-    for (const auto &diag : rep.engine.diagnostics())
-        report.failures.push_back(diag.render());
-    reports_["phase5.verify"] = std::move(report);
-
+    recordVerifyReport(rep);
     verify_ = std::move(rep);
+}
+
+void
+Workflow::runRelinkGraph(RelinkStage target)
+{
+    // Serial upstream phases (memoized; not part of the relink graph).
+    const linker::Executable &pm = metadataBinary();
+    const profile::Profile &prof = profile();
+    const ir::Program &prog = program();
+    const size_t nmod = prog.modules.size();
+
+    const bool need_wpa = !wpa_;
+    const bool need_link =
+        target != RelinkStage::Wpa && !propellerBinary_;
+    const bool need_verify = target == RelinkStage::Verify && !verify_;
+    if (!need_wpa && !need_link && !need_verify)
+        return;
+
+    sched::TaskGraph graph;
+
+    // ---- Phase 3: WPA as a per-function layout fan-out ------------------
+    //
+    // The graph's *shape* depends on the DCFG (one task per sampled
+    // function, function -> module release edges), so the DCFG builds on
+    // the coordinator before the graph is assembled; its cost still
+    // heads the modelled schedule as the root task below.
+    std::optional<core::WpaPipeline> pipe;
+    std::vector<core::FunctionLayout> slots;
+    std::vector<codegen::ClusterSpec> specs;
+    core::LdProfile order;
+    std::unordered_map<std::string, size_t> dcfgIndex;
+    std::vector<sched::TaskId> layoutTask;
+    sched::TaskId mergeTask = sched::kInvalidTask;
+    const bool use_slots = need_wpa;
+
+    if (need_wpa) {
+        pipe.emplace(pm, prof, defaultLayoutOptions(), config_.jobs);
+        pipe->build();
+        const size_t nfn = pipe->functionCount();
+        slots.resize(nfn);
+        specs.resize(nfn);
+        layoutTask.resize(nfn);
+
+        uint64_t total_nodes = 0;
+        for (size_t f = 0; f < nfn; ++f) {
+            const core::FunctionDcfg &fn = pipe->dcfg().functions[f];
+            dcfgIndex.emplace(fn.function, f);
+            total_nodes += fn.nodes.size();
+        }
+
+        // Profile aggregation and CFG mapping are per-shard parallel
+        // (the real build above ran them on `jobs` threads), so the
+        // model decomposes the DCFG cost into shard tasks feeding a
+        // zero-cost join; the total cost matches the barrier formula.
+        const size_t dcfg_shards =
+            std::max<size_t>(1, limits_.workers * 2);
+        double dcfg_cost = static_cast<double>(prof.sizeInBytes()) *
+                           cost_.wpaSecPerProfileByte;
+        sched::TaskId dcfg_task = graph.add(
+            [] {}, {"dcfg.join", "phase3.wpa", 0.0});
+        for (size_t s = 0; s < dcfg_shards; ++s) {
+            sched::TaskId shard = graph.add(
+                [] {},
+                {"dcfg#" + std::to_string(s), "phase3.wpa",
+                 dcfg_cost / static_cast<double>(dcfg_shards)});
+            graph.addEdge(shard, dcfg_task);
+        }
+
+        for (size_t f = 0; f < nfn; ++f) {
+            const core::FunctionDcfg &fn = pipe->dcfg().functions[f];
+            double share =
+                total_nodes == 0
+                    ? 0.0
+                    : static_cast<double>(fn.nodes.size()) /
+                          static_cast<double>(total_nodes);
+            layoutTask[f] = graph.add(
+                [&, f] {
+                    core::FunctionLayout fl = pipe->layoutFunction(f);
+                    // Codegen tasks read the spec while the merge task
+                    // consumes the slot, so the spec gets stable storage
+                    // of its own before either successor is released.
+                    specs[f] = fl.spec;
+                    slots[f] = std::move(fl);
+                },
+                {"layout:" + fn.function, "phase3.wpa",
+                 cost_.wpaSecPerHotFunction * static_cast<double>(nfn) *
+                     share});
+            graph.addEdge(dcfg_task, layoutTask[f]);
+        }
+
+        sched::TaskId order_task = graph.add(
+            [&] { order = pipe->globalOrder(); },
+            {"order", "phase3.wpa",
+             cost_.wpaSecPerHotFunction * static_cast<double>(nfn) *
+                 0.1});
+        graph.addEdge(dcfg_task, order_task);
+
+        mergeTask = graph.add(
+            [&] { wpa_ = pipe->finish(std::move(slots),
+                                      std::move(order)); },
+            {"wpa.merge", "phase3.wpa", 0.0});
+        for (size_t f = 0; f < nfn; ++f)
+            graph.addEdge(layoutTask[f], mergeTask);
+        graph.addEdge(order_task, mergeTask);
+    }
+
+    // ---- Phase 4: per-module codegen + per-object link assembly ---------
+    CompileBatch batch;
+    std::vector<char> isHit;
+    std::vector<uint64_t> objBytes;
+    std::vector<std::vector<std::string>> droppedByModule;
+    std::vector<std::string> rejectLines;
+    std::vector<std::string> retryLines;
+    std::vector<double> missCosts;
+    sched::OrderedSink sink;
+    std::vector<sched::TaskId> codegenTask;
+    std::vector<sched::TaskId> assembleTask;
+    sched::TaskId poLink = sched::kInvalidTask;
+    linker::LinkStats poStats;
+    std::optional<linker::Executable> po;
+    const uint64_t corruptionsBefore = cache_.stats().corruptions;
+
+    if (need_link) {
+        batch.objects.resize(nmod);
+        isHit.assign(nmod, 0);
+        objBytes.assign(nmod, 0);
+        droppedByModule.resize(nmod);
+        codegenTask.resize(nmod);
+        assembleTask.resize(nmod);
+
+        for (size_t i = 0; i < nmod; ++i) {
+            codegenTask[i] = graph.add(
+                [&, i] {
+                    const ir::Module &mod = *prog.modules[i];
+
+                    // This module's restriction of the cluster map.
+                    // Sanitation validates entries independently, so the
+                    // sanitized restriction equals the restriction of
+                    // the sanitized full map, and action keys (which
+                    // read only the module's own entries) match the
+                    // barrier engine exactly.
+                    codegen::ClusterMap submap;
+                    if (use_slots) {
+                        for (const auto &fn : mod.functions) {
+                            auto it = dcfgIndex.find(fn->name);
+                            if (it != dcfgIndex.end())
+                                submap.emplace(fn->name,
+                                               specs[it->second]);
+                        }
+                    } else {
+                        const codegen::ClusterMap &full =
+                            wpa_->ccProf.clusters;
+                        for (const auto &fn : mod.functions) {
+                            auto it = full.find(fn->name);
+                            if (it != full.end())
+                                submap.emplace(fn->name, it->second);
+                        }
+                    }
+                    droppedByModule[i] =
+                        codegen::sanitizeClusterMap(prog, submap);
+                    const uint64_t key =
+                        actionKey(i, &submap, nullptr, true);
+
+                    bool hit = false;
+                    std::string reject;
+                    if (const std::vector<uint8_t> *bytes =
+                            cache_.lookup(key)) {
+                        auto obj =
+                            elf::ObjectFile::deserializeChecked(*bytes);
+                        if (obj.ok()) {
+                            batch.objects[i] = std::move(obj).value();
+                            hit = true;
+                        } else {
+                            cache_.evictCorrupt(key);
+                            reject = "cache artifact rejected (" +
+                                     mod.name +
+                                     "): " + obj.status().toString();
+                        }
+                    }
+                    if (!hit) {
+                        codegen::Options copts;
+                        copts.emitAddrMapSection = true;
+                        copts.bbSections =
+                            codegen::BbSectionsMode::Clusters;
+                        copts.clusters = &submap;
+                        batch.objects[i] =
+                            codegen::compileModule(mod, copts);
+                    }
+                    isHit[i] = hit ? 1 : 0;
+                    objBytes[i] = batch.objects[i].sizeInBytes();
+
+                    const uint64_t insts = moduleInsts(mod);
+                    std::vector<uint8_t> stored =
+                        hit ? std::vector<uint8_t>()
+                            : batch.objects[i].serialize();
+
+                    // Order-sensitive side effects (cache population,
+                    // retry accounting, failure attribution, cost-model
+                    // inputs) commit in module order regardless of
+                    // which worker finished first.
+                    sink.submit(i, [&, i, key, hit, insts, reject,
+                                    stored =
+                                        std::move(stored)]() mutable {
+                        if (!reject.empty())
+                            rejectLines.push_back(reject);
+                        if (hit) {
+                            batch.cachedNames.push_back(
+                                batch.objects[i].name);
+                            ++batch.cacheHits;
+                            graph.setCost(codegenTask[i], 0.0);
+                            return;
+                        }
+                        cache_.put(key, std::move(stored));
+                        double base = static_cast<double>(insts) *
+                                      cost_.backendSecPerInst;
+                        double c = base;
+                        if (hooks_) {
+                            const std::string &name =
+                                prog.modules[i]->name;
+                            uint32_t attempts =
+                                limits_.maxActionRetries + 1;
+                            uint32_t attempt = 1;
+                            while (attempt <= attempts &&
+                                   hooks_->failAction(name, attempt)) {
+                                c += base +
+                                     limits_.retryBackoffSec *
+                                         static_cast<double>(
+                                             1u << (attempt - 1));
+                                ++batch.retries;
+                                ++attempt;
+                            }
+                            if (attempt > attempts) {
+                                retryLines.push_back(
+                                    "retries exhausted, ran on "
+                                    "coordinator: " +
+                                    name);
+                                c += base;
+                            }
+                        }
+                        missCosts.push_back(c);
+                        ++batch.actions;
+                        batch.peakActionMemory = std::max(
+                            batch.peakActionMemory,
+                            codegenActionMemory(
+                                insts, batch.objects[i].sizeInBytes()));
+                        graph.setCost(codegenTask[i],
+                                      c + cost_.actionOverheadSec);
+                    });
+                },
+                {"codegen:" + prog.modules[i]->name, "phase4.codegen",
+                 0.0});
+
+            // The tentpole edge: a module's backend re-runs the moment
+            // its last sampled function's layout lands.  Modules with no
+            // sampled functions are roots — their cache hits stream
+            // while layout is still in flight.
+            if (need_wpa) {
+                for (const auto &fn : prog.modules[i]->functions) {
+                    auto it = dcfgIndex.find(fn->name);
+                    if (it != dcfgIndex.end())
+                        graph.addEdge(layoutTask[it->second],
+                                      codegenTask[i]);
+                }
+            }
+        }
+
+        for (size_t i = 0; i < nmod; ++i) {
+            assembleTask[i] = graph.add(
+                [&, i] {
+                    // Stream this object toward the link and copy its
+                    // sections into the output image — both per-object
+                    // parallel (linkers write disjoint output ranges
+                    // concurrently).  Fetch cost depends on whether the
+                    // object was a cache hit; only symbol resolution
+                    // and layout finalization stay on the link task.
+                    graph.setCost(
+                        assembleTask[i],
+                        static_cast<double>(objBytes[i]) *
+                            ((isHit[i] ? cost_.fetchCachedSecPerByte
+                                       : cost_.fetchFreshSecPerByte) +
+                             cost_.linkSecPerByte));
+                },
+                {"assemble:" + prog.modules[i]->name, "phase4.link",
+                 0.0});
+            graph.addEdge(codegenTask[i], assembleTask[i]);
+        }
+
+        poLink = graph.add(
+            [&] {
+                // The hook point the barrier engine fires after a batch
+                // stores its outputs: every codegen commit has run by
+                // now (this task depends on all of them).
+                if (hooks_)
+                    hooks_->onCachePopulated(cache_);
+                linker::Options opts = linkOptions();
+                opts.outputName = config_.name + ".po";
+                opts.symbolOrder = wpa_->ldProf.symbolOrder;
+                opts.stripAddrMaps = true;
+                po = linker::link(batch.objects, opts, &poStats);
+            },
+            {"link:po", "phase4.link", cost_.actionOverheadSec});
+        for (size_t i = 0; i < nmod; ++i)
+            graph.addEdge(assembleTask[i], poLink);
+        if (mergeTask != sched::kInvalidTask)
+            graph.addEdge(mergeTask, poLink);
+    }
+
+    // ---- Phase 5: per-range verification --------------------------------
+    std::optional<linker::Executable> twin;
+    std::optional<analysis::VerifyOptions> vopts;
+    std::unique_ptr<analysis::ExecutableVerifier> verifier;
+    std::optional<analysis::VerifyReport> vrep;
+    std::optional<core::AddrMapIndex> flowIndex;
+    std::optional<core::WholeProgramDcfg> flowDcfg;
+    const size_t chunks = std::max<size_t>(1, limits_.workers * 2);
+    std::vector<sched::TaskId> decodeTask;
+    std::vector<sched::TaskId> checkTask;
+
+    if (need_verify) {
+        vopts.emplace();
+        const std::vector<elf::ObjectFile> *vobjects =
+            need_link ? &batch.objects : &*phase4Objects_;
+
+        sched::TaskId twinTask = graph.add(
+            [&, vobjects] {
+                linker::Options opts = linkOptions();
+                opts.outputName = config_.name + ".po-verify";
+                opts.symbolOrder = wpa_->ldProf.symbolOrder;
+                twin = linker::link(*vobjects, opts, nullptr);
+            },
+            {"link:twin", "phase5.verify", 0.0});
+        if (need_link) {
+            for (size_t i = 0; i < nmod; ++i)
+                graph.addEdge(assembleTask[i], twinTask);
+            if (mergeTask != sched::kInvalidTask)
+                graph.addEdge(mergeTask, twinTask);
+        }
+
+        sched::TaskId setupTask = graph.add(
+            [&] {
+                // PV001-PV003 run in the ctor; ranges come after.
+                verifier =
+                    std::make_unique<analysis::ExecutableVerifier>(
+                        *twin, *vopts);
+            },
+            {"verify.setup", "phase5.verify", 0.0});
+        graph.addEdge(twinTask, setupTask);
+
+        decodeTask.resize(chunks);
+        checkTask.resize(chunks);
+        for (size_t c = 0; c < chunks; ++c) {
+            decodeTask[c] = graph.add(
+                [&, c] {
+                    size_t nr = verifier->rangeCount();
+                    uint64_t bytes = 0;
+                    for (size_t r = c * nr / chunks;
+                         r < (c + 1) * nr / chunks; ++r) {
+                        verifier->decodeRange(r);
+                        bytes += verifier->rangeBytes(r);
+                    }
+                    graph.setCost(decodeTask[c],
+                                  static_cast<double>(bytes) *
+                                      cost_.verifySecPerByte * 0.7);
+                },
+                {"decode#" + std::to_string(c), "phase5.verify", 0.0});
+            graph.addEdge(setupTask, decodeTask[c]);
+        }
+
+        sched::TaskId indexTask = graph.add(
+            [&] { verifier->buildIndex(); },
+            {"verify.index", "phase5.verify", 0.0});
+        for (size_t c = 0; c < chunks; ++c)
+            graph.addEdge(decodeTask[c], indexTask);
+
+        for (size_t c = 0; c < chunks; ++c) {
+            checkTask[c] = graph.add(
+                [&, c] {
+                    size_t nr = verifier->rangeCount();
+                    uint64_t bytes = 0;
+                    for (size_t r = c * nr / chunks;
+                         r < (c + 1) * nr / chunks; ++r) {
+                        verifier->checkRange(r);
+                        bytes += verifier->rangeBytes(r);
+                    }
+                    graph.setCost(checkTask[c],
+                                  static_cast<double>(bytes) *
+                                      cost_.verifySecPerByte * 0.3);
+                },
+                {"check#" + std::to_string(c), "phase5.verify", 0.0});
+            graph.addEdge(indexTask, checkTask[c]);
+        }
+
+        sched::TaskId finishTask = graph.add(
+            [&] {
+                // Metadata-wide checks read the applied order and every
+                // upstream quarantine decision, including the just-run
+                // link's overflow quarantine.
+                vopts->expectedOrder = &wpa_->ldProf;
+                for (const auto &name :
+                     wpa_->stats.quarantinedFunctions)
+                    vopts->exemptFunctions.insert(name);
+                if (need_link) {
+                    for (const auto &name : poStats.quarantined)
+                        vopts->exemptFunctions.insert(name);
+                } else {
+                    const std::string kPrefix =
+                        "function quarantined: ";
+                    for (const auto &line :
+                         report("phase4.link").failures)
+                        if (line.rfind(kPrefix, 0) == 0)
+                            vopts->exemptFunctions.insert(
+                                line.substr(kPrefix.size()));
+                }
+                vrep = verifier->finish();
+            },
+            {"verify.finish", "phase5.verify", 0.0});
+        for (size_t c = 0; c < chunks; ++c)
+            graph.addEdge(checkTask[c], finishTask);
+        if (need_link)
+            graph.addEdge(poLink, finishTask);
+
+        // The profile-flow lint rebuilds its own DCFG; that build has no
+        // dependencies and overlaps the whole graph.  The lint itself
+        // runs in the coordinator finalize (it reads the verify options
+        // the finish task mutates).
+        graph.add(
+            [&] {
+                profile::AggregationOptions agg_opts;
+                agg_opts.threads = config_.jobs;
+                profile::AggregatedProfile agg =
+                    profile::aggregate(prof, agg_opts);
+                flowIndex.emplace(pm);
+                flowDcfg = core::buildDcfg(agg, *flowIndex);
+            },
+            {"lint.flow.dcfg", "phase5.verify", 0.0});
+    }
+
+    // ---- Execute --------------------------------------------------------
+    sched::SchedulerOptions sopts;
+    sopts.threads = config_.jobs;
+    sopts.modelWorkers = limits_.workers;
+    sched::ScheduleReport sreport = sched::Scheduler(sopts).run(graph);
+
+    // ---- Coordinator finalize: memoize + mode-identical reports ---------
+    //
+    // The classic PhaseReports use the same barrier formulas as the
+    // barrier engine (inputs are identical by construction), so every
+    // consumer sees identical accounting; the graph's overlap story
+    // lives in relinkSchedule() and the "relink.graph" report.
+    schedule_ = std::move(sreport);
+    {
+        PhaseReport report;
+        report.phase = "relink.graph";
+        report.makespanSec = schedule_->makespanSec;
+        report.actions = schedule_->tasksExecuted;
+        reports_["relink.graph"] = std::move(report);
+    }
+
+    if (need_wpa)
+        recordWpaReport();
+
+    if (need_link) {
+        std::vector<std::string> dropped;
+        for (const auto &names : droppedByModule)
+            dropped.insert(dropped.end(), names.begin(), names.end());
+        // The barrier engine sanitizes one full map and reports drops in
+        // map order; sorting the per-module drops reproduces that order.
+        std::sort(dropped.begin(), dropped.end());
+        batch.quarantined = static_cast<uint32_t>(dropped.size());
+        for (const auto &name : dropped)
+            batch.failures.push_back("cluster directive dropped: " +
+                                     name);
+        batch.failures.insert(batch.failures.end(), rejectLines.begin(),
+                              rejectLines.end());
+        batch.failures.insert(batch.failures.end(), retryLines.begin(),
+                              retryLines.end());
+        batch.cacheCorruptions = static_cast<uint32_t>(
+            cache_.stats().corruptions - corruptionsBefore);
+        batch.makespanSec = cost_.makespan(missCosts, limits_.workers);
+        recordCodegenReport("phase4.codegen", batch);
+        coldObjects_ = batch.cachedNames;
+        reports_["phase4.link"] = makeLinkReport(
+            "phase4.link", batch.objects, poStats, batch.cachedNames);
+        propellerBinary_ = std::move(po);
+        phase4Objects_ = std::move(batch.objects);
+    }
+
+    if (need_verify) {
+        PROPELLER_CHECK(twin->text == propellerBinary_->text,
+                        "verification twin text diverged from PO");
+        analysis::VerifyReport rep = std::move(*vrep);
+        rep.merge(analysis::lintDirectives(wpa_->ccProf, wpa_->ldProf,
+                                           pm, *vopts));
+        rep.merge(analysis::lintProfileFlow(*flowDcfg, *vopts));
+        recordVerifyReport(rep);
+        verify_ = std::move(rep);
+        verifyTwin_ = std::move(twin);
+    }
 }
 
 const analysis::VerifyReport &
@@ -613,7 +1143,7 @@ Workflow::propellerBinaryWith(const core::LayoutOptions &opts,
                               core::WpaResult *wpa_out)
 {
     core::WpaResult result = core::runWholeProgramAnalysis(
-        metadataBinary(), profile(), opts);
+        metadataBinary(), profile(), opts, config_.jobs);
 
     // A Phase-4-style rebuild that shares the content cache but leaves
     // the canonical pipeline's reports untouched.
@@ -678,7 +1208,7 @@ Workflow::iterativePropellerBinary()
     sim::RunResult run =
         sim::run(pm2, workload::profileOptions(config_));
     core::WpaResult wpa2 = core::runWholeProgramAnalysis(
-        pm2, run.profile, defaultLayoutOptions());
+        pm2, run.profile, defaultLayoutOptions(), config_.jobs);
 
     CompileBatch batch = compileModules(&wpa2.ccProf.clusters, nullptr);
     linker::Options po2_opts = linkOptions();
@@ -734,6 +1264,45 @@ Workflow::boltBinary(const bolt::BoltOptions &opts, bolt::BoltStats *stats)
     if (stats)
         *stats = local;
     return exe;
+}
+
+analysis::VerifyReport
+Workflow::verifyBoltBinary(const bolt::BoltOptions &opts,
+                           bolt::BoltStats *stats)
+{
+    linker::Executable exe = boltBinary(opts, stats);
+
+    // BOLT's rewrite strips .bb_addr_map and owns its own layout, so the
+    // metadata-vs-machine cross-checks no-op; the machine-level passes
+    // (symbol bounds, decode, control flow, eh_frame, startup integrity)
+    // run in full, turning the paper's section 5 crash classes into
+    // machine-checked findings on this path too.
+    analysis::VerifyOptions vopts;
+    analysis::VerifyReport rep = analysis::verifyExecutable(exe, vopts);
+
+    PhaseReport report;
+    report.phase = "bolt.verify";
+    report.makespanSec = cost_.makespan(
+        {static_cast<double>(rep.bytesVerified) * cost_.verifySecPerByte},
+        1);
+    report.actions = 1;
+    report.peakActionMemory =
+        rep.instructionsDecoded * 56 + rep.rangesDecoded * 96;
+    report.memoryLimitExceeded =
+        report.peakActionMemory > limits_.ramPerAction;
+    report.quarantined =
+        static_cast<uint32_t>(rep.engine.affectedFunctions().size());
+    for (const auto &diag : rep.engine.diagnostics())
+        report.failures.push_back(diag.render());
+    reports_["bolt.verify"] = std::move(report);
+    return rep;
+}
+
+const sched::ScheduleReport &
+Workflow::relinkSchedule() const
+{
+    assert(schedule_ && "no task-graph relink has run");
+    return *schedule_;
 }
 
 PhaseReport

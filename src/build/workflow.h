@@ -23,9 +23,23 @@
  * list scheduling) and memory with the modelled MemoryMeter, because
  * host wall-clock and RSS neither scale like the real system nor stay
  * deterministic.  Local parallelism, however, is real: per-module
- * backend actions fan out over a thread pool (WorkloadConfig::jobs), and
- * results merge in module order so binaries are byte-identical at any
- * thread count.
+ * backend actions fan out over worker threads (WorkloadConfig::jobs),
+ * and results merge in module order so binaries are byte-identical at
+ * any thread count.
+ *
+ * The relink chain (Phase 3 WPA -> Phase 4 codegen -> link -> Phase 5
+ * verify) runs, by default, as ONE fine-grained task graph on the
+ * work-stealing scheduler of src/sched: per-function Ext-TSP layouts,
+ * per-module codegen, per-object link assembly and per-range
+ * verification are tasks with real data dependencies, so a module's
+ * backend re-runs the moment its last hot function's layout lands and
+ * verification overlaps the tail of linking — no phase barriers.
+ * Order-sensitive side effects (cache population, retry accounting,
+ * failure attribution) commit through an OrderedSink in module order,
+ * so artifacts, reports and cache statistics are byte-identical to the
+ * barrier engine (kept behind WorkloadConfig::barrierScheduler for
+ * ablation) at any thread count.  relinkSchedule() exposes the modelled
+ * schedule: critical path, makespan, parallel efficiency, steals.
  */
 
 #include <cstdint>
@@ -47,6 +61,7 @@
 #include "profile/profile.h"
 #include "propeller/prefetch.h"
 #include "propeller/propeller.h"
+#include "sched/sched.h"
 #include "workload/workload.h"
 
 namespace propeller::buildsys {
@@ -203,6 +218,16 @@ class Workflow
     const BuildLimits &limits() const { return limits_; }
     const CostModel &costModel() const { return cost_; }
 
+    /**
+     * Override the build-system limits (worker count, RAM ceiling).
+     * Must be called before the first product is pulled: limits feed
+     * every phase's cost model and the scheduler's virtual workers.
+     */
+    void setBuildLimits(const BuildLimits &limits) { limits_ = limits; }
+
+    /** The relink chain runs on the task-graph scheduler (default). */
+    bool usesTaskGraph() const { return !config_.barrierScheduler; }
+
     /** The program IR (Phase 1 product; generated on first use). */
     const ir::Program &program();
 
@@ -271,6 +296,31 @@ class Workflow
                                   bolt::BoltStats *stats = nullptr);
 
     /**
+     * Run the static verifier over the BOLT-path output, so both
+     * backends share one oracle: the same disassemble-and-cross-check
+     * pass that guards the Propeller relink inspects the rewritten
+     * binary (symbols, machine CFG, eh_frame coverage, startup
+     * integrity hashes).  BOLT strips .bb_addr_map, so the
+     * metadata-dependent checks skip; what remains are machine-level
+     * findings about the shipped bits.  Records a "bolt.verify"
+     * PhaseReport with one failure line per diagnostic.
+     */
+    analysis::VerifyReport verifyBoltBinary(const bolt::BoltOptions &opts =
+                                                {},
+                                            bolt::BoltStats *stats =
+                                                nullptr);
+
+    /**
+     * The modelled schedule of the most recent task-graph relink run:
+     * per-task spans, makespan vs the critical-path/work lower bound,
+     * parallel efficiency, real steal counters.  Deterministic in the
+     * workload config (virtual-time simulation on limits().workers
+     * model workers); only valid after a product pulled the graph.
+     */
+    const sched::ScheduleReport &relinkSchedule() const;
+    bool hasRelinkSchedule() const { return schedule_.has_value(); }
+
+    /**
      * Modelled cost of one instrumented-PGO build of this program (the
      * Table 5 comparison: instrumentation slows every backend action and
      * the binary it produces runs the full load test).
@@ -333,6 +383,19 @@ class Workflow
     void recordCodegenReport(const std::string &phase,
                              const CompileBatch &batch);
 
+    /** The link-phase report (same formula for both engines). */
+    PhaseReport makeLinkReport(
+        const std::string &phase,
+        const std::vector<elf::ObjectFile> &objects,
+        const linker::LinkStats &stats,
+        const std::vector<std::string> &cached_names) const;
+
+    /** Record "phase3.wpa" from the memoized WPA stats. */
+    void recordWpaReport();
+
+    /** Record "phase5.verify" from a merged verification report. */
+    void recordVerifyReport(const analysis::VerifyReport &rep);
+
     /** Link with cost accounting; records a report under @p phase. */
     linker::Executable linkWithReport(
         const std::vector<elf::ObjectFile> &objects,
@@ -342,6 +405,18 @@ class Workflow
     const std::vector<elf::ObjectFile> &phase2Objects();
     void ensurePhase4();
     void ensureVerify();
+
+    /** How deep into the relink chain a task-graph run must reach. */
+    enum class RelinkStage { Wpa, Link, Verify };
+
+    /**
+     * Build and run one task graph covering every unmemoized relink
+     * stage up to @p target (WPA layout fan-out, per-module codegen,
+     * link assembly, per-range verification), then record the classic
+     * PhaseReports — with the same barrier formulas, so reports are
+     * mode-identical — plus "relink.graph" and the ScheduleReport.
+     */
+    void runRelinkGraph(RelinkStage target);
     core::LayoutOptions defaultLayoutOptions() const;
     linker::Options linkOptions();
     uint64_t moduleHash(size_t module_index) const;
@@ -367,6 +442,7 @@ class Workflow
     std::optional<linker::Executable> verifyTwin_;
     std::optional<linker::Executable> iterative_;
     std::vector<std::string> coldObjects_;
+    std::optional<sched::ScheduleReport> schedule_;
 };
 
 } // namespace propeller::buildsys

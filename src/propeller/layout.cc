@@ -76,26 +76,13 @@ struct Ctx
     }
 };
 
-/** Per-function product of the intra-procedural loop. */
-struct FnLayout
+/** Lay out one function's hot subgraph (intra-procedural strategy). */
+FunctionLayout
+layoutOneFunction(const Ctx &ctx, size_t f)
 {
-    codegen::ClusterSpec spec;
-    ExtTspStats stats;
-};
-
-void
-intraProceduralLayout(const Ctx &ctx, LayoutResult &result)
-{
-    // Each function's layout problem is independent (this is the paper's
-    // memory/parallelism argument for WPA vs BOLT), so the loop fans out
-    // over the thread pool.  Results land in per-function slots and merge
-    // below in function order, keeping cc_prof/ld_prof — including the
-    // floating-point Ext-TSP score sum — byte-identical at any thread
-    // count.
-    std::vector<FnLayout> slots(ctx.dcfg.functions.size());
-    parallelFor(ctx.opts.threads, ctx.dcfg.functions.size(), [&](size_t f) {
-        const FunctionDcfg &fn = ctx.dcfg.functions[f];
-        FnLayout &out = slots[f];
+    const FunctionDcfg &fn = ctx.dcfg.functions[f];
+    FunctionLayout out;
+    {
         std::vector<char> hot = hotMask(fn, ctx.opts);
 
         // Build the hot-subgraph layout problem.
@@ -162,18 +149,15 @@ intraProceduralLayout(const Ctx &ctx, LayoutResult &result)
             hot_order.insert(hot_order.end(), cold.begin(), cold.end());
             out.spec.clusters.push_back(std::move(hot_order));
         }
-    });
-
-    // Deterministic serial merge, in function order.
-    for (size_t f = 0; f < ctx.dcfg.functions.size(); ++f) {
-        const FunctionDcfg &fn = ctx.dcfg.functions[f];
-        accumulate(result.extTspStats, slots[f].stats);
-        result.ccProf.clusters.emplace(fn.function,
-                                       std::move(slots[f].spec));
-        result.hotFunctions.push_back(fn.function);
     }
+    return out;
+}
 
-    // Global order: C3 over the hot function call graph.
+/** Global order: C3 over the hot function call graph. */
+LdProfile
+globalHfsortOrder(const Ctx &ctx)
+{
+    LdProfile ldProf;
     std::vector<HfsortNode> fnodes(ctx.dcfg.functions.size());
     for (size_t f = 0; f < ctx.dcfg.functions.size(); ++f) {
         const FunctionDcfg &fn = ctx.dcfg.functions[f];
@@ -193,11 +177,42 @@ intraProceduralLayout(const Ctx &ctx, LayoutResult &result)
         arcs.push_back({call.callerDcfg, call.calleeDcfg, call.weight});
 
     for (uint32_t f : hfsortOrder(fnodes, arcs)) {
-        result.ldProf.symbolOrder.push_back(
-            ctx.dcfg.functions[f].function);
+        ldProf.symbolOrder.push_back(ctx.dcfg.functions[f].function);
     }
     // Cold clusters stay unlisted: the linker leaves them in input order,
     // far from the hot text placed first.
+    return ldProf;
+}
+
+/** Merge per-function slots + order, in function order (deterministic). */
+void
+mergeIntraLayout(const Ctx &ctx, std::vector<FunctionLayout> slots,
+                 LdProfile order, LayoutResult &result)
+{
+    for (size_t f = 0; f < ctx.dcfg.functions.size(); ++f) {
+        const FunctionDcfg &fn = ctx.dcfg.functions[f];
+        accumulate(result.extTspStats, slots[f].stats);
+        result.ccProf.clusters.emplace(fn.function,
+                                       std::move(slots[f].spec));
+        result.hotFunctions.push_back(fn.function);
+    }
+    result.ldProf = std::move(order);
+}
+
+void
+intraProceduralLayout(const Ctx &ctx, unsigned jobs, LayoutResult &result)
+{
+    // Each function's layout problem is independent (this is the paper's
+    // memory/parallelism argument for WPA vs BOLT), so the loop fans out
+    // over the thread pool.  Results land in per-function slots and merge
+    // in function order, keeping cc_prof/ld_prof — including the
+    // floating-point Ext-TSP score sum — byte-identical at any thread
+    // count.
+    std::vector<FunctionLayout> slots(ctx.dcfg.functions.size());
+    parallelFor(jobs, ctx.dcfg.functions.size(),
+                [&](size_t f) { slots[f] = layoutOneFunction(ctx, f); });
+    mergeIntraLayout(ctx, std::move(slots), globalHfsortOrder(ctx),
+                     result);
 }
 
 void
@@ -377,9 +392,67 @@ interProceduralLayout(const Ctx &ctx, LayoutResult &result)
 
 } // namespace
 
+struct LayoutContext::Impl
+{
+    LayoutOptions effective;
+    Ctx ctx;
+
+    static LayoutOptions
+    fold(LayoutOptions opts)
+    {
+        opts.extTsp.referenceSolver |= opts.referenceSolver;
+        return opts;
+    }
+
+    Impl(const WholeProgramDcfg &dcfg, const AddrMapIndex &index,
+         const LayoutOptions &opts)
+        : effective(fold(opts)), ctx(dcfg, index, effective)
+    {
+    }
+};
+
+LayoutContext::LayoutContext(const WholeProgramDcfg &dcfg,
+                             const AddrMapIndex &index,
+                             const LayoutOptions &opts)
+    : impl_(std::make_unique<Impl>(dcfg, index, opts))
+{
+    assert(!opts.interProcedural &&
+           "LayoutContext decomposes the intra-procedural strategy only");
+}
+
+LayoutContext::~LayoutContext() = default;
+
+size_t
+LayoutContext::functionCount() const
+{
+    return impl_->ctx.dcfg.functions.size();
+}
+
+FunctionLayout
+LayoutContext::layoutFunction(size_t f) const
+{
+    return layoutOneFunction(impl_->ctx, f);
+}
+
+LdProfile
+LayoutContext::globalOrder() const
+{
+    return globalHfsortOrder(impl_->ctx);
+}
+
+LayoutResult
+LayoutContext::merge(std::vector<FunctionLayout> slots,
+                     LdProfile order) const
+{
+    LayoutResult result;
+    mergeIntraLayout(impl_->ctx, std::move(slots), std::move(order),
+                     result);
+    return result;
+}
+
 LayoutResult
 computeLayout(const WholeProgramDcfg &dcfg, const AddrMapIndex &index,
-              const LayoutOptions &opts)
+              const LayoutOptions &opts, unsigned jobs)
 {
     LayoutResult result;
     LayoutOptions effective = opts;
@@ -388,7 +461,7 @@ computeLayout(const WholeProgramDcfg &dcfg, const AddrMapIndex &index,
     if (opts.interProcedural) {
         interProceduralLayout(ctx, result);
     } else {
-        intraProceduralLayout(ctx, result);
+        intraProceduralLayout(ctx, jobs, result);
     }
     return result;
 }

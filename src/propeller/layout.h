@@ -20,6 +20,7 @@
  *    split around its callees.
  */
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -61,16 +62,13 @@ struct LayoutOptions
      * of the lazy heap (see ExtTspOptions::referenceSolver).  Both paths
      * must produce byte-identical cc_prof/ld_prof; this knob exists so
      * tests can prove it end to end.
+     *
+     * Note there is deliberately no thread knob here: concurrency is
+     * owned by the scheduler/workflow layer (`WorkloadConfig::jobs`,
+     * CLI `--jobs`) and passed as an explicit `jobs` argument to the
+     * entry points below, so one setting governs every parallel stage.
      */
     bool referenceSolver = false;
-
-    /**
-     * Worker threads for the per-function layout loop (0 =
-     * hardware_concurrency()).  Output is byte-identical at any value:
-     * per-function results land in indexed slots and merge in function
-     * order.
-     */
-    unsigned threads = 0;
 
     ExtTspOptions extTsp;
 };
@@ -88,10 +86,62 @@ struct LayoutResult
     ExtTspStats extTspStats;
 };
 
-/** Compute the layout from a DCFG and the metadata binary's address map. */
+/** Per-function product of the intra-procedural layout loop. */
+struct FunctionLayout
+{
+    codegen::ClusterSpec spec;
+    ExtTspStats stats;
+};
+
+/**
+ * Decomposed intra-procedural layout: each function's Ext-TSP problem is
+ * independent, so callers (the task-graph relink engine, the barrier
+ * parallelFor loop) can run `layoutFunction` per function on any thread
+ * and in any order, then `merge` the slots in function order.  The
+ * merged result is byte-identical to a serial run by construction.
+ *
+ * Only valid for the intra-procedural strategy; the inter-procedural
+ * chain is a single global problem and stays monolithic (computeLayout).
+ */
+class LayoutContext
+{
+  public:
+    LayoutContext(const WholeProgramDcfg &dcfg, const AddrMapIndex &index,
+                  const LayoutOptions &opts);
+    ~LayoutContext();
+    LayoutContext(const LayoutContext &) = delete;
+    LayoutContext &operator=(const LayoutContext &) = delete;
+
+    size_t functionCount() const;
+
+    /** Lay out one function. Thread-safe across distinct @p f. */
+    FunctionLayout layoutFunction(size_t f) const;
+
+    /**
+     * Global symbol order (C3/hfsort over the call graph).  Depends only
+     * on the DCFG, not on any per-function layout, so it can run
+     * concurrently with the layoutFunction fan-out.
+     */
+    LdProfile globalOrder() const;
+
+    /** Merge per-function slots + global order, in function order. */
+    LayoutResult merge(std::vector<FunctionLayout> slots,
+                       LdProfile order) const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/**
+ * Compute the layout from a DCFG and the metadata binary's address map.
+ * @p jobs bounds worker threads for the per-function loop (0 =
+ * hardware concurrency); output is byte-identical at any value.
+ */
 LayoutResult computeLayout(const WholeProgramDcfg &dcfg,
                            const AddrMapIndex &index,
-                           const LayoutOptions &opts = {});
+                           const LayoutOptions &opts = {},
+                           unsigned jobs = 0);
 
 } // namespace propeller::core
 

@@ -1,71 +1,186 @@
 #include "propeller/propeller.h"
 
+#include <optional>
+
+#include "propeller/addr_map_index.h"
+#include "support/thread_pool.h"
+
 namespace propeller::core {
+
+/**
+ * Stage state shared by build/layout/finish.  The memory-meter charge
+ * sequence below is the same one the original monolithic function
+ * performed, in the same order, so peakMemory stays bit-identical no
+ * matter how the middle stages are scheduled.
+ */
+struct WpaPipeline::Impl
+{
+    const linker::Executable &exe;
+    const profile::Profile &prof;
+    LayoutOptions opts;
+    unsigned jobs;
+
+    MemoryMeter local;
+    WpaResult result;
+    std::optional<AddrMapIndex> index;
+    std::optional<WholeProgramDcfg> dcfg;
+    std::optional<LayoutContext> layout;
+    uint64_t hotNodes = 0;
+
+    Impl(const linker::Executable &e, const profile::Profile &p,
+         const LayoutOptions &o, unsigned j)
+        : exe(e), prof(p), opts(o), jobs(j)
+    {
+    }
+
+    void
+    build()
+    {
+        // Identity check: a profile collected on a different build must
+        // not be silently mis-mapped by address.  (Profiles without
+        // identity — e.g. hand-built in tests — are accepted as-is.)
+        result.stats.profileMismatch =
+            prof.binaryHash != 0 && prof.binaryHash != exe.identityHash;
+
+        // Reading and decoding the raw profile (chunked reading could
+        // lower this, as the paper notes in section 5.1).
+        result.stats.profileBytes = prof.sizeInBytes();
+        local.charge(result.stats.profileBytes * 2);
+
+        // Aggregation maps (branch and fall-through counts), built per
+        // shard on the thread pool and merged once in shard order.
+        profile::AggregationOptions agg_opts;
+        agg_opts.threads = jobs;
+        profile::AggregatedProfile agg = profile::aggregate(prof, agg_opts);
+        local.charge((agg.branches.size() + agg.ranges.size()) * 48);
+
+        // The BB address map interval index (sanitizing construction:
+        // functions with inconsistent metadata drop out here).
+        index.emplace(exe);
+        result.stats.indexFootprint = index->footprint();
+        result.stats.quarantinedFunctions = index->quarantined();
+        result.stats.quarantined =
+            static_cast<uint32_t>(index->quarantined().size());
+        local.charge(result.stats.indexFootprint);
+
+        // The whole-program DCFG: proportional to *sampled* code only —
+        // this is the design property that bounds Phase 3 memory
+        // (section 3.5).
+        dcfg.emplace(buildDcfg(agg, *index, &result.stats.mapper, jobs));
+        result.stats.dcfgFootprint = dcfg->footprint();
+        local.charge(result.stats.dcfgFootprint);
+
+        for (const auto &fn : dcfg->functions)
+            hotNodes += fn.nodes.size();
+        if (!opts.interProcedural)
+            layout.emplace(*dcfg, *index, opts);
+    }
+
+    WpaResult
+    assemble(LayoutResult layoutResult, MemoryMeter *meter)
+    {
+        result.ccProf = std::move(layoutResult.ccProf);
+        result.ldProf = std::move(layoutResult.ldProf);
+        result.hotFunctions = std::move(layoutResult.hotFunctions);
+        result.stats.extTsp = layoutResult.extTspStats;
+        result.stats.hotFunctions =
+            static_cast<uint32_t>(result.hotFunctions.size());
+        result.stats.peakMemory = local.peak();
+        if (meter) {
+            meter->charge(result.stats.peakMemory);
+            meter->release(result.stats.peakMemory);
+        }
+        return std::move(result);
+    }
+};
+
+WpaPipeline::WpaPipeline(const linker::Executable &metadata_exe,
+                         const profile::Profile &prof,
+                         const LayoutOptions &opts, unsigned jobs)
+    : impl_(std::make_unique<Impl>(metadata_exe, prof, opts, jobs))
+{
+}
+
+WpaPipeline::~WpaPipeline() = default;
+
+void
+WpaPipeline::build()
+{
+    impl_->build();
+}
+
+const WholeProgramDcfg &
+WpaPipeline::dcfg() const
+{
+    return *impl_->dcfg;
+}
+
+size_t
+WpaPipeline::functionCount() const
+{
+    return impl_->dcfg->functions.size();
+}
+
+FunctionLayout
+WpaPipeline::layoutFunction(size_t f) const
+{
+    return impl_->layout->layoutFunction(f);
+}
+
+LdProfile
+WpaPipeline::globalOrder() const
+{
+    return impl_->layout->globalOrder();
+}
+
+WpaResult
+WpaPipeline::finish(std::vector<FunctionLayout> slots, LdProfile order,
+                    MemoryMeter *meter)
+{
+    // Layout computation working set (chains, pairs, heap).  The charge
+    // brackets the merge just as the monolithic path bracketed the full
+    // computeLayout call; peak accounting is identical because nothing
+    // is released between build() and here.
+    LayoutResult merged;
+    {
+        ScopedCharge working(impl_->local, impl_->hotNodes * 160);
+        merged =
+            impl_->layout->merge(std::move(slots), std::move(order));
+    }
+    return impl_->assemble(std::move(merged), meter);
+}
+
+WpaResult
+WpaPipeline::finishMonolithic(MemoryMeter *meter)
+{
+    LayoutResult merged;
+    {
+        ScopedCharge working(impl_->local, impl_->hotNodes * 160);
+        merged = computeLayout(*impl_->dcfg, *impl_->index, impl_->opts,
+                               impl_->jobs);
+    }
+    return impl_->assemble(std::move(merged), meter);
+}
 
 WpaResult
 runWholeProgramAnalysis(const linker::Executable &metadata_exe,
                         const profile::Profile &prof,
-                        const LayoutOptions &opts, MemoryMeter *meter)
+                        const LayoutOptions &opts, unsigned jobs,
+                        MemoryMeter *meter)
 {
-    WpaResult result;
-    MemoryMeter local;
+    WpaPipeline pipeline(metadata_exe, prof, opts, jobs);
+    pipeline.build();
+    if (opts.interProcedural)
+        return pipeline.finishMonolithic(meter);
 
-    // Identity check: a profile collected on a different build must not be
-    // silently mis-mapped by address.  (Profiles without identity — e.g.
-    // hand-built in tests — are accepted as-is.)
-    result.stats.profileMismatch =
-        prof.binaryHash != 0 &&
-        prof.binaryHash != metadata_exe.identityHash;
-
-    // Reading and decoding the raw profile (chunked reading could lower
-    // this, as the paper notes in section 5.1).
-    result.stats.profileBytes = prof.sizeInBytes();
-    local.charge(result.stats.profileBytes * 2);
-
-    // Aggregation maps (branch and fall-through counts), built per shard
-    // on the thread pool and merged once in shard order.
-    profile::AggregationOptions agg_opts;
-    agg_opts.threads = opts.threads;
-    profile::AggregatedProfile agg = profile::aggregate(prof, agg_opts);
-    local.charge((agg.branches.size() + agg.ranges.size()) * 48);
-
-    // The BB address map interval index (sanitizing construction:
-    // functions with inconsistent metadata drop out here).
-    AddrMapIndex index(metadata_exe);
-    result.stats.indexFootprint = index.footprint();
-    result.stats.quarantinedFunctions = index.quarantined();
-    result.stats.quarantined =
-        static_cast<uint32_t>(index.quarantined().size());
-    local.charge(result.stats.indexFootprint);
-
-    // The whole-program DCFG: proportional to *sampled* code only — this
-    // is the design property that bounds Phase 3 memory (section 3.5).
-    WholeProgramDcfg dcfg =
-        buildDcfg(agg, index, &result.stats.mapper, opts.threads);
-    result.stats.dcfgFootprint = dcfg.footprint();
-    local.charge(result.stats.dcfgFootprint);
-
-    // Layout computation working set (chains, pairs, heap).
-    uint64_t hot_nodes = 0;
-    for (const auto &fn : dcfg.functions)
-        hot_nodes += fn.nodes.size();
-    {
-        ScopedCharge working(local, hot_nodes * 160);
-        LayoutResult layout = computeLayout(dcfg, index, opts);
-        result.ccProf = std::move(layout.ccProf);
-        result.ldProf = std::move(layout.ldProf);
-        result.hotFunctions = std::move(layout.hotFunctions);
-        result.stats.extTsp = layout.extTspStats;
-    }
-
-    result.stats.hotFunctions =
-        static_cast<uint32_t>(result.hotFunctions.size());
-    result.stats.peakMemory = local.peak();
-    if (meter) {
-        meter->charge(result.stats.peakMemory);
-        meter->release(result.stats.peakMemory);
-    }
-    return result;
+    // The barrier path: fan the per-function loop over the thread pool,
+    // merge in function order.  Byte-identical to the task-graph path,
+    // which runs the same stages as graph tasks.
+    std::vector<FunctionLayout> slots(pipeline.functionCount());
+    parallelFor(jobs, slots.size(),
+                [&](size_t f) { slots[f] = pipeline.layoutFunction(f); });
+    return pipeline.finish(std::move(slots), pipeline.globalOrder(),
+                           meter);
 }
 
 } // namespace propeller::core

@@ -59,16 +59,68 @@ struct WpaResult
 };
 
 /**
+ * Phase 3 decomposed into schedulable stages, shared by the barrier
+ * entry point below and the task-graph relink engine so both produce
+ * byte-identical artifacts and identical stats by construction:
+ *
+ *   build()                  — aggregate profile, index, DCFG (serial);
+ *   layoutFunction(f)        — per-function Ext-TSP, any thread/order;
+ *   globalOrder()            — hfsort, concurrent with the fan-out;
+ *   finish(slots, order)     — ordered merge + memory accounting.
+ *
+ * The MemoryMeter charge sequence matches the monolithic path exactly,
+ * so peakMemory is identical however the middle stages are scheduled.
+ */
+class WpaPipeline
+{
+  public:
+    WpaPipeline(const linker::Executable &metadata_exe,
+                const profile::Profile &prof, const LayoutOptions &opts,
+                unsigned jobs);
+    ~WpaPipeline();
+    WpaPipeline(const WpaPipeline &) = delete;
+    WpaPipeline &operator=(const WpaPipeline &) = delete;
+
+    /** Aggregate + index + DCFG. Must run before any other stage. */
+    void build();
+
+    const WholeProgramDcfg &dcfg() const;
+    size_t functionCount() const;
+
+    /** Lay out one function. Thread-safe across distinct @p f. */
+    FunctionLayout layoutFunction(size_t f) const;
+
+    /** Global symbol order; independent of per-function layouts. */
+    LdProfile globalOrder() const;
+
+    /** Merge + stats; consumes the pipeline. */
+    WpaResult finish(std::vector<FunctionLayout> slots, LdProfile order,
+                     MemoryMeter *meter = nullptr);
+
+    /**
+     * Inter-procedural fallback: run the monolithic layout instead of
+     * the per-function stages (the global chain cannot be decomposed).
+     */
+    WpaResult finishMonolithic(MemoryMeter *meter = nullptr);
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/**
  * Run profile conversion + whole-program analysis.
  *
  * @param metadata_exe the Phase 2 binary with BB address map metadata.
  * @param prof         LBR samples collected while running it.
  * @param opts         layout strategy.
+ * @param jobs         worker threads for parallel stages (0 = hardware).
  * @param meter        optional external phase meter (pulsed with the peak).
  */
 WpaResult runWholeProgramAnalysis(const linker::Executable &metadata_exe,
                                   const profile::Profile &prof,
                                   const LayoutOptions &opts = {},
+                                  unsigned jobs = 0,
                                   MemoryMeter *meter = nullptr);
 
 } // namespace propeller::core

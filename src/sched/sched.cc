@@ -1,0 +1,424 @@
+/**
+ * @file
+ * Work-stealing execution and deterministic virtual-time simulation.
+ */
+
+#include "sched/sched.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <queue>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <tuple>
+#include <utility>
+
+#include "support/thread_pool.h"
+
+namespace propeller::sched {
+
+ScheduleReport::Window
+ScheduleReport::phaseWindow(const std::string &phase) const
+{
+    Window w;
+    for (const TaskSpan &span : spans) {
+        if (span.phase != phase)
+            continue;
+        if (!w.any) {
+            w.startSec = span.startSec;
+            w.endSec = span.endSec;
+            w.any = true;
+        } else {
+            w.startSec = std::min(w.startSec, span.startSec);
+            w.endSec = std::max(w.endSec, span.endSec);
+        }
+    }
+    return w;
+}
+
+TaskId
+TaskGraph::add(std::function<void()> fn, TaskOptions opts)
+{
+    Task task;
+    task.fn = std::move(fn);
+    task.label = std::move(opts.label);
+    task.phase = std::move(opts.phase);
+    task.costSec = opts.costSec;
+    tasks_.push_back(std::move(task));
+    return static_cast<TaskId>(tasks_.size() - 1);
+}
+
+void
+TaskGraph::addEdge(TaskId before, TaskId after)
+{
+    tasks_[before].dependents.push_back(after);
+    ++tasks_[after].dependencyCount;
+}
+
+void
+TaskGraph::setCost(TaskId id, double costSec)
+{
+    tasks_[id].costSec = costSec;
+}
+
+void
+OrderedSink::submit(uint64_t seq, std::function<void()> commit)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.emplace(seq, std::move(commit));
+    while (!pending_.empty() && pending_.begin()->first == next_) {
+        auto fn = std::move(pending_.begin()->second);
+        pending_.erase(pending_.begin());
+        // Run under the lock: commits are strictly single file, in
+        // sequence order, which is the whole point of the sink.
+        fn();
+        ++next_;
+    }
+}
+
+namespace {
+
+/** Kahn topological order; throws if the graph has a cycle. */
+std::vector<TaskId>
+topologicalOrder(const TaskGraph &graph,
+                 const std::vector<TaskGraph::Task> &tasks)
+{
+    (void)graph;
+    std::vector<uint32_t> indeg(tasks.size());
+    for (size_t i = 0; i < tasks.size(); ++i)
+        indeg[i] = tasks[i].dependencyCount;
+    std::vector<TaskId> order;
+    order.reserve(tasks.size());
+    for (size_t i = 0; i < tasks.size(); ++i)
+        if (indeg[i] == 0)
+            order.push_back(static_cast<TaskId>(i));
+    for (size_t head = 0; head < order.size(); ++head) {
+        for (TaskId dep : tasks[order[head]].dependents)
+            if (--indeg[dep] == 0)
+                order.push_back(dep);
+    }
+    if (order.size() != tasks.size())
+        throw std::logic_error("TaskGraph contains a dependency cycle");
+    return order;
+}
+
+/** Shared state for the real (multithreaded) execution. */
+struct ExecState
+{
+    std::vector<TaskGraph::Task> *tasks = nullptr;
+    std::vector<std::atomic<uint32_t>> pending;
+    std::atomic<size_t> remaining{0};
+    std::atomic<bool> failed{false};
+    std::mutex errorMu;
+    std::exception_ptr error;
+
+    struct WorkerQueue
+    {
+        std::mutex mu;
+        std::deque<TaskId> q;
+    };
+    std::vector<WorkerQueue> queues;
+    std::mutex idleMu;
+    std::condition_variable idleCv;
+    std::atomic<uint64_t> steals{0};
+    std::atomic<uint64_t> stealAttempts{0};
+
+    explicit ExecState(std::vector<TaskGraph::Task> &t, size_t workers)
+        : tasks(&t), pending(t.size()), queues(workers)
+    {
+        for (size_t i = 0; i < t.size(); ++i)
+            pending[i].store(t[i].dependencyCount,
+                             std::memory_order_relaxed);
+        remaining.store(t.size(), std::memory_order_relaxed);
+    }
+
+    void
+    pushLocal(size_t worker, TaskId id)
+    {
+        {
+            std::lock_guard<std::mutex> lock(queues[worker].mu);
+            queues[worker].q.push_back(id);
+        }
+        idleCv.notify_all();
+    }
+
+    bool
+    popLocal(size_t worker, TaskId &out)
+    {
+        std::lock_guard<std::mutex> lock(queues[worker].mu);
+        if (queues[worker].q.empty())
+            return false;
+        out = queues[worker].q.back();
+        queues[worker].q.pop_back();
+        return true;
+    }
+
+    /**
+     * Steal half of a victim's deque from the front (the oldest,
+     * coarsest tasks), keep one to run and queue the rest locally.
+     */
+    bool
+    trySteal(size_t thief, TaskId &out)
+    {
+        size_t n = queues.size();
+        for (size_t hop = 1; hop < n; ++hop) {
+            size_t victim = (thief + hop) % n;
+            stealAttempts.fetch_add(1, std::memory_order_relaxed);
+            std::vector<TaskId> grabbed;
+            {
+                std::lock_guard<std::mutex> lock(queues[victim].mu);
+                auto &q = queues[victim].q;
+                if (q.empty())
+                    continue;
+                size_t take = (q.size() + 1) / 2;
+                grabbed.assign(q.begin(),
+                               q.begin() + static_cast<long>(take));
+                q.erase(q.begin(), q.begin() + static_cast<long>(take));
+            }
+            steals.fetch_add(1, std::memory_order_relaxed);
+            out = grabbed.front();
+            if (grabbed.size() > 1) {
+                std::lock_guard<std::mutex> lock(queues[thief].mu);
+                for (size_t i = 1; i < grabbed.size(); ++i)
+                    queues[thief].q.push_back(grabbed[i]);
+            }
+            if (grabbed.size() > 1)
+                idleCv.notify_all();
+            return true;
+        }
+        return false;
+    }
+
+    void
+    execute(size_t worker, TaskId id)
+    {
+        TaskGraph::Task &task = (*tasks)[id];
+        if (!failed.load(std::memory_order_acquire)) {
+            try {
+                if (task.fn)
+                    task.fn();
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(errorMu);
+                if (!error)
+                    error = std::current_exception();
+                failed.store(true, std::memory_order_release);
+            }
+        }
+        for (TaskId dep : task.dependents) {
+            if (pending[dep].fetch_sub(1, std::memory_order_acq_rel) ==
+                1)
+                pushLocal(worker, dep);
+        }
+        if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+            idleCv.notify_all();
+    }
+
+    void
+    workerLoop(size_t worker)
+    {
+        while (remaining.load(std::memory_order_acquire) > 0) {
+            TaskId id = kInvalidTask;
+            if (popLocal(worker, id) || trySteal(worker, id)) {
+                execute(worker, id);
+                continue;
+            }
+            std::unique_lock<std::mutex> lock(idleMu);
+            idleCv.wait_for(lock, std::chrono::microseconds(200));
+        }
+        idleCv.notify_all();
+    }
+};
+
+/** Deterministic critical-path list scheduling on virtual workers. */
+void
+simulate(const std::vector<TaskGraph::Task> &tasks,
+         const std::vector<TaskId> &topo, unsigned workers,
+         ScheduleReport &report)
+{
+    size_t n = tasks.size();
+    report.spans.assign(n, TaskSpan{});
+    if (n == 0 || workers == 0)
+        return;
+
+    // Priority: longest cost-weighted path from the task to any exit,
+    // including the task itself. Computed in reverse topological order.
+    std::vector<double> toExit(n, 0.0);
+    for (size_t i = n; i-- > 0;) {
+        TaskId id = topo[i];
+        double best = 0.0;
+        for (TaskId dep : tasks[id].dependents)
+            best = std::max(best, toExit[dep]);
+        toExit[id] = tasks[id].costSec + best;
+    }
+    double criticalPath = 0.0;
+    double totalWork = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        criticalPath = std::max(criticalPath, toExit[i]);
+        totalWork += tasks[i].costSec;
+    }
+
+    // Ready set ordered by (priority desc, id asc) — fully
+    // deterministic, independent of real thread interleaving.
+    struct ReadyLess
+    {
+        bool
+        operator()(const std::pair<double, TaskId> &a,
+                   const std::pair<double, TaskId> &b) const
+        {
+            if (a.first != b.first)
+                return a.first > b.first;
+            return a.second < b.second;
+        }
+    };
+    std::set<std::pair<double, TaskId>, ReadyLess> ready;
+
+    std::vector<uint32_t> indeg(n);
+    for (size_t i = 0; i < n; ++i) {
+        indeg[i] = tasks[i].dependencyCount;
+        if (indeg[i] == 0)
+            ready.insert({toExit[i], static_cast<TaskId>(i)});
+    }
+
+    // Idle workers by id; busy workers as (endTime, workerId, taskId)
+    // events popped smallest-first with deterministic tie-breaks.
+    std::priority_queue<uint32_t, std::vector<uint32_t>,
+                        std::greater<uint32_t>>
+        idle;
+    for (uint32_t w = 0; w < workers; ++w)
+        idle.push(w);
+    using Event = std::tuple<double, uint32_t, TaskId>;
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        busy;
+
+    double now = 0.0;
+    double makespan = 0.0;
+    size_t scheduled = 0;
+    while (scheduled < n) {
+        while (!idle.empty() && !ready.empty()) {
+            auto [pri, id] = *ready.begin();
+            ready.erase(ready.begin());
+            uint32_t w = idle.top();
+            idle.pop();
+            TaskSpan &span = report.spans[id];
+            span.id = id;
+            span.label = tasks[id].label;
+            span.phase = tasks[id].phase;
+            span.costSec = tasks[id].costSec;
+            span.startSec = now;
+            span.endSec = now + tasks[id].costSec;
+            span.worker = w;
+            makespan = std::max(makespan, span.endSec);
+            busy.push({span.endSec, w, id});
+            ++scheduled;
+        }
+        if (busy.empty())
+            break;
+        auto [end, w, id] = busy.top();
+        busy.pop();
+        now = end;
+        idle.push(w);
+        for (TaskId dep : tasks[id].dependents)
+            if (--indeg[dep] == 0)
+                ready.insert({toExit[dep], dep});
+    }
+
+    report.makespanSec = makespan;
+    report.criticalPathSec = criticalPath;
+    report.totalWorkSec = totalWork;
+    report.lowerBoundSec =
+        std::max(criticalPath, totalWork / workers);
+    report.parallelEfficiency =
+        makespan > 0.0 ? totalWork / (workers * makespan) : 1.0;
+    report.modelWorkers = workers;
+    report.tasksExecuted = static_cast<uint32_t>(n);
+}
+
+} // namespace
+
+ScheduleReport
+Scheduler::run(TaskGraph &graph)
+{
+    auto &tasks = graph.tasks_;
+    std::vector<TaskId> topo = topologicalOrder(graph, tasks);
+
+    unsigned threads = resolveThreadCount(opts_.threads);
+    if (!tasks.empty())
+        threads = std::min<unsigned>(
+            threads, static_cast<unsigned>(tasks.size()));
+    threads = std::max(threads, 1u);
+
+    ScheduleReport report;
+    report.realThreads = threads;
+
+    if (threads == 1) {
+        // Inline release-order execution: FIFO over topological
+        // release, trivially deterministic.
+        std::exception_ptr error;
+        bool failed = false;
+        std::vector<uint32_t> indeg(tasks.size());
+        std::deque<TaskId> queue;
+        for (size_t i = 0; i < tasks.size(); ++i) {
+            indeg[i] = tasks[i].dependencyCount;
+            if (indeg[i] == 0)
+                queue.push_back(static_cast<TaskId>(i));
+        }
+        while (!queue.empty()) {
+            TaskId id = queue.front();
+            queue.pop_front();
+            if (!failed) {
+                try {
+                    if (tasks[id].fn)
+                        tasks[id].fn();
+                } catch (...) {
+                    error = std::current_exception();
+                    failed = true;
+                }
+            }
+            for (TaskId dep : tasks[id].dependents)
+                if (--indeg[dep] == 0)
+                    queue.push_back(dep);
+        }
+        if (error)
+            std::rethrow_exception(error);
+    } else {
+        ExecState state(tasks, threads);
+        // Seed the roots round-robin across worker deques, in id
+        // order, so every worker starts with local work.
+        {
+            size_t next = 0;
+            for (size_t i = 0; i < tasks.size(); ++i) {
+                if (tasks[i].dependencyCount == 0) {
+                    std::lock_guard<std::mutex> lock(
+                        state.queues[next].mu);
+                    state.queues[next].q.push_back(
+                        static_cast<TaskId>(i));
+                    next = (next + 1) % threads;
+                }
+            }
+        }
+        std::vector<std::thread> pool;
+        pool.reserve(threads - 1);
+        for (unsigned w = 1; w < threads; ++w)
+            pool.emplace_back(
+                [&state, w] { state.workerLoop(w); });
+        state.workerLoop(0);
+        for (auto &t : pool)
+            t.join();
+        report.steals = state.steals.load();
+        report.stealAttempts = state.stealAttempts.load();
+        if (state.error)
+            std::rethrow_exception(state.error);
+    }
+
+    // Costs may have been refined from inside task bodies; the joins
+    // above order those writes before this read.
+    simulate(tasks, topo, std::max(opts_.modelWorkers, 1u), report);
+    return report;
+}
+
+} // namespace propeller::sched

@@ -1,0 +1,219 @@
+#ifndef PROPELLER_SCHED_SCHED_H
+#define PROPELLER_SCHED_SCHED_H
+
+/**
+ * @file
+ * Work-stealing task-graph scheduler for the relink pipeline.
+ *
+ * The engine separates two concerns that the phase-barriered Workflow
+ * conflated:
+ *
+ *  - **Real execution.** Tasks run on a pool of workers with per-worker
+ *    deques (owner pops LIFO from the back, thieves steal half from the
+ *    front). A task becomes runnable the moment its last dependency
+ *    completes — topological release, no phase barriers. Wall-clock
+ *    speedup comes from here.
+ *
+ *  - **Modelled time.** Steal order is nondeterministic, so modelled
+ *    spans and makespan are produced by a deterministic virtual-time
+ *    list-scheduling simulation over the same graph after execution:
+ *    priority = longest path to exit (critical-path scheduling),
+ *    tie-break by task id, on `SchedulerOptions::modelWorkers` virtual
+ *    workers. The simulation depends only on the graph shape and task
+ *    costs, never on thread interleaving, so every schedule metric in
+ *    `ScheduleReport` is reproducible at any thread count.
+ *
+ * Determinism of *results* is the caller's contract: tasks write into
+ * preallocated slots or commit through an `OrderedSink`, which runs
+ * commit closures in strict sequence order regardless of completion
+ * order.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace propeller::sched {
+
+using TaskId = uint32_t;
+
+constexpr TaskId kInvalidTask = std::numeric_limits<TaskId>::max();
+
+/** Static description attached to a task at creation time. */
+struct TaskOptions
+{
+    /** Display label, e.g. "codegen:mod07". */
+    std::string label;
+    /** Phase bucket for report grouping, e.g. "phase4.codegen". */
+    std::string phase;
+    /**
+     * Modelled cost in seconds. Tasks whose cost is only known after
+     * running (cache hit vs miss, retries) may refine it from inside
+     * the task body via TaskGraph::setCost.
+     */
+    double costSec = 0.0;
+};
+
+/** One task's placement in the modelled (virtual-time) schedule. */
+struct TaskSpan
+{
+    TaskId id = kInvalidTask;
+    std::string label;
+    std::string phase;
+    double costSec = 0.0;
+    double startSec = 0.0;
+    double endSec = 0.0;
+    /** Virtual worker the simulation placed the task on. */
+    uint32_t worker = 0;
+};
+
+/** Deterministic schedule metrics plus real-execution counters. */
+struct ScheduleReport
+{
+    /** Modelled end-to-end time on `modelWorkers` virtual workers. */
+    double makespanSec = 0.0;
+    /** Longest cost-weighted dependency chain through the graph. */
+    double criticalPathSec = 0.0;
+    /** Sum of all task costs. */
+    double totalWorkSec = 0.0;
+    /** max(criticalPathSec, totalWorkSec / modelWorkers). */
+    double lowerBoundSec = 0.0;
+    /** totalWorkSec / (modelWorkers * makespanSec); 1.0 = no idle. */
+    double parallelEfficiency = 0.0;
+    uint32_t modelWorkers = 0;
+    uint32_t tasksExecuted = 0;
+
+    /** Real execution-side counters (informational; nondeterministic). */
+    unsigned realThreads = 0;
+    uint64_t steals = 0;
+    uint64_t stealAttempts = 0;
+
+    /** Per-task modelled spans, in task-id order. */
+    std::vector<TaskSpan> spans;
+
+    /** makespan / lower bound; 1.0 is a perfect schedule. */
+    double
+    criticalPathRatio() const
+    {
+        return lowerBoundSec > 0.0 ? makespanSec / lowerBoundSec : 1.0;
+    }
+
+    /** [min start, max end] over the spans of one phase bucket. */
+    struct Window
+    {
+        double startSec = 0.0;
+        double endSec = 0.0;
+        bool any = false;
+        double
+        lengthSec() const
+        {
+            return any ? endSec - startSec : 0.0;
+        }
+    };
+    Window phaseWindow(const std::string &phase) const;
+};
+
+/**
+ * A dependency graph of runnable tasks. Build the full graph up front
+ * (add tasks, then edges), hand it to Scheduler::run. Not reusable:
+ * a graph runs once.
+ */
+class TaskGraph
+{
+  public:
+    /** Add a task; returns its id (ids are dense, in creation order). */
+    TaskId add(std::function<void()> fn, TaskOptions opts = {});
+
+    /** `after` cannot start until `before` has finished. */
+    void addEdge(TaskId before, TaskId after);
+
+    /**
+     * Refine a task's modelled cost. Safe from inside the task's own
+     * body while the graph is running (single writer per task; readers
+     * only look after the run joins).
+     */
+    void setCost(TaskId id, double costSec);
+
+    size_t size() const { return tasks_.size(); }
+    double cost(TaskId id) const { return tasks_[id].costSec; }
+    const std::string &phase(TaskId id) const { return tasks_[id].phase; }
+
+    /** Internal task record; public so scheduler helpers can see it. */
+    struct Task
+    {
+        std::function<void()> fn;
+        std::string label;
+        std::string phase;
+        double costSec = 0.0;
+        std::vector<TaskId> dependents;
+        uint32_t dependencyCount = 0;
+    };
+
+  private:
+    friend class Scheduler;
+    std::vector<Task> tasks_;
+};
+
+struct SchedulerOptions
+{
+    /** Real execution threads; 0 = hardware concurrency, 1 = inline. */
+    unsigned threads = 0;
+    /** Virtual workers for the deterministic schedule model. */
+    unsigned modelWorkers = 8;
+};
+
+/**
+ * Executes a TaskGraph with work stealing, then replays it through the
+ * deterministic virtual-time simulation to produce the ScheduleReport.
+ * The first exception thrown by a task is rethrown from run() after
+ * the graph drains (downstream task bodies are skipped, not run
+ * against missing inputs).
+ */
+class Scheduler
+{
+  public:
+    explicit Scheduler(SchedulerOptions opts = {}) : opts_(opts) {}
+
+    ScheduleReport run(TaskGraph &graph);
+
+  private:
+    SchedulerOptions opts_;
+};
+
+/**
+ * Commits results in strict sequence order: `submit(seq, fn)` may be
+ * called from any thread in any order, but the closures run exactly in
+ * increasing `seq` order (0,1,2,...), each under the sink's lock.
+ * This is the determinism keystone: side effects that are order
+ * sensitive (cache population, failure attribution, report lines) go
+ * through the sink, so shipped bytes and reports are identical at any
+ * thread count.
+ */
+class OrderedSink
+{
+  public:
+    explicit OrderedSink(uint64_t firstSeq = 0) : next_(firstSeq) {}
+
+    void submit(uint64_t seq, std::function<void()> commit);
+
+    /** Sequence number the sink is waiting for next. */
+    uint64_t
+    committed() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return next_;
+    }
+
+  private:
+    mutable std::mutex mu_;
+    std::map<uint64_t, std::function<void()>> pending_;
+    uint64_t next_ = 0;
+};
+
+} // namespace propeller::sched
+
+#endif // PROPELLER_SCHED_SCHED_H

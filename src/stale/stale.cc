@@ -8,7 +8,8 @@ StaleWpaResult
 runStaleWholeProgramAnalysis(const linker::Executable &target,
                              const linker::Executable &profiled,
                              const profile::Profile &prof,
-                             const core::LayoutOptions &opts)
+                             const core::LayoutOptions &opts,
+                             unsigned jobs)
 {
     StaleWpaResult result;
     core::WpaResult &wpa = result.wpa;
@@ -22,7 +23,7 @@ runStaleWholeProgramAnalysis(const linker::Executable &target,
     wpa.stats.profileBytes = prof.sizeInBytes();
 
     profile::AggregationOptions agg_opts;
-    agg_opts.threads = opts.threads;
+    agg_opts.threads = jobs;
     profile::AggregatedProfile agg = profile::aggregate(prof, agg_opts);
 
     // Two indexes: addresses in the profile decode against the *profiled*
@@ -33,7 +34,7 @@ runStaleWholeProgramAnalysis(const linker::Executable &target,
         profiled_index.footprint() + target_index.footprint();
 
     core::WholeProgramDcfg stale_dcfg =
-        buildDcfg(agg, profiled_index, &wpa.stats.mapper, opts.threads);
+        buildDcfg(agg, profiled_index, &wpa.stats.mapper, jobs);
 
     StaleMatchResult match =
         matchStaleProfile(stale_dcfg, profiled_index, target_index);
@@ -43,7 +44,7 @@ runStaleWholeProgramAnalysis(const linker::Executable &target,
     wpa.stats.dcfgFootprint = match.dcfg.footprint();
 
     core::LayoutResult layout =
-        computeLayout(match.dcfg, target_index, opts);
+        computeLayout(match.dcfg, target_index, opts, jobs);
     wpa.ccProf = std::move(layout.ccProf);
     wpa.ldProf = std::move(layout.ldProf);
     wpa.hotFunctions = std::move(layout.hotFunctions);

@@ -143,7 +143,8 @@ StaleWpaResult
 runStaleWholeProgramAnalysis(const linker::Executable &target,
                              const linker::Executable &profiled,
                              const profile::Profile &prof,
-                             const core::LayoutOptions &opts = {});
+                             const core::LayoutOptions &opts = {},
+                             unsigned jobs = 0);
 
 } // namespace propeller::stale
 

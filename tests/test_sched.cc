@@ -1,0 +1,345 @@
+/**
+ * @file
+ * Work-stealing scheduler tests: graph mechanics (release order, cycle
+ * rejection, exception routing), the deterministic virtual-time model,
+ * OrderedSink sequencing — and the property the whole relink engine
+ * rests on: byte-identical results and identical schedule reports at
+ * any worker count, over 100 randomized DAGs with forced steals.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "build/workflow.h"
+#include "faultinject/faultinject.h"
+#include "sched/sched.h"
+#include "support/hash.h"
+#include "test_util.h"
+
+namespace propeller {
+namespace {
+
+using sched::OrderedSink;
+using sched::ScheduleReport;
+using sched::Scheduler;
+using sched::SchedulerOptions;
+using sched::TaskGraph;
+using sched::TaskId;
+
+ScheduleReport
+runWith(TaskGraph &graph, unsigned threads, unsigned model_workers = 8)
+{
+    SchedulerOptions opts;
+    opts.threads = threads;
+    opts.modelWorkers = model_workers;
+    return Scheduler(opts).run(graph);
+}
+
+TEST(TaskGraph, EdgesGateExecution)
+{
+    // A diamond: the join must observe both branches' writes.
+    TaskGraph g;
+    int a = 0, b = 0, c = 0, d = 0;
+    TaskId ta = g.add([&] { a = 1; });
+    TaskId tb = g.add([&] { b = a + 1; });
+    TaskId tc = g.add([&] { c = a + 2; });
+    TaskId td = g.add([&] { d = b + c; });
+    g.addEdge(ta, tb);
+    g.addEdge(ta, tc);
+    g.addEdge(tb, td);
+    g.addEdge(tc, td);
+    ScheduleReport rep = runWith(g, 4);
+    EXPECT_EQ(d, 5);
+    EXPECT_EQ(rep.tasksExecuted, 4u);
+}
+
+TEST(TaskGraph, CycleIsRejected)
+{
+    TaskGraph g;
+    TaskId ta = g.add([] {});
+    TaskId tb = g.add([] {});
+    g.addEdge(ta, tb);
+    g.addEdge(tb, ta);
+    EXPECT_THROW(runWith(g, 2), std::logic_error);
+}
+
+TEST(TaskGraph, TaskExceptionRethrownAndDependentsSkipped)
+{
+    TaskGraph g;
+    std::atomic<bool> downstream_ran{false};
+    TaskId ta = g.add([] { throw std::runtime_error("task boom"); });
+    TaskId tb = g.add([&] { downstream_ran = true; });
+    g.addEdge(ta, tb);
+    EXPECT_THROW(runWith(g, 2), std::runtime_error);
+    EXPECT_FALSE(downstream_ran.load());
+}
+
+TEST(TaskGraph, ModelIsDeterministicAcrossThreadCounts)
+{
+    // The virtual-time schedule depends only on graph shape and costs,
+    // so two executions of the same shape at different thread counts
+    // must report identical spans, makespan and critical path.
+    auto build = [](TaskGraph &g) {
+        std::vector<TaskId> layer;
+        TaskId root = g.add([] {}, {"root", "p0", 1.0});
+        for (int i = 0; i < 12; ++i) {
+            TaskId t = g.add([] {}, {"mid", "p1", 0.5 + 0.25 * i});
+            g.addEdge(root, t);
+            layer.push_back(t);
+        }
+        TaskId join = g.add([] {}, {"join", "p2", 2.0});
+        for (TaskId t : layer)
+            g.addEdge(t, join);
+    };
+    TaskGraph g1, g8;
+    build(g1);
+    build(g8);
+    ScheduleReport r1 = runWith(g1, 1);
+    ScheduleReport r8 = runWith(g8, 8);
+
+    EXPECT_DOUBLE_EQ(r1.makespanSec, r8.makespanSec);
+    EXPECT_DOUBLE_EQ(r1.criticalPathSec, r8.criticalPathSec);
+    EXPECT_DOUBLE_EQ(r1.totalWorkSec, r8.totalWorkSec);
+    ASSERT_EQ(r1.spans.size(), r8.spans.size());
+    for (size_t i = 0; i < r1.spans.size(); ++i) {
+        EXPECT_DOUBLE_EQ(r1.spans[i].startSec, r8.spans[i].startSec) << i;
+        EXPECT_DOUBLE_EQ(r1.spans[i].endSec, r8.spans[i].endSec) << i;
+        EXPECT_EQ(r1.spans[i].worker, r8.spans[i].worker) << i;
+    }
+    // Critical path: root (1.0) + slowest mid (3.25) + join (2.0).
+    EXPECT_DOUBLE_EQ(r1.criticalPathSec, 6.25);
+    EXPECT_GE(r1.makespanSec, r1.lowerBoundSec);
+}
+
+TEST(TaskGraph, SetCostFromTaskBodyFeedsTheModel)
+{
+    TaskGraph g;
+    TaskId t = g.add([&g, &t] { g.setCost(t, 4.0); }, {"late", "p", 0.0});
+    (void)t;
+    ScheduleReport rep = runWith(g, 2);
+    EXPECT_DOUBLE_EQ(rep.totalWorkSec, 4.0);
+    EXPECT_DOUBLE_EQ(rep.makespanSec, 4.0);
+}
+
+TEST(TaskGraph, PhaseWindowCoversPhaseSpans)
+{
+    TaskGraph g;
+    TaskId a = g.add([] {}, {"a", "alpha", 2.0});
+    TaskId b = g.add([] {}, {"b", "beta", 3.0});
+    g.addEdge(a, b);
+    ScheduleReport rep = runWith(g, 2);
+    ScheduleReport::Window alpha = rep.phaseWindow("alpha");
+    ScheduleReport::Window beta = rep.phaseWindow("beta");
+    EXPECT_TRUE(alpha.any);
+    EXPECT_DOUBLE_EQ(alpha.startSec, 0.0);
+    EXPECT_DOUBLE_EQ(alpha.endSec, 2.0);
+    EXPECT_DOUBLE_EQ(beta.startSec, 2.0);
+    EXPECT_DOUBLE_EQ(beta.endSec, 5.0);
+    EXPECT_FALSE(rep.phaseWindow("gamma").any);
+}
+
+TEST(OrderedSinkTest, CommitsRunInSequenceOrderFromAnyThread)
+{
+    OrderedSink sink;
+    std::string out;
+    // Submit out of order from racing threads; the sink must serialize
+    // the commits as 0,1,2,...,N-1.
+    constexpr int kN = 64;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = t; i < kN; i += 8) {
+                int seq = kN - 1 - i;
+                sink.submit(static_cast<uint64_t>(seq), [&out, seq] {
+                    out += std::to_string(seq) + ",";
+                });
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    std::string expect;
+    for (int i = 0; i < kN; ++i)
+        expect += std::to_string(i) + ",";
+    EXPECT_EQ(out, expect);
+    EXPECT_EQ(sink.committed(), static_cast<uint64_t>(kN));
+}
+
+// ---- The determinism property, 100 seeds ------------------------------
+
+/**
+ * One randomized run: a DAG whose tasks carry data (a hash folded over
+ * the inputs), sleep pseudo-random durations to force steals, and
+ * commit attribution lines through an OrderedSink.  Returns everything
+ * an engine ships: result bytes, sink transcript, schedule metrics.
+ */
+struct PropertyOutcome
+{
+    uint64_t resultHash = 0;
+    std::string transcript;
+    double makespanSec = 0.0;
+    double criticalPathSec = 0.0;
+    uint64_t tasksExecuted = 0;
+};
+
+PropertyOutcome
+runRandomDag(uint64_t seed, unsigned threads)
+{
+    // Deterministic per-seed structure: ~36 tasks, each depending on up
+    // to 3 earlier tasks.
+    constexpr size_t kTasks = 36;
+    TaskGraph g;
+    std::vector<uint64_t> value(kTasks, 0);
+    std::vector<TaskId> ids(kTasks);
+    OrderedSink sink;
+    std::string transcript;
+
+    for (size_t i = 0; i < kTasks; ++i) {
+        uint64_t h = mix64(seed, i);
+        std::vector<size_t> deps;
+        if (i > 0) {
+            size_t ndeps = h % 4;
+            for (size_t d = 0; d < ndeps; ++d)
+                deps.push_back(mix64(h, d) % i);
+        }
+        unsigned sleep_us = static_cast<unsigned>(mix64(h, 99) % 40);
+        ids[i] = g.add(
+            [&, i, deps, sleep_us, h] {
+                // Unequal task durations are what force steals: a worker
+                // stuck in a long task loses the rest of its deque.
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(sleep_us));
+                uint64_t v = h;
+                for (size_t d : deps)
+                    v = mix64(v, value[d]);
+                value[i] = v;
+                sink.submit(i, [&transcript, i, v] {
+                    transcript += "task " + std::to_string(i) + " -> " +
+                                  std::to_string(v % 997) + "\n";
+                });
+            },
+            {"t" + std::to_string(i), "prop",
+             0.001 * static_cast<double>(h % 100)});
+        for (size_t d : deps)
+            g.addEdge(ids[d], ids[i]);
+    }
+
+    ScheduleReport rep = runWith(g, threads);
+    PropertyOutcome out;
+    out.resultHash = 0xcbf29ce484222325ull;
+    for (uint64_t v : value)
+        out.resultHash = mix64(out.resultHash, v);
+    out.transcript = std::move(transcript);
+    out.makespanSec = rep.makespanSec;
+    out.criticalPathSec = rep.criticalPathSec;
+    out.tasksExecuted = rep.tasksExecuted;
+    return out;
+}
+
+TEST(SchedulerProperty, HundredSeedsIdenticalAcrossWorkerCounts)
+{
+    for (uint64_t seed = 1; seed <= 100; ++seed) {
+        PropertyOutcome base = runRandomDag(seed, 1);
+        for (unsigned threads : {2u, 8u}) {
+            PropertyOutcome got = runRandomDag(seed, threads);
+            ASSERT_EQ(got.resultHash, base.resultHash)
+                << "seed " << seed << " threads " << threads;
+            ASSERT_EQ(got.transcript, base.transcript)
+                << "seed " << seed << " threads " << threads;
+            ASSERT_DOUBLE_EQ(got.makespanSec, base.makespanSec)
+                << "seed " << seed << " threads " << threads;
+            ASSERT_DOUBLE_EQ(got.criticalPathSec, base.criticalPathSec)
+                << "seed " << seed << " threads " << threads;
+            ASSERT_EQ(got.tasksExecuted, base.tasksExecuted);
+        }
+    }
+}
+
+// ---- Workflow-level identity ------------------------------------------
+
+/** Everything the relink engine ships, for equality comparison. */
+struct EngineOutput
+{
+    std::vector<uint8_t> text;
+    std::string verifyText;
+    std::vector<std::string> codegenFailures;
+    std::vector<std::string> linkFailures;
+    double codegenMakespan = 0.0;
+    uint32_t retries = 0;
+    uint64_t cacheCorruptions = 0;
+};
+
+EngineOutput
+runEngine(unsigned jobs, bool barrier, bool faults)
+{
+    workload::WorkloadConfig cfg = test::smallConfig(91);
+    cfg.name = "schedtest";
+    cfg.jobs = jobs;
+    cfg.barrierScheduler = barrier;
+
+    faultinject::FaultSpec spec;
+    spec.seed = 23;
+    spec.cacheRate = 0.4;
+    spec.execFailRate = 0.2;
+    faultinject::FaultInjector injector(spec);
+
+    buildsys::Workflow wf(cfg);
+    if (faults)
+        wf.setFaultHooks(&injector);
+
+    EngineOutput out;
+    out.text = wf.propellerBinary().text;
+    out.verifyText = wf.verifyReport().engine.renderText();
+    const buildsys::PhaseReport &cg = wf.report("phase4.codegen");
+    out.codegenFailures = cg.failures;
+    out.codegenMakespan = cg.makespanSec;
+    out.retries = cg.retries;
+    out.linkFailures = wf.report("phase4.link").failures;
+    out.cacheCorruptions = wf.cacheStats().corruptions;
+    return out;
+}
+
+TEST(EngineIdentity, TaskGraphMatchesBarrierEngine)
+{
+    // The ablation contract: both engines ship the same bytes, the same
+    // failure attribution and the same modelled phase accounting.
+    for (bool faults : {false, true}) {
+        EngineOutput graph = runEngine(4, false, faults);
+        EngineOutput barrier = runEngine(4, true, faults);
+        EXPECT_EQ(graph.text, barrier.text) << "faults=" << faults;
+        EXPECT_EQ(graph.verifyText, barrier.verifyText);
+        EXPECT_EQ(graph.codegenFailures, barrier.codegenFailures);
+        EXPECT_EQ(graph.linkFailures, barrier.linkFailures);
+        EXPECT_DOUBLE_EQ(graph.codegenMakespan, barrier.codegenMakespan);
+        EXPECT_EQ(graph.retries, barrier.retries);
+        EXPECT_EQ(graph.cacheCorruptions, barrier.cacheCorruptions);
+    }
+}
+
+TEST(EngineIdentity, TaskGraphIdenticalAcrossJobCounts)
+{
+    // Under fault injection (cache rot + transient action failures) the
+    // attribution lines and retry accounting must not depend on which
+    // worker got where first.
+    EngineOutput base = runEngine(1, false, true);
+    for (unsigned jobs : {2u, 8u}) {
+        EngineOutput got = runEngine(jobs, false, true);
+        EXPECT_EQ(got.text, base.text) << "jobs " << jobs;
+        EXPECT_EQ(got.verifyText, base.verifyText) << "jobs " << jobs;
+        EXPECT_EQ(got.codegenFailures, base.codegenFailures);
+        EXPECT_EQ(got.linkFailures, base.linkFailures);
+        EXPECT_DOUBLE_EQ(got.codegenMakespan, base.codegenMakespan);
+        EXPECT_EQ(got.retries, base.retries);
+        EXPECT_EQ(got.cacheCorruptions, base.cacheCorruptions);
+    }
+}
+
+} // namespace
+} // namespace propeller

@@ -141,19 +141,19 @@ TEST(ThreadingDeterminism, ArtifactsIdenticalAcrossThreadCounts)
 TEST(ThreadingDeterminism, LayoutIdenticalAcrossThreadCounts)
 {
     // Drive the layout loop directly through the ablation entry point so
-    // the comparison isolates the parallel Ext-TSP stage.
+    // the comparison isolates the parallel Ext-TSP stage.  Concurrency
+    // is the workflow-wide jobs setting now, so each count gets its own
+    // workflow over the same seed.
     workload::WorkloadConfig cfg = test::smallConfig(64);
     cfg.name = "threads2";
-    buildsys::Workflow wf(cfg);
-
-    core::LayoutOptions one;
-    one.threads = 1;
-    core::LayoutOptions eight;
-    eight.threads = 8;
+    cfg.jobs = 1;
+    buildsys::Workflow wf1(cfg);
+    cfg.jobs = 8;
+    buildsys::Workflow wf8(cfg);
 
     core::WpaResult wpa1, wpa8;
-    linker::Executable exe1 = wf.propellerBinaryWith(one, &wpa1);
-    linker::Executable exe8 = wf.propellerBinaryWith(eight, &wpa8);
+    linker::Executable exe1 = wf1.propellerBinaryWith({}, &wpa1);
+    linker::Executable exe8 = wf8.propellerBinaryWith({}, &wpa8);
 
     EXPECT_EQ(wpa1.ccProf.serialize(), wpa8.ccProf.serialize());
     EXPECT_EQ(wpa1.ldProf.serialize(), wpa8.ldProf.serialize());
@@ -170,13 +170,13 @@ TEST(ThreadingDeterminism, ReferenceSolverArtifactsIdenticalAtAnyThreads)
     // cc_prof/ld_prof at 1 and at 8 threads (4 combinations total).
     workload::WorkloadConfig cfg = test::smallConfig(65);
     cfg.name = "threads3";
-    buildsys::Workflow wf(cfg);
 
     std::string cc_base, ld_base;
     for (unsigned threads : {1u, 8u}) {
+        cfg.jobs = threads;
+        buildsys::Workflow wf(cfg);
         for (bool reference : {false, true}) {
             core::LayoutOptions opts;
-            opts.threads = threads;
             opts.referenceSolver = reference;
             core::WpaResult wpa;
             wf.propellerBinaryWith(opts, &wpa);

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Merge per-gate BENCH_*.json files into one trajectory artifact.
+
+Each bench binary emits a flat JSON object of gate metrics.  CI uploads
+them individually; this script folds every BENCH_*.json it finds into a
+single BENCH_all.json keyed by gate name, with a summary block so a
+dashboard (or a human) can read one file per commit.
+
+Usage: aggregate_bench.py [--dir DIR] [--out FILE]
+
+Exits nonzero if a file exists but is unparseable — a gate that wrote
+garbage should fail the pipeline, not vanish from the trajectory.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="merge BENCH_*.json gate outputs")
+    parser.add_argument("--dir", default=".",
+                        help="directory holding BENCH_*.json files")
+    parser.add_argument("--out", default="BENCH_all.json",
+                        help="merged output path")
+    args = parser.parse_args()
+
+    merged = {}
+    bad = []
+    out_abs = os.path.abspath(args.out)
+    for path in sorted(glob.glob(os.path.join(args.dir, "BENCH_*.json"))):
+        if os.path.abspath(path) == out_abs:
+            continue
+        name = os.path.basename(path)[len("BENCH_"):-len(".json")]
+        if name == "all":
+            continue
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                merged[name] = json.load(f)
+        except (OSError, ValueError) as err:
+            bad.append((path, str(err)))
+
+    if bad:
+        for path, err in bad:
+            print(f"aggregate_bench: cannot parse {path}: {err}",
+                  file=sys.stderr)
+        return 1
+    if not merged:
+        print(f"aggregate_bench: no BENCH_*.json under {args.dir}",
+              file=sys.stderr)
+        return 1
+
+    # A small summary block with the headline number of each gate, so
+    # the trajectory is greppable without knowing every gate's schema.
+    headline_keys = [
+        "makespan_over_lower_bound", "speedup_over_barrier",
+        "layout_speedup_4_threads", "cache_hit_rate", "retention",
+        "false_positives", "false_negatives",
+    ]
+    summary = {}
+    for name, data in merged.items():
+        if not isinstance(data, dict):
+            continue
+        picked = {k: data[k] for k in headline_keys if k in data}
+        bools = {k: v for k, v in data.items() if isinstance(v, bool)}
+        if picked or bools:
+            summary[name] = {**picked, **bools}
+
+    result = {"gates": merged, "summary": summary}
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(result, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"aggregate_bench: merged {len(merged)} gate(s) "
+          f"({', '.join(sorted(merged))}) into {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -61,8 +61,17 @@ using namespace propeller;
 
 namespace {
 
-/** --jobs N: worker threads for codegen/WPA (0 = all hardware threads). */
+/**
+ * --jobs N: worker threads for every parallel pipeline stage — the
+ * scheduler owns the one concurrency setting (0 = all hardware threads).
+ */
 unsigned g_jobs = 0;
+
+/** --scheduler barrier: run the phase-barriered engine (ablation). */
+bool g_barrier = false;
+
+/** --backend bolt: route the verify subcommand at the BOLT output. */
+std::string g_backend = "propeller";
 
 /** --stale-profile N: drift the WPA target binary N% from the profiled one. */
 double g_stale_pct = 0.0;
@@ -87,6 +96,7 @@ namedConfig(const std::string &name)
 {
     workload::WorkloadConfig cfg = workload::configByName(name);
     cfg.jobs = g_jobs;
+    cfg.barrierScheduler = g_barrier;
     return cfg;
 }
 
@@ -170,17 +180,17 @@ cmdRunStale(const workload::WorkloadConfig &cfg)
     // Ground truth: a fresh profile of the drifted build.
     profile::Profile fresh_prof =
         sim::run(target, workload::profileOptions(cfg)).profile;
-    core::WpaResult fresh = core::runWholeProgramAnalysis(target,
-                                                          fresh_prof);
+    core::WpaResult fresh =
+        core::runWholeProgramAnalysis(target, fresh_prof, {}, g_jobs);
 
     core::WpaResult stale_wpa;
     stale::StaleMatchStats match;
     bool via_matcher = false;
     if (!mismatch) {
-        stale_wpa = core::runWholeProgramAnalysis(target, prof);
+        stale_wpa = core::runWholeProgramAnalysis(target, prof, {}, g_jobs);
     } else {
-        stale::StaleWpaResult swr =
-            stale::runStaleWholeProgramAnalysis(target, profiled, prof);
+        stale::StaleWpaResult swr = stale::runStaleWholeProgramAnalysis(
+            target, profiled, prof, {}, g_jobs);
         stale_wpa = std::move(swr.wpa);
         match = swr.match;
         via_matcher = true;
@@ -300,6 +310,18 @@ cmdRun(const std::string &name)
                     formatBytes(r.peakActionMemory).c_str(), r.actions,
                     r.cacheHits);
     }
+    if (wf.hasRelinkSchedule()) {
+        const sched::ScheduleReport &s = wf.relinkSchedule();
+        std::printf("\nrelink task graph (%u tasks, %u modelled "
+                    "workers):\n"
+                    "  makespan %.1fs = %.2fx the critical-path lower "
+                    "bound (%.1fs), %.0f%% parallel efficiency, %llu "
+                    "steals\n",
+                    s.tasksExecuted, s.modelWorkers, s.makespanSec,
+                    s.criticalPathRatio(), s.lowerBoundSec,
+                    s.parallelEfficiency * 100.0,
+                    static_cast<unsigned long long>(s.steals));
+    }
 
     if (g_fault_requested) {
         wf.scrubCache();
@@ -397,13 +419,14 @@ cmdWpa(const std::string &name)
 
     if (!mismatch) {
         // Same build after all (e.g. --stale-profile 0): fresh pipeline.
-        core::WpaResult wpa = core::runWholeProgramAnalysis(target, prof);
+        core::WpaResult wpa =
+            core::runWholeProgramAnalysis(target, prof, {}, g_jobs);
         printArtifacts(wpa);
         return 0;
     }
 
-    stale::StaleWpaResult swr =
-        stale::runStaleWholeProgramAnalysis(target, profiled, prof);
+    stale::StaleWpaResult swr = stale::runStaleWholeProgramAnalysis(
+        target, profiled, prof, {}, g_jobs);
     printArtifacts(swr.wpa);
     std::printf("\n# stale match: %.1f%% of blocks (%.1f%% of weight), "
                 "%u identical + %u matched + %u dropped functions\n",
@@ -439,9 +462,19 @@ cmdVerify(const std::string &name)
         return 1;
     }
 
-    // The canonical phase-5 pass (twin relink + all machine checks),
-    // refiltered through the user's suppression list.
-    const analysis::VerifyReport &full = wf.verifyReport();
+    // The canonical phase-5 pass (twin relink + all machine checks) —
+    // or the same machine checks aimed at the BOLT rewrite — refiltered
+    // through the user's suppression list.
+    if (g_backend != "propeller" && g_backend != "bolt") {
+        std::fprintf(stderr, "propeller-cli: unknown --backend '%s'\n",
+                     g_backend.c_str());
+        return usage();
+    }
+    analysis::VerifyReport bolt_full;
+    if (g_backend == "bolt")
+        bolt_full = wf.verifyBoltBinary();
+    const analysis::VerifyReport &full =
+        g_backend == "bolt" ? bolt_full : wf.verifyReport();
     analysis::VerifyReport rep;
     if (!rep.engine.parseSuppressions(g_suppress)) {
         std::fprintf(stderr,
@@ -461,9 +494,12 @@ cmdVerify(const std::string &name)
     if (g_json) {
         std::printf("%s\n", rep.engine.renderJson().c_str());
     } else {
+        std::string target_name = g_backend == "bolt"
+                                      ? cfg.name + ".bolt"
+                                      : wf.propellerBinary().name;
         std::printf("verified %s: %u functions, %u ranges, %llu "
                     "instructions, %s of text\n",
-                    wf.propellerBinary().name.c_str(),
+                    target_name.c_str(),
                     rep.functionsChecked, rep.rangesDecoded,
                     static_cast<unsigned long long>(
                         rep.instructionsDecoded),
@@ -537,8 +573,16 @@ usage()
                 "  disasm <workload> <symbol>\n"
                 "  heatmap <workload>\n"
                 "options:\n"
-                "  --jobs N            worker threads for codegen/WPA\n"
+                "  --jobs N            worker threads for every parallel\n"
+                "                      stage: layout, codegen, link\n"
+                "                      assembly, verification\n"
                 "                      (default: all hardware threads)\n"
+                "  --scheduler S       relink engine: taskgraph (default)\n"
+                "                      or barrier (phase-barriered\n"
+                "                      ablation; identical artifacts)\n"
+                "  --backend B         verify: propeller (default) or\n"
+                "                      bolt — aim the static verifier at\n"
+                "                      the chosen optimizer's output\n"
                 "  --stale-profile N   run/wpa: apply the profile to a\n"
                 "                      binary drifted N%% from the\n"
                 "                      profiled one\n"
@@ -572,6 +616,21 @@ main(int argc, char **argv)
                 return usage();
             }
             g_jobs = static_cast<unsigned>(n);
+            continue;
+        }
+        if (arg == "--scheduler" && i + 1 < argc) {
+            std::string mode = argv[++i];
+            if (mode != "taskgraph" && mode != "barrier") {
+                std::printf("propeller-cli: --scheduler expects "
+                            "'taskgraph' or 'barrier', got '%s'\n",
+                            mode.c_str());
+                return usage();
+            }
+            g_barrier = mode == "barrier";
+            continue;
+        }
+        if (arg == "--backend" && i + 1 < argc) {
+            g_backend = argv[++i];
             continue;
         }
         if (arg == "--stale-profile" && i + 1 < argc) {

@@ -92,20 +92,7 @@ class ArtifactCache
     lookup(uint64_t key)
     {
         std::lock_guard<std::mutex> lock(mu_);
-        auto it = entries_.find(key);
-        if (it == entries_.end()) {
-            ++stats_.misses;
-            return nullptr;
-        }
-        if (fnv1a(it->second.bytes.data(), it->second.bytes.size()) !=
-            it->second.hash) {
-            eraseEntry(it);
-            ++stats_.corruptions;
-            ++stats_.misses;
-            return nullptr;
-        }
-        ++stats_.hits;
-        return &it->second.bytes;
+        return tierLookup(entries_, stats_, key);
     }
 
     /** Store (or replace) an artifact under @p key. */
@@ -113,18 +100,42 @@ class ArtifactCache
     put(uint64_t key, std::vector<uint8_t> bytes)
     {
         std::lock_guard<std::mutex> lock(mu_);
-        uint64_t hash = fnv1a(bytes.data(), bytes.size());
-        auto it = entries_.find(key);
-        if (it != entries_.end()) {
-            stats_.storedBytes -= it->second.bytes.size();
-            stats_.storedBytes += bytes.size();
-            it->second.bytes = std::move(bytes);
-            it->second.hash = hash;
+        tierPut(entries_, stats_, key, std::move(bytes));
+    }
+
+    /**
+     * Layout memoization tier: per-function Ext-TSP results keyed on
+     * (CFG hash, profile-count digest, layout-options fingerprint) —
+     * see WpaPipeline::layoutFingerprint.  Kept separate from the
+     * object tier so hit-rate accounting (the incremental-relink
+     * headline metric) and fault-injection key enumeration stay
+     * per-tier; integrity rules are identical, and scrub() sweeps both.
+     */
+    const std::vector<uint8_t> *
+    lookupLayout(uint64_t key)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return tierLookup(layoutEntries_, layoutStats_, key);
+    }
+
+    /** Store (or replace) a layout artifact under @p key. */
+    void
+    putLayout(uint64_t key, std::vector<uint8_t> bytes)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        tierPut(layoutEntries_, layoutStats_, key, std::move(bytes));
+    }
+
+    /** evictCorrupt for the layout tier (decode-level damage). */
+    void
+    evictCorruptLayout(uint64_t key)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = layoutEntries_.find(key);
+        if (it == layoutEntries_.end())
             return;
-        }
-        stats_.storedBytes += bytes.size();
-        ++stats_.entries;
-        entries_.emplace(key, Entry{std::move(bytes), hash});
+        eraseEntry(layoutEntries_, layoutStats_, it);
+        ++layoutStats_.corruptions;
     }
 
     /**
@@ -140,31 +151,21 @@ class ArtifactCache
         auto it = entries_.find(key);
         if (it == entries_.end())
             return;
-        eraseEntry(it);
+        eraseEntry(entries_, stats_, it);
         ++stats_.corruptions;
     }
 
     /**
-     * Verify every stored entry, evicting (and counting) corrupt ones.
-     * Does not touch hit/miss statistics.
+     * Verify every stored entry in both tiers, evicting (and counting)
+     * corrupt ones.  Does not touch hit/miss statistics.
      * @return the number of entries evicted.
      */
     uint64_t
     scrub()
     {
         std::lock_guard<std::mutex> lock(mu_);
-        uint64_t evicted = 0;
-        for (auto it = entries_.begin(); it != entries_.end();) {
-            if (fnv1a(it->second.bytes.data(), it->second.bytes.size()) !=
-                it->second.hash) {
-                it = eraseEntry(it);
-                ++stats_.corruptions;
-                ++evicted;
-            } else {
-                ++it;
-            }
-        }
-        return evicted;
+        return tierScrub(entries_, stats_) +
+               tierScrub(layoutEntries_, layoutStats_);
     }
 
     /**
@@ -183,17 +184,19 @@ class ArtifactCache
     corruptStored(uint64_t key, Mutator &&mutate, bool rehash = false)
     {
         std::lock_guard<std::mutex> lock(mu_);
-        auto it = entries_.find(key);
-        if (it == entries_.end())
-            return false;
-        uint64_t before = it->second.bytes.size();
-        mutate(it->second.bytes);
-        stats_.storedBytes += it->second.bytes.size();
-        stats_.storedBytes -= before;
-        if (rehash)
-            it->second.hash =
-                fnv1a(it->second.bytes.data(), it->second.bytes.size());
-        return true;
+        return tierCorrupt(entries_, stats_, key,
+                           std::forward<Mutator>(mutate), rehash);
+    }
+
+    /** corruptStored for the layout tier (scrub-path integrity tests). */
+    template <typename Mutator>
+    bool
+    corruptStoredLayout(uint64_t key, Mutator &&mutate,
+                        bool rehash = false)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return tierCorrupt(layoutEntries_, layoutStats_, key,
+                           std::forward<Mutator>(mutate), rehash);
     }
 
     /** Presence test; does not count toward hit/miss statistics. */
@@ -204,20 +207,106 @@ class ArtifactCache
         return entries_.count(key) != 0;
     }
 
-    /** All stored keys, sorted (deterministic iteration for faults). */
+    /**
+     * All stored object-tier keys, sorted (deterministic iteration for
+     * faults; the fault injector's cached-object corruption class
+     * targets exactly this tier).
+     */
     std::vector<uint64_t>
     keys() const
     {
         std::lock_guard<std::mutex> lock(mu_);
-        std::vector<uint64_t> out;
-        out.reserve(entries_.size());
-        for (const auto &[key, entry] : entries_)
-            out.push_back(key);
-        std::sort(out.begin(), out.end());
-        return out;
+        return tierKeys(entries_);
+    }
+
+    /** All stored layout-tier keys, sorted. */
+    std::vector<uint64_t>
+    layoutKeys() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return tierKeys(layoutEntries_);
     }
 
     const CacheStats &stats() const { return stats_; }
+    const CacheStats &layoutStats() const { return layoutStats_; }
+
+    /** Zero the layout tier's hit/miss counters (per-run accounting
+     *  over a long-lived cache). */
+    void
+    resetLayoutCounters()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        layoutStats_.hits = 0;
+        layoutStats_.misses = 0;
+    }
+
+    /**
+     * Byte image of both tiers for cross-process warm reruns: magic
+     * "PAC1", per-tier entry counts, entries in sorted key order, and a
+     * trailing FNV-1a checksum over everything before it, so a damaged
+     * file is rejected as a whole rather than silently half-loaded
+     * (individual entries additionally carry their own content hashes,
+     * which lookup/scrub keep verifying after load).
+     */
+    std::vector<uint8_t>
+    serialize() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        std::vector<uint8_t> out;
+        out.push_back('P');
+        out.push_back('A');
+        out.push_back('C');
+        out.push_back('1');
+        putU64(out, entries_.size());
+        putU64(out, layoutEntries_.size());
+        tierSerialize(entries_, out);
+        tierSerialize(layoutEntries_, out);
+        putU64(out, fnv1a(out.data(), out.size()));
+        return out;
+    }
+
+    /**
+     * Replace this cache's contents with a serialized image.  Returns
+     * false (leaving the cache empty) on any structural damage or
+     * checksum mismatch.  Statistics count the loaded entries but keep
+     * zero hit/miss history.
+     */
+    bool
+    deserialize(const std::vector<uint8_t> &data)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        entries_.clear();
+        layoutEntries_.clear();
+        stats_ = CacheStats{};
+        layoutStats_ = CacheStats{};
+        if (data.size() < 4 + 8 * 3 || data[0] != 'P' ||
+            data[1] != 'A' || data[2] != 'C' || data[3] != '1')
+            return false;
+        uint64_t checksum = 0;
+        size_t tail = data.size() - 8;
+        for (int i = 0; i < 8; ++i)
+            checksum |= static_cast<uint64_t>(data[tail + i]) << (8 * i);
+        if (fnv1a(data.data(), tail) != checksum)
+            return false;
+        size_t pos = 4;
+        uint64_t nObjects = 0;
+        uint64_t nLayouts = 0;
+        if (!getU64(data, tail, pos, nObjects) ||
+            !getU64(data, tail, pos, nLayouts))
+            return false;
+        if (!tierDeserialize(data, tail, pos, nObjects, entries_,
+                             stats_) ||
+            !tierDeserialize(data, tail, pos, nLayouts, layoutEntries_,
+                             layoutStats_) ||
+            pos != tail) {
+            entries_.clear();
+            layoutEntries_.clear();
+            stats_ = CacheStats{};
+            layoutStats_ = CacheStats{};
+            return false;
+        }
+        return true;
+    }
 
   private:
     struct Entry
@@ -225,18 +314,165 @@ class ArtifactCache
         std::vector<uint8_t> bytes;
         uint64_t hash = 0; ///< fnv1a(bytes) at store time.
     };
+    using EntryMap = std::unordered_map<uint64_t, Entry>;
 
-    std::unordered_map<uint64_t, Entry>::iterator
-    eraseEntry(std::unordered_map<uint64_t, Entry>::iterator it)
+    static const std::vector<uint8_t> *
+    tierLookup(EntryMap &map, CacheStats &stats, uint64_t key)
     {
-        stats_.storedBytes -= it->second.bytes.size();
-        --stats_.entries;
-        return entries_.erase(it);
+        auto it = map.find(key);
+        if (it == map.end()) {
+            ++stats.misses;
+            return nullptr;
+        }
+        if (fnv1a(it->second.bytes.data(), it->second.bytes.size()) !=
+            it->second.hash) {
+            eraseEntry(map, stats, it);
+            ++stats.corruptions;
+            ++stats.misses;
+            return nullptr;
+        }
+        ++stats.hits;
+        return &it->second.bytes;
+    }
+
+    static void
+    tierPut(EntryMap &map, CacheStats &stats, uint64_t key,
+            std::vector<uint8_t> bytes)
+    {
+        uint64_t hash = fnv1a(bytes.data(), bytes.size());
+        auto it = map.find(key);
+        if (it != map.end()) {
+            stats.storedBytes -= it->second.bytes.size();
+            stats.storedBytes += bytes.size();
+            it->second.bytes = std::move(bytes);
+            it->second.hash = hash;
+            return;
+        }
+        stats.storedBytes += bytes.size();
+        ++stats.entries;
+        map.emplace(key, Entry{std::move(bytes), hash});
+    }
+
+    static uint64_t
+    tierScrub(EntryMap &map, CacheStats &stats)
+    {
+        uint64_t evicted = 0;
+        for (auto it = map.begin(); it != map.end();) {
+            if (fnv1a(it->second.bytes.data(),
+                      it->second.bytes.size()) != it->second.hash) {
+                it = eraseEntry(map, stats, it);
+                ++stats.corruptions;
+                ++evicted;
+            } else {
+                ++it;
+            }
+        }
+        return evicted;
+    }
+
+    template <typename Mutator>
+    static bool
+    tierCorrupt(EntryMap &map, CacheStats &stats, uint64_t key,
+                Mutator &&mutate, bool rehash)
+    {
+        auto it = map.find(key);
+        if (it == map.end())
+            return false;
+        uint64_t before = it->second.bytes.size();
+        mutate(it->second.bytes);
+        stats.storedBytes += it->second.bytes.size();
+        stats.storedBytes -= before;
+        if (rehash)
+            it->second.hash =
+                fnv1a(it->second.bytes.data(), it->second.bytes.size());
+        return true;
+    }
+
+    static std::vector<uint64_t>
+    tierKeys(const EntryMap &map)
+    {
+        std::vector<uint64_t> out;
+        out.reserve(map.size());
+        for (const auto &[key, entry] : map)
+            out.push_back(key);
+        std::sort(out.begin(), out.end());
+        return out;
+    }
+
+    static void
+    putU64(std::vector<uint8_t> &out, uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+
+    static bool
+    getU64(const std::vector<uint8_t> &in, size_t limit, size_t &pos,
+           uint64_t &v)
+    {
+        if (pos + 8 > limit)
+            return false;
+        v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<uint64_t>(in[pos + i]) << (8 * i);
+        pos += 8;
+        return true;
+    }
+
+    static void
+    tierSerialize(const EntryMap &map, std::vector<uint8_t> &out)
+    {
+        for (uint64_t key : tierKeys(map)) {
+            const Entry &entry = map.at(key);
+            putU64(out, key);
+            putU64(out, entry.hash);
+            putU64(out, entry.bytes.size());
+            out.insert(out.end(), entry.bytes.begin(),
+                       entry.bytes.end());
+        }
+    }
+
+    static bool
+    tierDeserialize(const std::vector<uint8_t> &data, size_t limit,
+                    size_t &pos, uint64_t count, EntryMap &map,
+                    CacheStats &stats)
+    {
+        for (uint64_t i = 0; i < count; ++i) {
+            uint64_t key = 0;
+            uint64_t hash = 0;
+            uint64_t size = 0;
+            if (!getU64(data, limit, pos, key) ||
+                !getU64(data, limit, pos, hash) ||
+                !getU64(data, limit, pos, size) ||
+                size > limit - pos)
+                return false;
+            Entry entry;
+            entry.bytes.assign(data.begin() + static_cast<long>(pos),
+                               data.begin() +
+                                   static_cast<long>(pos + size));
+            entry.hash = hash;
+            pos += size;
+            stats.storedBytes += entry.bytes.size();
+            ++stats.entries;
+            map.emplace(key, std::move(entry));
+        }
+        return true;
+    }
+
+    static EntryMap::iterator
+    eraseEntry(EntryMap &map, CacheStats &stats,
+               EntryMap::iterator it)
+    {
+        stats.storedBytes -= it->second.bytes.size();
+        --stats.entries;
+        return map.erase(it);
     }
 
     mutable std::mutex mu_;
-    std::unordered_map<uint64_t, Entry> entries_;
+    EntryMap entries_;
+    EntryMap layoutEntries_;
     CacheStats stats_;
+    CacheStats layoutStats_;
 };
 
 } // namespace propeller::buildsys

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <unordered_map>
 
 #include "linker/linker.h"
@@ -438,6 +439,49 @@ Workflow::boltInputBinary()
     return *boltInputBinary_;
 }
 
+void
+Workflow::overrideProfile(profile::Profile prof)
+{
+    PROPELLER_CHECK(!profile_,
+                    "overrideProfile after the profile was pulled");
+    profile_ = std::move(prof);
+
+    // The collection phase never ran; record a zero-cost stand-in so
+    // report("phase3.collect") stays well-defined for consumers.
+    PhaseReport report;
+    report.phase = "phase3.collect";
+    report.actions = 1;
+    reports_["phase3.collect"] = std::move(report);
+}
+
+bool
+Workflow::loadCacheFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    std::vector<uint8_t> data;
+    uint8_t buf[1 << 16];
+    size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        data.insert(data.end(), buf, buf + n);
+    std::fclose(f);
+    return cache_.deserialize(data);
+}
+
+bool
+Workflow::saveCacheFile(const std::string &path) const
+{
+    std::vector<uint8_t> data = cache_.serialize();
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    size_t written = std::fwrite(data.data(), 1, data.size(), f);
+    bool ok = written == data.size();
+    ok = std::fclose(f) == 0 && ok;
+    return ok;
+}
+
 const profile::Profile &
 Workflow::profile()
 {
@@ -637,90 +681,200 @@ Workflow::runRelinkGraph(RelinkStage target)
 
     sched::TaskGraph graph;
 
-    // ---- Phase 3: WPA as a per-function layout fan-out ------------------
+    // ---- Phase 3: staged profile ingestion + per-function layout --------
     //
-    // The graph's *shape* depends on the DCFG (one task per sampled
-    // function, function -> module release edges), so the DCFG builds on
-    // the coordinator before the graph is assembled; its cost still
-    // heads the modelled schedule as the root task below.
+    // Ingestion runs as first-class graph tasks (prepare -> aggregation
+    // shards -> merge; prepare -> index; -> map setup -> resolution
+    // shards -> apply), so decoding the profile overlaps whatever else
+    // the graph holds.  The per-function fan-out's *shape* depends on
+    // the DCFG the apply task produces, so the apply task adds the
+    // layout tasks dynamically — listing itself as their dependency so
+    // none is released until all successor edges are wired — and every
+    // codegen task takes a static edge from it.
     std::optional<core::WpaPipeline> pipe;
     std::vector<core::FunctionLayout> slots;
     std::vector<codegen::ClusterSpec> specs;
     core::LdProfile order;
     std::unordered_map<std::string, size_t> dcfgIndex;
     std::vector<sched::TaskId> layoutTask;
+    sched::TaskId applyTask = sched::kInvalidTask;
+    sched::TaskId orderTask = sched::kInvalidTask;
     sched::TaskId mergeTask = sched::kInvalidTask;
     const bool use_slots = need_wpa;
+    std::vector<sched::TaskId> codegenTask;
+    const uint64_t opts_fp =
+        core::layoutOptionsFingerprint(defaultLayoutOptions());
 
     if (need_wpa) {
         pipe.emplace(pm, prof, defaultLayoutOptions(), config_.jobs);
-        pipe->build();
-        const size_t nfn = pipe->functionCount();
-        slots.resize(nfn);
-        specs.resize(nfn);
-        layoutTask.resize(nfn);
 
-        uint64_t total_nodes = 0;
-        for (size_t f = 0; f < nfn; ++f) {
-            const core::FunctionDcfg &fn = pipe->dcfg().functions[f];
-            dcfgIndex.emplace(fn.function, f);
-            total_nodes += fn.nodes.size();
+        // The modelled profile-conversion cost, split across the
+        // ingestion stages in proportion to their real work so the
+        // stage sum matches the barrier engine's single formula.  The
+        // shard counts are pure functions of the profile and the
+        // worker count, never of the schedule.
+        profile::AggregationOptions agg_probe;
+        agg_probe.threads = config_.jobs;
+        const size_t agg_shards =
+            profile::aggregationShardCount(prof, agg_probe);
+        const size_t resolve_shards =
+            std::max<size_t>(1, limits_.workers * 4);
+        const double dcfg_cost =
+            static_cast<double>(prof.sizeInBytes()) *
+            cost_.wpaSecPerProfileByte;
+
+        sched::TaskId prepareTask = graph.add(
+            [&] { pipe->prepare(); },
+            {"dcfg.prepare", "phase3.wpa", 0.0});
+
+        std::vector<sched::TaskId> aggTask(agg_shards);
+        for (size_t s = 0; s < agg_shards; ++s) {
+            aggTask[s] = graph.add(
+                [&, s] { pipe->aggregateShard(s); },
+                {"agg#" + std::to_string(s), "phase3.wpa",
+                 dcfg_cost * 0.002 / static_cast<double>(agg_shards)});
+            graph.addEdge(prepareTask, aggTask[s]);
         }
 
-        // Profile aggregation and CFG mapping are per-shard parallel
-        // (the real build above ran them on `jobs` threads), so the
-        // model decomposes the DCFG cost into shard tasks feeding a
-        // zero-cost join; the total cost matches the barrier formula.
-        const size_t dcfg_shards =
-            std::max<size_t>(1, limits_.workers * 2);
-        double dcfg_cost = static_cast<double>(prof.sizeInBytes()) *
-                           cost_.wpaSecPerProfileByte;
-        sched::TaskId dcfg_task = graph.add(
-            [] {}, {"dcfg.join", "phase3.wpa", 0.0});
-        for (size_t s = 0; s < dcfg_shards; ++s) {
-            sched::TaskId shard = graph.add(
-                [] {},
-                {"dcfg#" + std::to_string(s), "phase3.wpa",
-                 dcfg_cost / static_cast<double>(dcfg_shards)});
-            graph.addEdge(shard, dcfg_task);
-        }
+        sched::TaskId aggMergeTask = graph.add(
+            [&] { pipe->mergeAggregation(); },
+            {"agg.merge", "phase3.wpa", 0.0});
+        for (size_t s = 0; s < agg_shards; ++s)
+            graph.addEdge(aggTask[s], aggMergeTask);
 
-        for (size_t f = 0; f < nfn; ++f) {
-            const core::FunctionDcfg &fn = pipe->dcfg().functions[f];
-            double share =
-                total_nodes == 0
-                    ? 0.0
-                    : static_cast<double>(fn.nodes.size()) /
-                          static_cast<double>(total_nodes);
-            layoutTask[f] = graph.add(
-                [&, f] {
-                    core::FunctionLayout fl = pipe->layoutFunction(f);
-                    // Codegen tasks read the spec while the merge task
-                    // consumes the slot, so the spec gets stable storage
-                    // of its own before either successor is released.
-                    specs[f] = fl.spec;
-                    slots[f] = std::move(fl);
+        sched::TaskId indexTask = graph.add(
+            [&] { pipe->buildIndex(); },
+            {"addrmap.index", "phase3.wpa", dcfg_cost * 0.010});
+        graph.addEdge(prepareTask, indexTask);
+
+        sched::TaskId mapSetupTask = graph.add(
+            [&] { pipe->beginMapping(); },
+            {"map.setup", "phase3.wpa", 0.0});
+        graph.addEdge(aggMergeTask, mapSetupTask);
+        graph.addEdge(indexTask, mapSetupTask);
+
+        std::vector<sched::TaskId> resolveTask(resolve_shards);
+        for (size_t k = 0; k < resolve_shards; ++k) {
+            resolveTask[k] = graph.add(
+                [&, k, resolve_shards] {
+                    pipe->resolveShard(k, resolve_shards);
                 },
-                {"layout:" + fn.function, "phase3.wpa",
-                 cost_.wpaSecPerHotFunction * static_cast<double>(nfn) *
-                     share});
-            graph.addEdge(dcfg_task, layoutTask[f]);
+                {"resolve#" + std::to_string(k), "phase3.wpa",
+                 dcfg_cost * 0.983 /
+                     static_cast<double>(resolve_shards)});
+            graph.addEdge(mapSetupTask, resolveTask[k]);
         }
 
-        sched::TaskId order_task = graph.add(
-            [&] { order = pipe->globalOrder(); },
-            {"order", "phase3.wpa",
-             cost_.wpaSecPerHotFunction * static_cast<double>(nfn) *
-                 0.1});
-        graph.addEdge(dcfg_task, order_task);
+        orderTask = graph.add(
+            [&] {
+                graph.setCost(
+                    orderTask,
+                    cost_.wpaSecPerHotFunction *
+                        static_cast<double>(pipe->functionCount()) *
+                        0.1);
+                order = pipe->globalOrder();
+            },
+            {"order", "phase3.wpa", 0.0});
 
         mergeTask = graph.add(
             [&] { wpa_ = pipe->finish(std::move(slots),
                                       std::move(order)); },
             {"wpa.merge", "phase3.wpa", 0.0});
-        for (size_t f = 0; f < nfn; ++f)
-            graph.addEdge(layoutTask[f], mergeTask);
-        graph.addEdge(order_task, mergeTask);
+        graph.addEdge(orderTask, mergeTask);
+
+        applyTask = graph.add(
+            [&] {
+                pipe->applyDcfg();
+                const size_t nfn = pipe->functionCount();
+                slots.resize(nfn);
+                specs.resize(nfn);
+                layoutTask.resize(nfn);
+
+                uint64_t total_nodes = 0;
+                for (size_t f = 0; f < nfn; ++f) {
+                    const core::FunctionDcfg &fn =
+                        pipe->dcfg().functions[f];
+                    dcfgIndex.emplace(fn.function, f);
+                    total_nodes += fn.nodes.size();
+                }
+
+                for (size_t f = 0; f < nfn; ++f) {
+                    const core::FunctionDcfg &fn =
+                        pipe->dcfg().functions[f];
+                    double share =
+                        total_nodes == 0
+                            ? 0.0
+                            : static_cast<double>(fn.nodes.size()) /
+                                  static_cast<double>(total_nodes);
+                    // The memo key: the function's CFG hash + profile
+                    // counts (layoutFingerprint) and the layout
+                    // options.  A warm hit decodes the cached layout —
+                    // byte-identical to recomputing it — and re-costs
+                    // the task as a cache fetch; a decode failure
+                    // evicts and recomputes.
+                    layoutTask[f] = graph.add(
+                        [&, f] {
+                            const uint64_t key = hashCombine(
+                                pipe->layoutFingerprint(f), opts_fp);
+                            bool hit = false;
+                            if (const std::vector<uint8_t> *bytes =
+                                    cache_.lookupLayout(key)) {
+                                core::FunctionLayout fl;
+                                if (core::decodeFunctionLayout(*bytes,
+                                                               fl)) {
+                                    graph.setCost(
+                                        layoutTask[f],
+                                        static_cast<double>(
+                                            bytes->size()) *
+                                            cost_
+                                                .fetchCachedSecPerByte);
+                                    // Codegen tasks read the spec while
+                                    // the merge task consumes the slot,
+                                    // so the spec gets stable storage of
+                                    // its own before either successor is
+                                    // released.
+                                    specs[f] = fl.spec;
+                                    slots[f] = std::move(fl);
+                                    hit = true;
+                                } else {
+                                    cache_.evictCorruptLayout(key);
+                                }
+                            }
+                            if (!hit) {
+                                core::FunctionLayout fl =
+                                    pipe->layoutFunction(f);
+                                cache_.putLayout(
+                                    key,
+                                    core::encodeFunctionLayout(fl));
+                                specs[f] = fl.spec;
+                                slots[f] = std::move(fl);
+                            }
+                        },
+                        {"layout:" + fn.function, "phase3.wpa",
+                         cost_.wpaSecPerHotFunction *
+                             static_cast<double>(nfn) * share},
+                        {applyTask});
+                    graph.addEdge(layoutTask[f], mergeTask);
+                }
+
+                // The tentpole edges: a module's backend re-runs the
+                // moment its last sampled function's layout lands.
+                // Wired here — the tasks exist only now — while every
+                // codegen task is still held by its static edge from
+                // this task.
+                for (size_t i = 0; i < codegenTask.size(); ++i) {
+                    for (const auto &fn : prog.modules[i]->functions) {
+                        auto it = dcfgIndex.find(fn->name);
+                        if (it != dcfgIndex.end())
+                            graph.addEdge(layoutTask[it->second],
+                                          codegenTask[i]);
+                    }
+                }
+            },
+            {"dcfg.apply", "phase3.wpa", dcfg_cost * 0.005});
+        for (size_t k = 0; k < resolve_shards; ++k)
+            graph.addEdge(resolveTask[k], applyTask);
+        graph.addEdge(applyTask, orderTask);
     }
 
     // ---- Phase 4: per-module codegen + per-object link assembly ---------
@@ -732,7 +886,6 @@ Workflow::runRelinkGraph(RelinkStage target)
     std::vector<std::string> retryLines;
     std::vector<double> missCosts;
     sched::OrderedSink sink;
-    std::vector<sched::TaskId> codegenTask;
     std::vector<sched::TaskId> assembleTask;
     sched::TaskId poLink = sched::kInvalidTask;
     linker::LinkStats poStats;
@@ -869,18 +1022,16 @@ Workflow::runRelinkGraph(RelinkStage target)
                 {"codegen:" + prog.modules[i]->name, "phase4.codegen",
                  0.0});
 
-            // The tentpole edge: a module's backend re-runs the moment
-            // its last sampled function's layout lands.  Modules with no
-            // sampled functions are roots — their cache hits stream
-            // while layout is still in flight.
-            if (need_wpa) {
-                for (const auto &fn : prog.modules[i]->functions) {
-                    auto it = dcfgIndex.find(fn->name);
-                    if (it != dcfgIndex.end())
-                        graph.addEdge(layoutTask[it->second],
-                                      codegenTask[i]);
-                }
-            }
+            // When this run computes WPA, every codegen task waits for
+            // the DCFG apply task: its submap reads dcfgIndex/specs,
+            // whose contents exist only after apply.  The apply task
+            // also wires the fine-grained layout -> codegen release
+            // edges (the tentpole: a module's backend re-runs the
+            // moment its last sampled function's layout lands), so a
+            // module starts as soon as those land — never behind
+            // unrelated functions' layouts.
+            if (need_wpa)
+                graph.addEdge(applyTask, codegenTask[i]);
         }
 
         for (size_t i = 0; i < nmod; ++i) {
@@ -1058,6 +1209,7 @@ Workflow::runRelinkGraph(RelinkStage target)
     sched::SchedulerOptions sopts;
     sopts.threads = config_.jobs;
     sopts.modelWorkers = limits_.workers;
+    sopts.fifoQueues = config_.fifoScheduler;
     sched::ScheduleReport sreport = sched::Scheduler(sopts).run(graph);
 
     // ---- Coordinator finalize: memoize + mode-identical reports ---------

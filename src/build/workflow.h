@@ -350,6 +350,33 @@ class Workflow
 
     const CacheStats &cacheStats() const { return cache_.stats(); }
 
+    /** Layout-memoization tier accounting (hit rate = the fraction of
+     *  per-function layouts served without re-running Ext-TSP). */
+    const CacheStats &layoutCacheStats() const
+    {
+        return cache_.layoutStats();
+    }
+
+    /**
+     * Seed the artifact cache (both tiers) from a serialized image on
+     * disk — the cross-process warm-rerun path.  Returns false if the
+     * file is absent, damaged, or fails the whole-image checksum; the
+     * cache is left empty in that case and the run proceeds cold.
+     * Must be called before the first product is pulled.
+     */
+    bool loadCacheFile(const std::string &path);
+
+    /** Persist the artifact cache image to @p path (for a later
+     *  loadCacheFile).  Returns false on I/O failure. */
+    bool saveCacheFile(const std::string &path) const;
+
+    /**
+     * Replace the Phase 3 profile with @p prof (drift-injection seam
+     * for incremental-relink experiments).  Must be called before the
+     * profile is first pulled; later calls are rejected.
+     */
+    void overrideProfile(profile::Profile prof);
+
   private:
     /** One per-module compile batch over the content cache. */
     struct CompileBatch

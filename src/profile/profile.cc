@@ -236,6 +236,36 @@ aggregate(const Profile &profile)
     return aggregate(profile, AggregationOptions{});
 }
 
+size_t
+aggregationShardCount(const Profile &profile,
+                      const AggregationOptions &opts)
+{
+    size_t n = profile.samples.size();
+    size_t per = std::max<uint32_t>(opts.samplesPerShard, 1);
+    return std::max<size_t>((n + per - 1) / per, 1);
+}
+
+void
+aggregateShardInto(const Profile &profile,
+                   const AggregationOptions &opts, size_t shard,
+                   AggregatedProfile &out)
+{
+    size_t n = profile.samples.size();
+    size_t per = std::max<uint32_t>(opts.samplesPerShard, 1);
+    aggregateRange(profile, shard * per,
+                   std::min(n, (shard + 1) * per), out);
+}
+
+AggregatedProfile
+mergeAggregationShards(std::vector<AggregatedProfile> &slots)
+{
+    AggregatedProfile agg =
+        slots.empty() ? AggregatedProfile{} : std::move(slots[0]);
+    for (size_t s = 1; s < slots.size(); ++s)
+        agg.merge(slots[s]);
+    return agg;
+}
+
 AggregatedProfile
 aggregate(const Profile &profile, const AggregationOptions &opts)
 {
@@ -243,23 +273,16 @@ aggregate(const Profile &profile, const AggregationOptions &opts)
     // per-shard maps are built by one worker each, then merged serially
     // in shard order, so the result — down to the hash maps' iteration
     // order — is independent of how many threads ran the shards.
-    size_t n = profile.samples.size();
-    size_t per = std::max<uint32_t>(opts.samplesPerShard, 1);
-    size_t shards = (n + per - 1) / per;
-    if (shards <= 1) {
-        AggregatedProfile agg;
-        aggregateRange(profile, 0, n, agg);
-        return agg;
-    }
+    size_t shards = aggregationShardCount(profile, opts);
     std::vector<AggregatedProfile> slots(shards);
+    if (shards <= 1) {
+        aggregateShardInto(profile, opts, 0, slots[0]);
+        return std::move(slots[0]);
+    }
     parallelFor(opts.threads, shards, [&](size_t s) {
-        aggregateRange(profile, s * per, std::min(n, (s + 1) * per),
-                       slots[s]);
+        aggregateShardInto(profile, opts, s, slots[s]);
     });
-    AggregatedProfile agg = std::move(slots[0]);
-    for (size_t s = 1; s < shards; ++s)
-        agg.merge(slots[s]);
-    return agg;
+    return mergeAggregationShards(slots);
 }
 
 } // namespace propeller::profile

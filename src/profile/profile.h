@@ -153,6 +153,26 @@ AggregatedProfile aggregate(const Profile &profile,
                             const AggregationOptions &opts);
 
 /**
+ * Staged aggregation, for schedulers that want each shard as its own
+ * task: the number of shards is a pure function of the profile size
+ * and `opts.samplesPerShard` (never of the thread count), each shard
+ * aggregates independently into its slot, and `mergeAggregationShards`
+ * folds the slots serially in shard order — byte-identical to
+ * `aggregate(profile, opts)` under any execution order of the shards.
+ */
+size_t aggregationShardCount(const Profile &profile,
+                             const AggregationOptions &opts);
+
+/** Aggregate shard @p shard (of aggregationShardCount) into @p out. */
+void aggregateShardInto(const Profile &profile,
+                        const AggregationOptions &opts, size_t shard,
+                        AggregatedProfile &out);
+
+/** Serial shard-order merge of per-shard slots (slot 0 is the base). */
+AggregatedProfile
+mergeAggregationShards(std::vector<AggregatedProfile> &slots);
+
+/**
  * PEBS-style data-cache miss profile (for the paper's section 3.5
  * software-prefetch extension): sampled miss counts per load site.
  */

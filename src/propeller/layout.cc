@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
+#include <limits>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "propeller/hfsort.h"
+#include "support/hash.h"
 #include "support/thread_pool.h"
 
 namespace propeller::core {
@@ -464,6 +467,127 @@ computeLayout(const WholeProgramDcfg &dcfg, const AddrMapIndex &index,
         intraProceduralLayout(ctx, jobs, result);
     }
     return result;
+}
+
+namespace {
+
+uint64_t
+doubleBits(double d)
+{
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    return bits;
+}
+
+void
+putU64(std::vector<uint8_t> &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+bool
+getU64(const std::vector<uint8_t> &in, size_t &pos, uint64_t &v)
+{
+    if (pos + 8 > in.size())
+        return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(in[pos + i]) << (8 * i);
+    pos += 8;
+    return true;
+}
+
+} // namespace
+
+uint64_t
+layoutOptionsFingerprint(const LayoutOptions &opts)
+{
+    uint64_t h = kFnvOffset;
+    h = hashCombine(h, opts.splitFunctions ? 1 : 0);
+    h = hashCombine(h, doubleBits(opts.hotThresholdFraction));
+    h = hashCombine(h, opts.interProcedural ? 1 : 0);
+    h = hashCombine(h, opts.interProcMinRunBlocks);
+    h = hashCombine(h, opts.reorderBlocks ? 1 : 0);
+    // The solver knobs change the search, and therefore the stats a
+    // memoized layout must reproduce, even where the final order ties.
+    h = hashCombine(h, opts.referenceSolver ? 1 : 0);
+    h = hashCombine(h, opts.extTsp.referenceSolver ? 1 : 0);
+    h = hashCombine(h, opts.extTsp.legacyRescore ? 1 : 0);
+    h = hashCombine(h, opts.extTsp.maxSplitChainLen);
+    h = hashCombine(h, doubleBits(opts.extTsp.fallthroughWeight));
+    h = hashCombine(h, doubleBits(opts.extTsp.forwardWeight));
+    h = hashCombine(h, doubleBits(opts.extTsp.backwardWeight));
+    h = hashCombine(h, opts.extTsp.forwardDistance);
+    h = hashCombine(h, opts.extTsp.backwardDistance);
+    return h;
+}
+
+std::vector<uint8_t>
+encodeFunctionLayout(const FunctionLayout &layout)
+{
+    std::vector<uint8_t> out;
+    putU64(out, layout.spec.clusters.size());
+    for (const auto &cluster : layout.spec.clusters) {
+        putU64(out, cluster.size());
+        for (uint32_t bb : cluster)
+            putU64(out, bb);
+    }
+    putU64(out, static_cast<uint64_t>(
+                    static_cast<int64_t>(layout.spec.coldIndex)));
+    putU64(out, layout.stats.merges);
+    putU64(out, layout.stats.candidateEvals);
+    putU64(out, layout.stats.retrievals);
+    putU64(out, layout.stats.heapPops);
+    putU64(out, layout.stats.staleSkips);
+    putU64(out, doubleBits(layout.stats.finalScore));
+    return out;
+}
+
+bool
+decodeFunctionLayout(const std::vector<uint8_t> &bytes,
+                     FunctionLayout &out)
+{
+    FunctionLayout decoded;
+    size_t pos = 0;
+    uint64_t nclusters = 0;
+    if (!getU64(bytes, pos, nclusters) ||
+        nclusters > bytes.size() / 8)
+        return false;
+    decoded.spec.clusters.resize(nclusters);
+    for (auto &cluster : decoded.spec.clusters) {
+        uint64_t n = 0;
+        if (!getU64(bytes, pos, n) || n > bytes.size() / 8)
+            return false;
+        cluster.reserve(n);
+        for (uint64_t i = 0; i < n; ++i) {
+            uint64_t bb = 0;
+            if (!getU64(bytes, pos, bb) ||
+                bb > std::numeric_limits<uint32_t>::max())
+                return false;
+            cluster.push_back(static_cast<uint32_t>(bb));
+        }
+    }
+    uint64_t cold = 0;
+    if (!getU64(bytes, pos, cold))
+        return false;
+    decoded.spec.coldIndex =
+        static_cast<int>(static_cast<int64_t>(cold));
+    uint64_t score_bits = 0;
+    if (!getU64(bytes, pos, decoded.stats.merges) ||
+        !getU64(bytes, pos, decoded.stats.candidateEvals) ||
+        !getU64(bytes, pos, decoded.stats.retrievals) ||
+        !getU64(bytes, pos, decoded.stats.heapPops) ||
+        !getU64(bytes, pos, decoded.stats.staleSkips) ||
+        !getU64(bytes, pos, score_bits))
+        return false;
+    std::memcpy(&decoded.stats.finalScore, &score_bits,
+                sizeof(score_bits));
+    if (pos != bytes.size())
+        return false;
+    out = std::move(decoded);
+    return true;
 }
 
 } // namespace propeller::core

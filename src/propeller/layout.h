@@ -94,6 +94,27 @@ struct FunctionLayout
 };
 
 /**
+ * Fingerprint of every LayoutOptions field that can change a
+ * per-function layout (doubles folded by bit pattern).  Part of the
+ * layout memoization cache key: two runs with the same CFG, counts and
+ * fingerprint must produce the same FunctionLayout.
+ */
+uint64_t layoutOptionsFingerprint(const LayoutOptions &opts);
+
+/**
+ * Lossless byte encoding of a FunctionLayout (cluster spec plus the
+ * solver stats, doubles by bit pattern) for the layout memoization
+ * tier of the artifact cache: a decoded warm hit reproduces the cold
+ * run's merge inputs exactly, so cc_prof/ld_prof and the aggregated
+ * ExtTspStats stay byte-identical.
+ */
+std::vector<uint8_t> encodeFunctionLayout(const FunctionLayout &layout);
+
+/** Decode; returns false on any truncation or trailing bytes. */
+bool decodeFunctionLayout(const std::vector<uint8_t> &bytes,
+                          FunctionLayout &out);
+
+/**
  * Decomposed intra-procedural layout: each function's Ext-TSP problem is
  * independent, so callers (the task-graph relink engine, the barrier
  * parallelFor loop) can run `layoutFunction` per function on any thread

@@ -117,47 +117,139 @@ class DcfgBuilder
 
 } // namespace
 
-WholeProgramDcfg
-buildDcfg(const profile::AggregatedProfile &agg, const AddrMapIndex &index,
-          MapperStats *stats_out, unsigned threads)
+struct DcfgMapper::Impl
 {
-    MapperStats stats;
-    DcfgBuilder builder(index);
+    const AddrMapIndex &index;
 
-    // The mapper splits each record kind into a read-only resolution
-    // phase (address lookups, range walks) that fans out over the thread
-    // pool into per-record slots, and a serial application phase that
-    // feeds the mutable builder in the aggregation maps' iteration order
-    // — the same order the fully serial mapper used, so the DCFG (whose
-    // node numbering is first-touch order) is identical at any thread
-    // count.
-
-    // ---- Taken-branch records -> branch and call edges ------------------
     struct BranchSlot
     {
+        uint64_t key = 0;
         uint64_t weight = 0;
         uint64_t to = 0;
         std::optional<BlockRef> rf;
         std::optional<BlockRef> rt;
     };
-    std::vector<BranchSlot> branch_slots(agg.branches.size());
+    std::vector<BranchSlot> branches;
+
+    struct RangeSlot
     {
-        std::vector<uint64_t> keys;
-        keys.reserve(agg.branches.size());
-        for (const auto &[key, weight] : agg.branches) {
-            keys.push_back(key);
-            branch_slots[keys.size() - 1].weight = weight;
-        }
-        parallelFor(threads, keys.size(), [&](size_t i) {
-            BranchSlot &slot = branch_slots[i];
-            uint64_t from = profile::AggregatedProfile::keyFrom(keys[i]);
-            slot.to = profile::AggregatedProfile::keyTo(keys[i]) |
-                      (from & 0xffffffff00000000ull);
-            slot.rf = index.lookup(from);
-            slot.rt = index.lookup(slot.to);
-        });
+        uint64_t key = 0;
+        uint64_t weight = 0;
+        bool unmapped = false;
+        bool truncated = false;
+        std::vector<std::pair<BlockRef, BlockRef>> hops;
+    };
+    std::vector<RangeSlot> ranges;
+
+    explicit Impl(const AddrMapIndex &idx) : index(idx) {}
+};
+
+DcfgMapper::DcfgMapper(const profile::AggregatedProfile &agg,
+                       const AddrMapIndex &index)
+    : impl_(std::make_unique<Impl>(index))
+{
+    // Snapshot the maps' iteration order: the serial application phase
+    // replays the slots in exactly this sequence, which is what makes
+    // first-touch node numbering independent of resolution scheduling.
+    impl_->branches.reserve(agg.branches.size());
+    for (const auto &[key, weight] : agg.branches) {
+        Impl::BranchSlot slot;
+        slot.key = key;
+        slot.weight = weight;
+        impl_->branches.push_back(std::move(slot));
     }
-    for (const BranchSlot &slot : branch_slots) {
+    impl_->ranges.reserve(agg.ranges.size());
+    for (const auto &[key, weight] : agg.ranges) {
+        Impl::RangeSlot slot;
+        slot.key = key;
+        slot.weight = weight;
+        impl_->ranges.push_back(std::move(slot));
+    }
+}
+
+DcfgMapper::~DcfgMapper() = default;
+
+size_t
+DcfgMapper::branchCount() const
+{
+    return impl_->branches.size();
+}
+
+size_t
+DcfgMapper::rangeCount() const
+{
+    return impl_->ranges.size();
+}
+
+void
+DcfgMapper::resolveBranches(size_t begin, size_t end)
+{
+    for (size_t i = begin; i < end && i < impl_->branches.size(); ++i) {
+        Impl::BranchSlot &slot = impl_->branches[i];
+        uint64_t from = profile::AggregatedProfile::keyFrom(slot.key);
+        slot.to = profile::AggregatedProfile::keyTo(slot.key) |
+                  (from & 0xffffffff00000000ull);
+        slot.rf = impl_->index.lookup(from);
+        slot.rt = impl_->index.lookup(slot.to);
+    }
+}
+
+void
+DcfgMapper::resolveRanges(size_t begin, size_t end)
+{
+    constexpr int kMaxWalk = 512;
+    for (size_t i = begin; i < end && i < impl_->ranges.size(); ++i) {
+        Impl::RangeSlot &slot = impl_->ranges[i];
+        uint64_t start = profile::AggregatedProfile::keyFrom(slot.key);
+        uint64_t end_addr = profile::AggregatedProfile::keyTo(slot.key) |
+                            (start & 0xffffffff00000000ull);
+        auto cur = impl_->index.lookup(start);
+        if (!cur || end_addr < start) {
+            slot.unmapped = true;
+            continue;
+        }
+        int steps = 0;
+        while (end_addr >= cur->blockEnd) {
+            if (++steps > kMaxWalk) {
+                slot.truncated = true;
+                break;
+            }
+            auto nxt = impl_->index.next(*cur);
+            if (!nxt || nxt->funcIndex != cur->funcIndex ||
+                nxt->blockStart != cur->blockEnd) {
+                // Gap or function boundary: inconsistent range (e.g.
+                // the sample raced a migration); drop the rest.
+                slot.truncated = true;
+                break;
+            }
+            slot.hops.emplace_back(*cur, *nxt);
+            cur = nxt;
+        }
+    }
+}
+
+void
+DcfgMapper::resolveShard(size_t shard, size_t shardCount)
+{
+    if (shardCount == 0)
+        return;
+    size_t nb = impl_->branches.size();
+    size_t nr = impl_->ranges.size();
+    resolveBranches(shard * nb / shardCount,
+                    (shard + 1) * nb / shardCount);
+    resolveRanges(shard * nr / shardCount,
+                  (shard + 1) * nr / shardCount);
+}
+
+WholeProgramDcfg
+DcfgMapper::apply(MapperStats *stats_out)
+{
+    const AddrMapIndex &index = impl_->index;
+    MapperStats stats;
+    DcfgBuilder builder(index);
+
+    // ---- Taken-branch records -> branch and call edges ------------------
+    for (const Impl::BranchSlot &slot : impl_->branches) {
         uint64_t weight = slot.weight;
         uint64_t to = slot.to;
         const std::optional<BlockRef> &rf = slot.rf;
@@ -201,52 +293,7 @@ buildDcfg(const profile::AggregatedProfile &agg, const AddrMapIndex &index,
     }
 
     // ---- Fall-through ranges -> fall-through edges -----------------------
-    constexpr int kMaxWalk = 512;
-    struct RangeSlot
-    {
-        uint64_t weight = 0;
-        bool unmapped = false;
-        bool truncated = false;
-        std::vector<std::pair<BlockRef, BlockRef>> hops;
-    };
-    std::vector<RangeSlot> range_slots(agg.ranges.size());
-    {
-        std::vector<uint64_t> keys;
-        keys.reserve(agg.ranges.size());
-        for (const auto &[key, weight] : agg.ranges) {
-            keys.push_back(key);
-            range_slots[keys.size() - 1].weight = weight;
-        }
-        parallelFor(threads, keys.size(), [&](size_t i) {
-            RangeSlot &slot = range_slots[i];
-            uint64_t start = profile::AggregatedProfile::keyFrom(keys[i]);
-            uint64_t end = profile::AggregatedProfile::keyTo(keys[i]) |
-                           (start & 0xffffffff00000000ull);
-            auto cur = index.lookup(start);
-            if (!cur || end < start) {
-                slot.unmapped = true;
-                return;
-            }
-            int steps = 0;
-            while (end >= cur->blockEnd) {
-                if (++steps > kMaxWalk) {
-                    slot.truncated = true;
-                    break;
-                }
-                auto nxt = index.next(*cur);
-                if (!nxt || nxt->funcIndex != cur->funcIndex ||
-                    nxt->blockStart != cur->blockEnd) {
-                    // Gap or function boundary: inconsistent range (e.g.
-                    // the sample raced a migration); drop the rest.
-                    slot.truncated = true;
-                    break;
-                }
-                slot.hops.emplace_back(*cur, *nxt);
-                cur = nxt;
-            }
-        });
-    }
-    for (const RangeSlot &slot : range_slots) {
+    for (const Impl::RangeSlot &slot : impl_->ranges) {
         if (slot.unmapped) {
             ++stats.unmappedRecords;
             continue;
@@ -321,6 +368,25 @@ buildDcfg(const profile::AggregatedProfile &agg, const AddrMapIndex &index,
     if (stats_out)
         *stats_out = stats;
     return graph;
+}
+
+WholeProgramDcfg
+buildDcfg(const profile::AggregatedProfile &agg, const AddrMapIndex &index,
+          MapperStats *stats_out, unsigned threads)
+{
+    // The mapper splits each record kind into a read-only resolution
+    // phase (address lookups, range walks) that fans out over the thread
+    // pool into per-record slots, and a serial application phase that
+    // feeds the mutable builder in the aggregation maps' iteration order
+    // — the same order the fully serial mapper used, so the DCFG (whose
+    // node numbering is first-touch order) is identical at any thread
+    // count.
+    DcfgMapper mapper(agg, index);
+    parallelFor(threads, mapper.branchCount(),
+                [&](size_t i) { mapper.resolveBranches(i, i + 1); });
+    parallelFor(threads, mapper.rangeCount(),
+                [&](size_t i) { mapper.resolveRanges(i, i + 1); });
+    return mapper.apply(stats_out);
 }
 
 } // namespace propeller::core

@@ -12,6 +12,8 @@
  * through the BB address map — no instruction bytes are inspected.
  */
 
+#include <memory>
+
 #include "profile/profile.h"
 #include "propeller/addr_map_index.h"
 #include "propeller/dcfg.h"
@@ -27,6 +29,51 @@ struct MapperStats
     uint64_t returnRecords = 0;   ///< Records mapped to returns (ignored).
     uint64_t unmappedRecords = 0; ///< Records outside the address map.
     uint64_t rangeWalkTruncated = 0;
+};
+
+/**
+ * Staged profile-to-DCFG mapper, for schedulers that want record
+ * resolution as independent tasks.
+ *
+ * The constructor snapshots the aggregation maps' iteration order into
+ * per-record slots; `resolveBranches` / `resolveRanges` (or the
+ * convenience `resolveShard`, which slices both arrays by fraction) do
+ * the read-only address lookups and fall-through range walks and may
+ * run concurrently over disjoint slices; `apply` then feeds the
+ * mutable DCFG builder serially in slot order.  Because node numbering
+ * is first-touch order over that fixed sequence, the resulting graph
+ * is byte-identical no matter how the resolution work was scheduled.
+ */
+class DcfgMapper
+{
+  public:
+    DcfgMapper(const profile::AggregatedProfile &agg,
+               const AddrMapIndex &index);
+    ~DcfgMapper();
+    DcfgMapper(const DcfgMapper &) = delete;
+    DcfgMapper &operator=(const DcfgMapper &) = delete;
+
+    size_t branchCount() const;
+    size_t rangeCount() const;
+
+    /** Resolve branch record slots [begin, end); thread-safe across
+     *  disjoint slices. */
+    void resolveBranches(size_t begin, size_t end);
+
+    /** Resolve fall-through range slots [begin, end); thread-safe
+     *  across disjoint slices. */
+    void resolveRanges(size_t begin, size_t end);
+
+    /** Resolve shard @p shard of @p shardCount fraction slices of both
+     *  record arrays. */
+    void resolveShard(size_t shard, size_t shardCount);
+
+    /** Serial application: all slots must be resolved. Call once. */
+    WholeProgramDcfg apply(MapperStats *stats = nullptr);
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
 };
 
 /**

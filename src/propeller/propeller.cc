@@ -1,8 +1,10 @@
 #include "propeller/propeller.h"
 
 #include <optional>
+#include <unordered_map>
 
 #include "propeller/addr_map_index.h"
+#include "support/hash.h"
 #include "support/thread_pool.h"
 
 namespace propeller::core {
@@ -27,14 +29,21 @@ struct WpaPipeline::Impl
     std::optional<LayoutContext> layout;
     uint64_t hotNodes = 0;
 
+    // Staged-ingestion state (alive between prepare() and applyDcfg()).
+    profile::AggregationOptions aggOpts;
+    std::vector<profile::AggregatedProfile> aggSlots;
+    std::optional<profile::AggregatedProfile> agg;
+    std::optional<DcfgMapper> mapper;
+    std::unordered_map<std::string, uint32_t> funcIndexByName;
+
     Impl(const linker::Executable &e, const profile::Profile &p,
          const LayoutOptions &o, unsigned j)
         : exe(e), prof(p), opts(o), jobs(j)
     {
     }
 
-    void
-    build()
+    WpaPipeline::IngestPlan
+    prepare()
     {
         // Identity check: a profile collected on a different build must
         // not be silently mis-mapped by address.  (Profiles without
@@ -47,26 +56,67 @@ struct WpaPipeline::Impl
         result.stats.profileBytes = prof.sizeInBytes();
         local.charge(result.stats.profileBytes * 2);
 
-        // Aggregation maps (branch and fall-through counts), built per
-        // shard on the thread pool and merged once in shard order.
-        profile::AggregationOptions agg_opts;
-        agg_opts.threads = jobs;
-        profile::AggregatedProfile agg = profile::aggregate(prof, agg_opts);
-        local.charge((agg.branches.size() + agg.ranges.size()) * 48);
+        aggOpts.threads = jobs;
+        WpaPipeline::IngestPlan plan;
+        plan.aggregationShards =
+            profile::aggregationShardCount(prof, aggOpts);
+        aggSlots.resize(plan.aggregationShards);
+        return plan;
+    }
 
+    void
+    aggregateShard(size_t shard)
+    {
+        profile::aggregateShardInto(prof, aggOpts, shard,
+                                    aggSlots[shard]);
+    }
+
+    void
+    mergeAggregation()
+    {
+        // Serial shard-order fold: the aggregation maps' iteration
+        // order — which everything downstream consumes — depends only
+        // on the profile and the shard size, never the schedule.
+        agg.emplace(profile::mergeAggregationShards(aggSlots));
+        aggSlots.clear();
+        aggSlots.shrink_to_fit();
+        local.charge((agg->branches.size() + agg->ranges.size()) * 48);
+    }
+
+    void
+    buildIndex()
+    {
         // The BB address map interval index (sanitizing construction:
         // functions with inconsistent metadata drop out here).
+        // Independent of the aggregation shards, so the schedule may
+        // overlap the two; the meter's charges are monotonic within the
+        // build, so the recorded peak is order independent.
         index.emplace(exe);
         result.stats.indexFootprint = index->footprint();
         result.stats.quarantinedFunctions = index->quarantined();
         result.stats.quarantined =
             static_cast<uint32_t>(index->quarantined().size());
         local.charge(result.stats.indexFootprint);
+        for (size_t i = 0; i < index->functionNames().size(); ++i)
+            funcIndexByName.emplace(index->functionNames()[i],
+                                    static_cast<uint32_t>(i));
+    }
 
+    void
+    beginMapping()
+    {
+        mapper.emplace(*agg, *index);
+    }
+
+    void
+    applyDcfg()
+    {
         // The whole-program DCFG: proportional to *sampled* code only —
         // this is the design property that bounds Phase 3 memory
         // (section 3.5).
-        dcfg.emplace(buildDcfg(agg, *index, &result.stats.mapper, jobs));
+        dcfg.emplace(mapper->apply(&result.stats.mapper));
+        mapper.reset();
+        agg.reset();
         result.stats.dcfgFootprint = dcfg->footprint();
         local.charge(result.stats.dcfgFootprint);
 
@@ -74,6 +124,66 @@ struct WpaPipeline::Impl
             hotNodes += fn.nodes.size();
         if (!opts.interProcedural)
             layout.emplace(*dcfg, *index, opts);
+    }
+
+    void
+    build()
+    {
+        WpaPipeline::IngestPlan plan = prepare();
+        parallelFor(jobs, plan.aggregationShards,
+                    [&](size_t s) { aggregateShard(s); });
+        mergeAggregation();
+        buildIndex();
+        beginMapping();
+        parallelFor(jobs, mapper->branchCount(), [&](size_t i) {
+            mapper->resolveBranches(i, i + 1);
+        });
+        parallelFor(jobs, mapper->rangeCount(), [&](size_t i) {
+            mapper->resolveRanges(i, i + 1);
+        });
+        applyDcfg();
+    }
+
+    uint64_t
+    layoutFingerprint(size_t f) const
+    {
+        const FunctionDcfg &fn = dcfg->functions[f];
+        // The name keeps keys distinct across structurally identical
+        // functions, so cold-run miss accounting is schedule-independent
+        // (a shared key would hit or miss depending on which function's
+        // layout landed in the cache first).
+        uint64_t h = fnv1a(fn.function);
+        auto it = funcIndexByName.find(fn.function);
+        if (it != funcIndexByName.end()) {
+            uint32_t fi = it->second;
+            // The v2 whole-function CFG hash (0 for v1 metadata) plus
+            // the block list the cluster sanitizer checks against.
+            h = hashCombine(h, index->functionHash(fi));
+            h = hashCombine(h, index->entryBlock(fi));
+            for (const BlockRef &b : index->blocksOf(fi)) {
+                h = hashCombine(h, b.bbId);
+                h = hashCombine(h, b.blockEnd - b.blockStart);
+                h = hashCombine(h, b.flags);
+            }
+        }
+        // The function's DCFG: shape plus the profile counts (the
+        // "profile-count digest" leg of the memo key).
+        h = hashCombine(h, fn.entryNode);
+        h = hashCombine(h, fn.nodes.size());
+        for (const DcfgNode &n : fn.nodes) {
+            h = hashCombine(h, n.bbId);
+            h = hashCombine(h, n.size);
+            h = hashCombine(h, n.freq);
+            h = hashCombine(h, n.flags);
+        }
+        h = hashCombine(h, fn.edges.size());
+        for (const DcfgEdge &e : fn.edges) {
+            h = hashCombine(h, e.fromNode);
+            h = hashCombine(h, e.toNode);
+            h = hashCombine(h, e.weight);
+            h = hashCombine(h, static_cast<uint64_t>(e.kind));
+        }
+        return h;
     }
 
     WpaResult
@@ -107,6 +217,54 @@ void
 WpaPipeline::build()
 {
     impl_->build();
+}
+
+WpaPipeline::IngestPlan
+WpaPipeline::prepare()
+{
+    return impl_->prepare();
+}
+
+void
+WpaPipeline::aggregateShard(size_t shard)
+{
+    impl_->aggregateShard(shard);
+}
+
+void
+WpaPipeline::mergeAggregation()
+{
+    impl_->mergeAggregation();
+}
+
+void
+WpaPipeline::buildIndex()
+{
+    impl_->buildIndex();
+}
+
+void
+WpaPipeline::beginMapping()
+{
+    impl_->beginMapping();
+}
+
+void
+WpaPipeline::resolveShard(size_t shard, size_t shardCount)
+{
+    impl_->mapper->resolveShard(shard, shardCount);
+}
+
+void
+WpaPipeline::applyDcfg()
+{
+    impl_->applyDcfg();
+}
+
+uint64_t
+WpaPipeline::layoutFingerprint(size_t f) const
+{
+    return impl_->layoutFingerprint(f);
 }
 
 const WholeProgramDcfg &

@@ -68,8 +68,23 @@ struct WpaResult
  *   globalOrder()            — hfsort, concurrent with the fan-out;
  *   finish(slots, order)     — ordered merge + memory accounting.
  *
- * The MemoryMeter charge sequence matches the monolithic path exactly,
- * so peakMemory is identical however the middle stages are scheduled.
+ * build() itself decomposes further for the task graph — profile
+ * ingestion as dependency-ordered stages instead of one serial prelude:
+ *
+ *   prepare()                — identity check, shard plan;
+ *   aggregateShard(s)        — per-shard counters, any thread/order;
+ *   mergeAggregation()       — serial shard-order fold;
+ *   buildIndex()             — BB address map index (independent of the
+ *                              aggregation shards);
+ *   beginMapping()           — snapshot records into mapper slots;
+ *   resolveShard(k, n)       — read-only record resolution slices;
+ *   applyDcfg()              — serial application, entry nodes, freqs.
+ *
+ * The MemoryMeter charge sequence matches the monolithic path exactly
+ * (charges are monotonic within a phase, so the peak is order
+ * independent), and every parallel stage writes disjoint slots, so
+ * peakMemory and the DCFG are identical however the stages are
+ * scheduled.
  */
 class WpaPipeline
 {
@@ -83,6 +98,41 @@ class WpaPipeline
 
     /** Aggregate + index + DCFG. Must run before any other stage. */
     void build();
+
+    /** Shard plan for the staged ingestion path. */
+    struct IngestPlan
+    {
+        /** Number of independent aggregation shard stages. */
+        size_t aggregationShards = 0;
+    };
+
+    /** Staged ingestion, stage 1: identity check + shard plan. */
+    IngestPlan prepare();
+    /** Aggregate one shard; thread-safe across distinct shards. */
+    void aggregateShard(size_t shard);
+    /** Serial shard-order fold of the aggregation slots. */
+    void mergeAggregation();
+    /** Build the BB address map index (independent of aggregation). */
+    void buildIndex();
+    /** Snapshot aggregated records into resolution slots; needs
+     *  mergeAggregation() and buildIndex(). */
+    void beginMapping();
+    /** Resolve record slice @p shard of @p shardCount; thread-safe
+     *  across distinct shards. */
+    void resolveShard(size_t shard, size_t shardCount);
+    /** Serial DCFG application; after this the pipeline is in the same
+     *  state build() leaves it. */
+    void applyDcfg();
+
+    /**
+     * Layout memoization key material for function @p f (DCFG index):
+     * folds the function's .bb_addr_map v2 CFG hash, its DCFG shape
+     * and profile counts, and the block list the cluster sanitizer
+     * sees.  Combined with layoutOptionsFingerprint this keys a cached
+     * FunctionLayout: equal fingerprints reproduce layoutFunction(f)
+     * exactly.
+     */
+    uint64_t layoutFingerprint(size_t f) const;
 
     const WholeProgramDcfg &dcfg() const;
     size_t functionCount() const;

@@ -1,15 +1,17 @@
 /**
  * @file
- * Work-stealing execution and deterministic virtual-time simulation.
+ * Work-stealing execution (critical-path priority deques, run-time
+ * graph growth) and deterministic virtual-time simulation.
  */
 
 #include "sched/sched.h"
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <condition_variable>
-#include <deque>
+#include <cstdio>
 #include <exception>
 #include <queue>
 #include <set>
@@ -21,6 +23,198 @@
 #include "support/thread_pool.h"
 
 namespace propeller::sched {
+
+namespace {
+
+/** Worker index of the current thread while a run is active. */
+thread_local size_t tlWorker = 0;
+
+} // namespace
+
+namespace detail {
+
+/** Shared state for the real (multithreaded) execution. */
+struct ExecState
+{
+    using Entry = std::pair<double, TaskId>; // (rank, id)
+
+    TaskGraph *graph = nullptr;
+    bool fifo = false;
+    std::atomic<size_t> remaining{0};
+    std::atomic<bool> failed{false};
+    std::mutex errorMu;
+    std::exception_ptr error;
+
+    struct WorkerQueue
+    {
+        std::mutex mu;
+        /** Priority mode: ascending rank (owner pops the back = the
+         *  highest rank, thieves take the low-rank front). FIFO mode:
+         *  plain release order (owner LIFO from the back). */
+        std::deque<Entry> q;
+    };
+    std::vector<WorkerQueue> queues;
+    std::mutex idleMu;
+    std::condition_variable idleCv;
+    std::atomic<uint64_t> steals{0};
+    std::atomic<uint64_t> stealAttempts{0};
+    std::vector<double> idleSec;
+
+    ExecState(TaskGraph &g, size_t workers, bool fifoQueues)
+        : graph(&g), fifo(fifoQueues), queues(workers),
+          idleSec(workers, 0.0)
+    {
+    }
+
+    void
+    insertSorted(std::deque<Entry> &q, Entry e)
+    {
+        if (fifo) {
+            q.push_back(e);
+            return;
+        }
+        auto pos = std::upper_bound(
+            q.begin(), q.end(), e.first,
+            [](double rank, const Entry &other) {
+                return rank < other.first;
+            });
+        q.insert(pos, e);
+    }
+
+    void
+    pushLocal(size_t worker, Entry e)
+    {
+        {
+            std::lock_guard<std::mutex> lock(queues[worker].mu);
+            insertSorted(queues[worker].q, e);
+        }
+        idleCv.notify_all();
+    }
+
+    bool
+    popLocal(size_t worker, Entry &out)
+    {
+        std::lock_guard<std::mutex> lock(queues[worker].mu);
+        if (queues[worker].q.empty())
+            return false;
+        out = queues[worker].q.back();
+        queues[worker].q.pop_back();
+        return true;
+    }
+
+    /**
+     * Steal half of a victim's deque from the front — the oldest tasks
+     * in FIFO mode, the lowest-rank tasks in priority mode (the owner
+     * keeps the critical path) — keep one to run and queue the rest
+     * locally.
+     */
+    bool
+    trySteal(size_t thief, Entry &out)
+    {
+        size_t n = queues.size();
+        for (size_t hop = 1; hop < n; ++hop) {
+            size_t victim = (thief + hop) % n;
+            stealAttempts.fetch_add(1, std::memory_order_relaxed);
+            std::vector<Entry> grabbed;
+            {
+                std::lock_guard<std::mutex> lock(queues[victim].mu);
+                auto &q = queues[victim].q;
+                if (q.empty())
+                    continue;
+                size_t take = (q.size() + 1) / 2;
+                grabbed.assign(q.begin(),
+                               q.begin() + static_cast<long>(take));
+                q.erase(q.begin(), q.begin() + static_cast<long>(take));
+            }
+            steals.fetch_add(1, std::memory_order_relaxed);
+            out = grabbed.front();
+            if (grabbed.size() > 1) {
+                std::lock_guard<std::mutex> lock(queues[thief].mu);
+                for (size_t i = 1; i < grabbed.size(); ++i)
+                    insertSorted(queues[thief].q, grabbed[i]);
+            }
+            if (grabbed.size() > 1)
+                idleCv.notify_all();
+            return true;
+        }
+        return false;
+    }
+
+    /** Release a task created at run time whose dependencies are all
+     *  satisfied; runs under the graph lock (called from add). */
+    void
+    enqueueFromAdd(double rank, TaskId id)
+    {
+        size_t worker = tlWorker < queues.size() ? tlWorker : 0;
+        pushLocal(worker, {rank, id});
+    }
+
+    void
+    execute(size_t worker, TaskId id)
+    {
+        TaskGraph::Task *task;
+        {
+            // Deque element references are stable, but operator[]
+            // itself races with run-time emplace_back — take the
+            // pointer under the graph lock.
+            std::lock_guard<std::mutex> lock(graph->mu_);
+            task = &graph->tasks_[id];
+        }
+        if (!failed.load(std::memory_order_acquire)) {
+            try {
+                if (task->fn)
+                    task->fn();
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(errorMu);
+                if (!error)
+                    error = std::current_exception();
+                failed.store(true, std::memory_order_release);
+            }
+        }
+        std::vector<Entry> ready;
+        {
+            // done + dependent release are one critical section, so an
+            // addEdge that observes done == false is guaranteed its
+            // increment is seen by this release loop.
+            std::lock_guard<std::mutex> lock(graph->mu_);
+            task->done = true;
+            for (TaskId dep : task->dependents) {
+                TaskGraph::Task &d = graph->tasks_[dep];
+                if (d.pendingRuntime > 0 && --d.pendingRuntime == 0)
+                    ready.push_back({d.rank, dep});
+            }
+        }
+        for (const Entry &e : ready)
+            pushLocal(worker, e);
+        if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+            idleCv.notify_all();
+    }
+
+    void
+    workerLoop(size_t worker)
+    {
+        tlWorker = worker;
+        while (remaining.load(std::memory_order_acquire) > 0) {
+            Entry e{0.0, kInvalidTask};
+            if (popLocal(worker, e) || trySteal(worker, e)) {
+                execute(worker, e.second);
+                continue;
+            }
+            auto t0 = std::chrono::steady_clock::now();
+            {
+                std::unique_lock<std::mutex> lock(idleMu);
+                idleCv.wait_for(lock, std::chrono::microseconds(200));
+            }
+            idleSec[worker] +=
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+        }
+        idleCv.notify_all();
+    }
+};
+
+} // namespace detail
 
 ScheduleReport::Window
 ScheduleReport::phaseWindow(const std::string &phase) const
@@ -44,25 +238,60 @@ ScheduleReport::phaseWindow(const std::string &phase) const
 TaskId
 TaskGraph::add(std::function<void()> fn, TaskOptions opts)
 {
-    Task task;
+    return add(std::move(fn), std::move(opts), {});
+}
+
+TaskId
+TaskGraph::add(std::function<void()> fn, TaskOptions opts,
+               const std::vector<TaskId> &deps)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    TaskId id = static_cast<TaskId>(tasks_.size());
+    tasks_.emplace_back();
+    Task &task = tasks_.back();
     task.fn = std::move(fn);
     task.label = std::move(opts.label);
     task.phase = std::move(opts.phase);
     task.costSec = opts.costSec;
-    tasks_.push_back(std::move(task));
-    return static_cast<TaskId>(tasks_.size() - 1);
+    task.rank = opts.costSec;
+    for (TaskId dep : deps) {
+        tasks_[dep].dependents.push_back(id);
+        ++task.dependencyCount;
+        if (!tasks_[dep].done)
+            ++task.pendingRuntime;
+    }
+    if (exec_) {
+        exec_->remaining.fetch_add(1, std::memory_order_acq_rel);
+        if (task.pendingRuntime == 0)
+            exec_->enqueueFromAdd(task.rank, id);
+    }
+    return id;
 }
 
 void
 TaskGraph::addEdge(TaskId before, TaskId after)
 {
-    tasks_[before].dependents.push_back(after);
-    ++tasks_[after].dependencyCount;
+    std::lock_guard<std::mutex> lock(mu_);
+    Task &b = tasks_[before];
+    Task &a = tasks_[after];
+    b.dependents.push_back(after);
+    ++a.dependencyCount;
+    if (!b.done) {
+        if (exec_ && a.pendingRuntime == 0)
+            throw std::logic_error(
+                "TaskGraph::addEdge at run time targets a task that "
+                "was already released");
+        ++a.pendingRuntime;
+    }
+    // One-level rank refinement: edges added at run time lift their
+    // upstream task's steal priority by the downstream chain.
+    b.rank = std::max(b.rank, b.costSec + a.rank);
 }
 
 void
 TaskGraph::setCost(TaskId id, double costSec)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     tasks_[id].costSec = costSec;
 }
 
@@ -85,10 +314,8 @@ namespace {
 
 /** Kahn topological order; throws if the graph has a cycle. */
 std::vector<TaskId>
-topologicalOrder(const TaskGraph &graph,
-                 const std::vector<TaskGraph::Task> &tasks)
+topologicalOrder(const std::deque<TaskGraph::Task> &tasks)
 {
-    (void)graph;
     std::vector<uint32_t> indeg(tasks.size());
     for (size_t i = 0; i < tasks.size(); ++i)
         indeg[i] = tasks[i].dependencyCount;
@@ -107,136 +334,9 @@ topologicalOrder(const TaskGraph &graph,
     return order;
 }
 
-/** Shared state for the real (multithreaded) execution. */
-struct ExecState
-{
-    std::vector<TaskGraph::Task> *tasks = nullptr;
-    std::vector<std::atomic<uint32_t>> pending;
-    std::atomic<size_t> remaining{0};
-    std::atomic<bool> failed{false};
-    std::mutex errorMu;
-    std::exception_ptr error;
-
-    struct WorkerQueue
-    {
-        std::mutex mu;
-        std::deque<TaskId> q;
-    };
-    std::vector<WorkerQueue> queues;
-    std::mutex idleMu;
-    std::condition_variable idleCv;
-    std::atomic<uint64_t> steals{0};
-    std::atomic<uint64_t> stealAttempts{0};
-
-    explicit ExecState(std::vector<TaskGraph::Task> &t, size_t workers)
-        : tasks(&t), pending(t.size()), queues(workers)
-    {
-        for (size_t i = 0; i < t.size(); ++i)
-            pending[i].store(t[i].dependencyCount,
-                             std::memory_order_relaxed);
-        remaining.store(t.size(), std::memory_order_relaxed);
-    }
-
-    void
-    pushLocal(size_t worker, TaskId id)
-    {
-        {
-            std::lock_guard<std::mutex> lock(queues[worker].mu);
-            queues[worker].q.push_back(id);
-        }
-        idleCv.notify_all();
-    }
-
-    bool
-    popLocal(size_t worker, TaskId &out)
-    {
-        std::lock_guard<std::mutex> lock(queues[worker].mu);
-        if (queues[worker].q.empty())
-            return false;
-        out = queues[worker].q.back();
-        queues[worker].q.pop_back();
-        return true;
-    }
-
-    /**
-     * Steal half of a victim's deque from the front (the oldest,
-     * coarsest tasks), keep one to run and queue the rest locally.
-     */
-    bool
-    trySteal(size_t thief, TaskId &out)
-    {
-        size_t n = queues.size();
-        for (size_t hop = 1; hop < n; ++hop) {
-            size_t victim = (thief + hop) % n;
-            stealAttempts.fetch_add(1, std::memory_order_relaxed);
-            std::vector<TaskId> grabbed;
-            {
-                std::lock_guard<std::mutex> lock(queues[victim].mu);
-                auto &q = queues[victim].q;
-                if (q.empty())
-                    continue;
-                size_t take = (q.size() + 1) / 2;
-                grabbed.assign(q.begin(),
-                               q.begin() + static_cast<long>(take));
-                q.erase(q.begin(), q.begin() + static_cast<long>(take));
-            }
-            steals.fetch_add(1, std::memory_order_relaxed);
-            out = grabbed.front();
-            if (grabbed.size() > 1) {
-                std::lock_guard<std::mutex> lock(queues[thief].mu);
-                for (size_t i = 1; i < grabbed.size(); ++i)
-                    queues[thief].q.push_back(grabbed[i]);
-            }
-            if (grabbed.size() > 1)
-                idleCv.notify_all();
-            return true;
-        }
-        return false;
-    }
-
-    void
-    execute(size_t worker, TaskId id)
-    {
-        TaskGraph::Task &task = (*tasks)[id];
-        if (!failed.load(std::memory_order_acquire)) {
-            try {
-                if (task.fn)
-                    task.fn();
-            } catch (...) {
-                std::lock_guard<std::mutex> lock(errorMu);
-                if (!error)
-                    error = std::current_exception();
-                failed.store(true, std::memory_order_release);
-            }
-        }
-        for (TaskId dep : task.dependents) {
-            if (pending[dep].fetch_sub(1, std::memory_order_acq_rel) ==
-                1)
-                pushLocal(worker, dep);
-        }
-        if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
-            idleCv.notify_all();
-    }
-
-    void
-    workerLoop(size_t worker)
-    {
-        while (remaining.load(std::memory_order_acquire) > 0) {
-            TaskId id = kInvalidTask;
-            if (popLocal(worker, id) || trySteal(worker, id)) {
-                execute(worker, id);
-                continue;
-            }
-            std::unique_lock<std::mutex> lock(idleMu);
-            idleCv.wait_for(lock, std::chrono::microseconds(200));
-        }
-        idleCv.notify_all();
-    }
-};
-
 /** Deterministic critical-path list scheduling on virtual workers. */
 void
-simulate(const std::vector<TaskGraph::Task> &tasks,
+simulate(const std::deque<TaskGraph::Task> &tasks,
          const std::vector<TaskId> &topo, unsigned workers,
          ScheduleReport &report)
 {
@@ -327,11 +427,48 @@ simulate(const std::vector<TaskGraph::Task> &tasks,
                 ready.insert({toExit[dep], dep});
     }
 
+    // Refined bound: every transitive ancestor of a task must finish
+    // before it starts (on at most `workers` workers), and the longest
+    // chain below it runs strictly after, so for any task t
+    //     makespan >= ancestorWork(t) / workers + toExit(t).
+    // Unlike max(CP, work/W) this sees structurally serial epilogues —
+    // e.g. a final link task that depends on every compile — whose idle
+    // cost no schedule can avoid.  Ancestor sets are exact (bitset
+    // transitive closure); skipped for very large graphs where the
+    // closure would dominate, falling back to the classical bound.
+    double refined = 0.0;
+    if (n <= 8192) {
+        const size_t words = (n + 63) / 64;
+        std::vector<uint64_t> anc(n * words, 0);
+        for (TaskId id : topo) {
+            const uint64_t *self = &anc[static_cast<size_t>(id) * words];
+            for (TaskId dep : tasks[id].dependents) {
+                uint64_t *dst = &anc[static_cast<size_t>(dep) * words];
+                for (size_t w = 0; w < words; ++w)
+                    dst[w] |= self[w];
+                dst[id / 64] |= uint64_t(1) << (id % 64);
+            }
+        }
+        for (size_t i = 0; i < n; ++i) {
+            double ancWork = 0.0;
+            const uint64_t *row = &anc[i * words];
+            for (size_t w = 0; w < words; ++w) {
+                uint64_t bits = row[w];
+                while (bits != 0) {
+                    size_t b = static_cast<size_t>(std::countr_zero(bits));
+                    bits &= bits - 1;
+                    ancWork += tasks[w * 64 + b].costSec;
+                }
+            }
+            refined = std::max(refined, ancWork / workers + toExit[i]);
+        }
+    }
+
     report.makespanSec = makespan;
     report.criticalPathSec = criticalPath;
     report.totalWorkSec = totalWork;
     report.lowerBoundSec =
-        std::max(criticalPath, totalWork / workers);
+        std::max({criticalPath, totalWork / workers, refined});
     report.parallelEfficiency =
         makespan > 0.0 ? totalWork / (workers * makespan) : 1.0;
     report.modelWorkers = workers;
@@ -344,7 +481,17 @@ ScheduleReport
 Scheduler::run(TaskGraph &graph)
 {
     auto &tasks = graph.tasks_;
-    std::vector<TaskId> topo = topologicalOrder(graph, tasks);
+    // Cycle check over the static graph (run-time additions are
+    // acyclic by the unreleased-target contract) and exact upward
+    // ranks for the steal priority.
+    std::vector<TaskId> topo = topologicalOrder(tasks);
+    for (size_t i = topo.size(); i-- > 0;) {
+        TaskId id = topo[i];
+        double best = 0.0;
+        for (TaskId dep : tasks[id].dependents)
+            best = std::max(best, tasks[dep].rank);
+        tasks[id].rank = tasks[id].costSec + best;
+    }
 
     unsigned threads = resolveThreadCount(opts_.threads);
     if (!tasks.empty())
@@ -355,70 +502,99 @@ Scheduler::run(TaskGraph &graph)
     ScheduleReport report;
     report.realThreads = threads;
 
-    if (threads == 1) {
-        // Inline release-order execution: FIFO over topological
-        // release, trivially deterministic.
-        std::exception_ptr error;
-        bool failed = false;
-        std::vector<uint32_t> indeg(tasks.size());
-        std::deque<TaskId> queue;
+    detail::ExecState state(graph, threads, opts_.fifoQueues);
+    state.remaining.store(tasks.size(), std::memory_order_relaxed);
+    graph.exec_ = &state;
+    // Seed the roots round-robin across worker deques, in id order,
+    // so every worker starts with local work.
+    {
+        size_t next = 0;
         for (size_t i = 0; i < tasks.size(); ++i) {
-            indeg[i] = tasks[i].dependencyCount;
-            if (indeg[i] == 0)
-                queue.push_back(static_cast<TaskId>(i));
-        }
-        while (!queue.empty()) {
-            TaskId id = queue.front();
-            queue.pop_front();
-            if (!failed) {
-                try {
-                    if (tasks[id].fn)
-                        tasks[id].fn();
-                } catch (...) {
-                    error = std::current_exception();
-                    failed = true;
-                }
-            }
-            for (TaskId dep : tasks[id].dependents)
-                if (--indeg[dep] == 0)
-                    queue.push_back(dep);
-        }
-        if (error)
-            std::rethrow_exception(error);
-    } else {
-        ExecState state(tasks, threads);
-        // Seed the roots round-robin across worker deques, in id
-        // order, so every worker starts with local work.
-        {
-            size_t next = 0;
-            for (size_t i = 0; i < tasks.size(); ++i) {
-                if (tasks[i].dependencyCount == 0) {
-                    std::lock_guard<std::mutex> lock(
-                        state.queues[next].mu);
-                    state.queues[next].q.push_back(
-                        static_cast<TaskId>(i));
-                    next = (next + 1) % threads;
-                }
+            if (tasks[i].pendingRuntime == 0) {
+                std::lock_guard<std::mutex> lock(
+                    state.queues[next].mu);
+                state.insertSorted(
+                    state.queues[next].q,
+                    {tasks[i].rank, static_cast<TaskId>(i)});
+                next = (next + 1) % threads;
             }
         }
-        std::vector<std::thread> pool;
-        pool.reserve(threads - 1);
-        for (unsigned w = 1; w < threads; ++w)
-            pool.emplace_back(
-                [&state, w] { state.workerLoop(w); });
-        state.workerLoop(0);
-        for (auto &t : pool)
-            t.join();
-        report.steals = state.steals.load();
-        report.stealAttempts = state.stealAttempts.load();
-        if (state.error)
-            std::rethrow_exception(state.error);
     }
+    std::vector<std::thread> pool;
+    pool.reserve(threads - 1);
+    for (unsigned w = 1; w < threads; ++w)
+        pool.emplace_back([&state, w] { state.workerLoop(w); });
+    state.workerLoop(0);
+    for (auto &t : pool)
+        t.join();
+    graph.exec_ = nullptr;
+    report.steals = state.steals.load();
+    report.stealAttempts = state.stealAttempts.load();
+    report.workerIdleSec = state.idleSec;
+    if (state.error)
+        std::rethrow_exception(state.error);
 
-    // Costs may have been refined from inside task bodies; the joins
-    // above order those writes before this read.
-    simulate(tasks, topo, std::max(opts_.modelWorkers, 1u), report);
+    // Costs may have been refined and tasks added from inside task
+    // bodies; the joins above order those writes before this read.
+    std::vector<TaskId> finalTopo = topologicalOrder(tasks);
+    simulate(tasks, finalTopo, std::max(opts_.modelWorkers, 1u),
+             report);
     return report;
+}
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        if (static_cast<unsigned char>(c) < 0x20) {
+            out += "?";
+            continue;
+        }
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+bool
+writeChromeTrace(const ScheduleReport &report, const std::string &path)
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fprintf(f, "{\"displayTimeUnit\": \"ms\",\n");
+    std::fprintf(f, " \"traceEvents\": [\n");
+    bool first = true;
+    for (uint32_t w = 0; w < report.modelWorkers; ++w) {
+        std::fprintf(f,
+                     "%s  {\"name\": \"thread_name\", \"ph\": \"M\", "
+                     "\"pid\": 0, \"tid\": %u, \"args\": {\"name\": "
+                     "\"worker %u\"}}",
+                     first ? "" : ",\n", w, w);
+        first = false;
+    }
+    for (const TaskSpan &span : report.spans) {
+        if (span.id == kInvalidTask)
+            continue;
+        std::fprintf(
+            f,
+            "%s  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+            "\"pid\": 0, \"tid\": %u, \"ts\": %.3f, \"dur\": %.3f}",
+            first ? "" : ",\n", jsonEscape(span.label).c_str(),
+            jsonEscape(span.phase).c_str(), span.worker,
+            span.startSec * 1e6, span.costSec * 1e6);
+        first = false;
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+    return true;
 }
 
 } // namespace propeller::sched

@@ -9,10 +9,14 @@
  * conflated:
  *
  *  - **Real execution.** Tasks run on a pool of workers with per-worker
- *    deques (owner pops LIFO from the back, thieves steal half from the
- *    front). A task becomes runnable the moment its last dependency
- *    completes — topological release, no phase barriers. Wall-clock
- *    speedup comes from here.
+ *    deques ordered by critical-path priority (upward rank): owners pop
+ *    the highest-rank task first, thieves steal the low-rank half from
+ *    the front, so the longest dependency chains drain first and the
+ *    makespan tracks the critical-path bound. A task becomes runnable
+ *    the moment its last dependency completes — topological release, no
+ *    phase barriers. `SchedulerOptions::fifoQueues` keeps the original
+ *    FIFO/LIFO deque discipline as an ablation. Wall-clock speedup
+ *    comes from here.
  *
  *  - **Modelled time.** Steal order is nondeterministic, so modelled
  *    spans and makespan are produced by a deterministic virtual-time
@@ -23,6 +27,16 @@
  *    costs, never on thread interleaving, so every schedule metric in
  *    `ScheduleReport` is reproducible at any thread count.
  *
+ * Tasks may grow the graph while it runs: `add(fn, opts, deps)` and
+ * `addEdge` are callable from inside a task body, which is how the
+ * workflow turns "how many functions are hot" — only known once the
+ * profile is ingested — into per-function layout tasks on the same
+ * schedule. Two contracts keep this sound: (a) an edge added at run
+ * time must target a task that is still unreleased (held by a static
+ * edge from the adding task), and (b) for the modelled schedule to stay
+ * deterministic, dynamic tasks must be created in a deterministic order
+ * (in practice: by a single adder task).
+ *
  * Determinism of *results* is the caller's contract: tasks write into
  * preallocated slots or commit through an `OrderedSink`, which runs
  * commit closures in strict sequence order regardless of completion
@@ -30,6 +44,7 @@
  */
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <limits>
 #include <map>
@@ -80,7 +95,15 @@ struct ScheduleReport
     double criticalPathSec = 0.0;
     /** Sum of all task costs. */
     double totalWorkSec = 0.0;
-    /** max(criticalPathSec, totalWorkSec / modelWorkers). */
+    /**
+     * Best provable bound on any schedule's makespan: the classical
+     * max(criticalPathSec, totalWorkSec / modelWorkers), strengthened
+     * by the ancestor-work bound — for every task, its transitive
+     * ancestors' total work divided by the worker count plus the
+     * longest chain from the task to an exit.  The last term charges
+     * for structurally serial epilogues (a final link depending on
+     * every compile) that the classical bound treats as free.
+     */
     double lowerBoundSec = 0.0;
     /** totalWorkSec / (modelWorkers * makespanSec); 1.0 = no idle. */
     double parallelEfficiency = 0.0;
@@ -91,6 +114,8 @@ struct ScheduleReport
     unsigned realThreads = 0;
     uint64_t steals = 0;
     uint64_t stealAttempts = 0;
+    /** Wall-clock seconds each real worker spent waiting for work. */
+    std::vector<double> workerIdleSec;
 
     /** Per-task modelled spans, in task-id order. */
     std::vector<TaskSpan> spans;
@@ -100,6 +125,16 @@ struct ScheduleReport
     criticalPathRatio() const
     {
         return lowerBoundSec > 0.0 ? makespanSec / lowerBoundSec : 1.0;
+    }
+
+    /** steals / stealAttempts; 1.0 when every probe found work. */
+    double
+    stealHitRate() const
+    {
+        return stealAttempts > 0
+                   ? static_cast<double>(steals) /
+                         static_cast<double>(stealAttempts)
+                   : 1.0;
     }
 
     /** [min start, max end] over the spans of one phase bucket. */
@@ -117,10 +152,15 @@ struct ScheduleReport
     Window phaseWindow(const std::string &phase) const;
 };
 
+namespace detail {
+struct ExecState;
+}
+
 /**
- * A dependency graph of runnable tasks. Build the full graph up front
- * (add tasks, then edges), hand it to Scheduler::run. Not reusable:
- * a graph runs once.
+ * A dependency graph of runnable tasks. Build the static graph up front
+ * (add tasks, then edges), hand it to Scheduler::run; task bodies may
+ * extend the graph while it runs via the dependency-taking `add`
+ * overload and `addEdge`. Not reusable: a graph runs once.
  */
 class TaskGraph
 {
@@ -128,7 +168,24 @@ class TaskGraph
     /** Add a task; returns its id (ids are dense, in creation order). */
     TaskId add(std::function<void()> fn, TaskOptions opts = {});
 
-    /** `after` cannot start until `before` has finished. */
+    /**
+     * Add a task depending on `deps`. Callable from inside a running
+     * task body: dependencies that already finished count as satisfied,
+     * and if all have, the task is enqueued on the calling worker
+     * immediately. Listing the currently running task as a dependency
+     * is the idiomatic way to release the new task only after its adder
+     * finishes (and after any addEdge calls that gate it further).
+     */
+    TaskId add(std::function<void()> fn, TaskOptions opts,
+               const std::vector<TaskId> &deps);
+
+    /**
+     * `after` cannot start until `before` has finished. Callable while
+     * the graph runs, provided `after` is still unreleased — in
+     * practice `after` must hold a pending edge from the task doing the
+     * adding. If `before` already finished, the edge is recorded for
+     * the model but is immediately satisfied.
+     */
     void addEdge(TaskId before, TaskId after);
 
     /**
@@ -138,7 +195,12 @@ class TaskGraph
      */
     void setCost(TaskId id, double costSec);
 
-    size_t size() const { return tasks_.size(); }
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return tasks_.size();
+    }
     double cost(TaskId id) const { return tasks_[id].costSec; }
     const std::string &phase(TaskId id) const { return tasks_[id].phase; }
 
@@ -150,12 +212,25 @@ class TaskGraph
         std::string phase;
         double costSec = 0.0;
         std::vector<TaskId> dependents;
+        /** Total dependency count, for the model's indegree. */
         uint32_t dependencyCount = 0;
+        /** Unfinished dependencies left; 0 = released to a queue. */
+        uint32_t pendingRuntime = 0;
+        /** Upward rank (cost + longest dependent chain), the steal
+         *  priority. Exact for the static graph, refined one level per
+         *  addEdge for tasks added at run time. */
+        double rank = 0.0;
+        bool done = false;
     };
 
   private:
     friend class Scheduler;
-    std::vector<Task> tasks_;
+    friend struct detail::ExecState;
+    /** Deque so Task references stay valid across run-time adds. */
+    std::deque<Task> tasks_;
+    mutable std::mutex mu_;
+    /** Live execution state while Scheduler::run is active. */
+    detail::ExecState *exec_ = nullptr;
 };
 
 struct SchedulerOptions
@@ -164,6 +239,11 @@ struct SchedulerOptions
     unsigned threads = 0;
     /** Virtual workers for the deterministic schedule model. */
     unsigned modelWorkers = 8;
+    /**
+     * Ablation: plain FIFO-release deques (owner LIFO, steal oldest)
+     * instead of critical-path-priority ordering.
+     */
+    bool fifoQueues = false;
 };
 
 /**
@@ -213,6 +293,15 @@ class OrderedSink
     std::map<uint64_t, std::function<void()>> pending_;
     uint64_t next_ = 0;
 };
+
+/**
+ * Write the modelled spans as Chrome trace_event JSON ("X" complete
+ * events, ts/dur in microseconds, tid = virtual worker) loadable in
+ * chrome://tracing or Perfetto. Returns false if the file cannot be
+ * written.
+ */
+bool writeChromeTrace(const ScheduleReport &report,
+                      const std::string &path);
 
 } // namespace propeller::sched
 

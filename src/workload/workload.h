@@ -116,6 +116,14 @@ struct WorkloadConfig
      */
     bool barrierScheduler = false;
 
+    /**
+     * Task-graph engine only: run worker queues in FIFO order instead
+     * of critical-path priority order.  Kept for ablation and for the
+     * scheduling-policy identity property tests; artifacts are
+     * byte-identical either way.
+     */
+    bool fifoScheduler = false;
+
     /** Paper Table 2 values for this benchmark (for the bench printout). */
     std::string paperText;
     std::string paperFuncs;

@@ -39,6 +39,90 @@ TEST(ArtifactCache, ContainsDoesNotCount)
     EXPECT_EQ(cache.stats().misses, 0u);
 }
 
+TEST(ArtifactCache, LayoutTierIsIndependentOfObjectTier)
+{
+    ArtifactCache cache;
+    cache.put(7, {1, 2});
+    cache.putLayout(7, {9, 9, 9});
+    const auto *obj = cache.lookup(7);
+    const auto *lay = cache.lookupLayout(7);
+    ASSERT_NE(obj, nullptr);
+    ASSERT_NE(lay, nullptr);
+    EXPECT_EQ(obj->size(), 2u);
+    EXPECT_EQ(lay->size(), 3u);
+    // Counters are per tier.
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.layoutStats().hits, 1u);
+    EXPECT_EQ(cache.layoutStats().misses, 0u);
+    EXPECT_EQ(cache.lookupLayout(8), nullptr);
+    EXPECT_EQ(cache.layoutStats().misses, 1u);
+    // keys() stays an object-tier view (fault injection targets it).
+    EXPECT_EQ(cache.keys().size(), 1u);
+    EXPECT_EQ(cache.layoutKeys().size(), 1u);
+}
+
+TEST(ArtifactCache, SerializeRoundTripsBothTiers)
+{
+    ArtifactCache cache;
+    cache.put(1, {10, 11});
+    cache.put(2, {12});
+    cache.putLayout(3, {13, 14, 15});
+    std::vector<uint8_t> image = cache.serialize();
+
+    ArtifactCache copy;
+    ASSERT_TRUE(copy.deserialize(image));
+    const auto *a = copy.lookup(1);
+    const auto *b = copy.lookup(2);
+    const auto *c = copy.lookupLayout(3);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(*a, (std::vector<uint8_t>{10, 11}));
+    EXPECT_EQ(*b, (std::vector<uint8_t>{12}));
+    EXPECT_EQ(*c, (std::vector<uint8_t>{13, 14, 15}));
+    // A second serialize of the restored cache is a fixpoint.
+    EXPECT_EQ(copy.serialize(), image);
+}
+
+TEST(ArtifactCache, DeserializeRejectsDamagedImages)
+{
+    ArtifactCache cache;
+    cache.put(1, {10, 11});
+    cache.putLayout(2, {20});
+    std::vector<uint8_t> image = cache.serialize();
+
+    // Bad magic, truncation, and a payload bit flip (checksum) must all
+    // be rejected, leaving the target cache empty rather than poisoned.
+    for (int damage = 0; damage < 3; ++damage) {
+        std::vector<uint8_t> bad = image;
+        if (damage == 0)
+            bad[0] ^= 0xff;
+        else if (damage == 1)
+            bad.resize(bad.size() / 2);
+        else
+            bad[bad.size() / 2] ^= 0x01;
+        ArtifactCache copy;
+        copy.put(42, {1});
+        EXPECT_FALSE(copy.deserialize(bad)) << "damage " << damage;
+        EXPECT_EQ(copy.lookup(42), nullptr) << "damage " << damage;
+        EXPECT_EQ(copy.keys().size(), 0u) << "damage " << damage;
+    }
+}
+
+TEST(ArtifactCache, CorruptLayoutIsEvictedNotServed)
+{
+    ArtifactCache cache;
+    cache.putLayout(5, {1, 2, 3, 4});
+    ASSERT_TRUE(cache.corruptStoredLayout(
+        5, [](std::vector<uint8_t> &bytes) { bytes[0] ^= 0xff; }));
+    // The tier's hash check catches the rot on lookup; the engine then
+    // evicts and recomputes.
+    EXPECT_EQ(cache.lookupLayout(5), nullptr);
+    cache.evictCorruptLayout(5);
+    EXPECT_EQ(cache.layoutKeys().size(), 0u);
+    EXPECT_GE(cache.layoutStats().corruptions, 1u);
+}
+
 TEST(CostModel, MakespanCombinesParallelismAndCriticalPath)
 {
     CostModel cost;

@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <mutex>
 #include <stdexcept>
 #include <string>
@@ -34,11 +35,13 @@ using sched::TaskGraph;
 using sched::TaskId;
 
 ScheduleReport
-runWith(TaskGraph &graph, unsigned threads, unsigned model_workers = 8)
+runWith(TaskGraph &graph, unsigned threads, unsigned model_workers = 8,
+        bool fifo = false)
 {
     SchedulerOptions opts;
     opts.threads = threads;
     opts.modelWorkers = model_workers;
+    opts.fifoQueues = fifo;
     return Scheduler(opts).run(graph);
 }
 
@@ -118,6 +121,51 @@ TEST(TaskGraph, ModelIsDeterministicAcrossThreadCounts)
     EXPECT_GE(r1.makespanSec, r1.lowerBoundSec);
 }
 
+TEST(TaskGraph, DynamicTasksAddedDuringRun)
+{
+    // A coordinator task that fans out work it discovers at runtime —
+    // the shape the relink engine uses for per-function layout tasks:
+    // children are added with deps={self} so none is released before
+    // the adder finishes wiring edges to the downstream join.
+    TaskGraph g;
+    constexpr size_t kChildren = 24;
+    std::vector<uint64_t> value(kChildren, 0);
+    std::atomic<size_t> ran{0};
+    uint64_t joined = 0;
+
+    TaskId join = g.add([&] {
+        uint64_t v = 0;
+        for (uint64_t x : value)
+            v = mix64(v, x);
+        joined = v;
+    });
+    TaskId fan = sched::kInvalidTask;
+    fan = g.add([&] {
+        for (size_t i = 0; i < kChildren; ++i) {
+            TaskId child = g.add(
+                [&, i] {
+                    value[i] = mix64(0x9e3779b97f4a7c15ull, i);
+                    ran.fetch_add(1);
+                },
+                {"child" + std::to_string(i), "dyn", 0.25}, {fan});
+            g.addEdge(child, join);
+        }
+    });
+    g.addEdge(fan, join);
+
+    ScheduleReport rep = runWith(g, 8);
+    EXPECT_EQ(ran.load(), kChildren);
+    EXPECT_EQ(rep.tasksExecuted, kChildren + 2);
+    uint64_t expect = 0;
+    for (size_t i = 0; i < kChildren; ++i)
+        expect = mix64(expect, mix64(0x9e3779b97f4a7c15ull, i));
+    EXPECT_EQ(joined, expect);
+    // The model schedules dynamic tasks too: 24 x 0.25s over 8 virtual
+    // workers is three full waves.
+    EXPECT_DOUBLE_EQ(rep.totalWorkSec, 6.0);
+    EXPECT_DOUBLE_EQ(rep.makespanSec, 0.75);
+}
+
 TEST(TaskGraph, SetCostFromTaskBodyFeedsTheModel)
 {
     TaskGraph g;
@@ -190,7 +238,7 @@ struct PropertyOutcome
 };
 
 PropertyOutcome
-runRandomDag(uint64_t seed, unsigned threads)
+runRandomDag(uint64_t seed, unsigned threads, bool fifo = false)
 {
     // Deterministic per-seed structure: ~36 tasks, each depending on up
     // to 3 earlier tasks.
@@ -231,7 +279,7 @@ runRandomDag(uint64_t seed, unsigned threads)
             g.addEdge(ids[d], ids[i]);
     }
 
-    ScheduleReport rep = runWith(g, threads);
+    ScheduleReport rep = runWith(g, threads, 8, fifo);
     PropertyOutcome out;
     out.resultHash = 0xcbf29ce484222325ull;
     for (uint64_t v : value)
@@ -262,6 +310,26 @@ TEST(SchedulerProperty, HundredSeedsIdenticalAcrossWorkerCounts)
     }
 }
 
+TEST(SchedulerProperty, HundredSeedsFifoMatchesPriority)
+{
+    // Queue policy (critical-path priority vs FIFO) changes only the
+    // real-time execution order, never the data a DAG computes, the
+    // attribution transcript, or the virtual-time model.
+    for (uint64_t seed = 1; seed <= 100; ++seed) {
+        PropertyOutcome pri = runRandomDag(seed, 8, /*fifo=*/false);
+        for (unsigned threads : {1u, 2u, 8u}) {
+            PropertyOutcome fifo = runRandomDag(seed, threads, true);
+            ASSERT_EQ(fifo.resultHash, pri.resultHash)
+                << "seed " << seed << " threads " << threads;
+            ASSERT_EQ(fifo.transcript, pri.transcript)
+                << "seed " << seed << " threads " << threads;
+            ASSERT_DOUBLE_EQ(fifo.makespanSec, pri.makespanSec)
+                << "seed " << seed << " threads " << threads;
+            ASSERT_EQ(fifo.tasksExecuted, pri.tasksExecuted);
+        }
+    }
+}
+
 // ---- Workflow-level identity ------------------------------------------
 
 /** Everything the relink engine ships, for equality comparison. */
@@ -277,12 +345,13 @@ struct EngineOutput
 };
 
 EngineOutput
-runEngine(unsigned jobs, bool barrier, bool faults)
+runEngine(unsigned jobs, bool barrier, bool faults, bool fifo = false)
 {
     workload::WorkloadConfig cfg = test::smallConfig(91);
     cfg.name = "schedtest";
     cfg.jobs = jobs;
     cfg.barrierScheduler = barrier;
+    cfg.fifoScheduler = fifo;
 
     faultinject::FaultSpec spec;
     spec.seed = 23;
@@ -339,6 +408,62 @@ TEST(EngineIdentity, TaskGraphIdenticalAcrossJobCounts)
         EXPECT_EQ(got.retries, base.retries);
         EXPECT_EQ(got.cacheCorruptions, base.cacheCorruptions);
     }
+}
+
+TEST(EngineIdentity, FifoQueuesShipIdenticalArtifacts)
+{
+    // The scheduling-policy ablation: FIFO worker queues vs
+    // critical-path priority queues must ship the same bytes and the
+    // same failure attribution at every job count, with and without
+    // fault injection.
+    for (bool faults : {false, true}) {
+        EngineOutput pri = runEngine(8, false, faults, /*fifo=*/false);
+        for (unsigned jobs : {1u, 2u, 8u}) {
+            EngineOutput fifo = runEngine(jobs, false, faults, true);
+            EXPECT_EQ(fifo.text, pri.text)
+                << "faults=" << faults << " jobs=" << jobs;
+            EXPECT_EQ(fifo.verifyText, pri.verifyText);
+            EXPECT_EQ(fifo.codegenFailures, pri.codegenFailures);
+            EXPECT_EQ(fifo.linkFailures, pri.linkFailures);
+            EXPECT_DOUBLE_EQ(fifo.codegenMakespan, pri.codegenMakespan);
+            EXPECT_EQ(fifo.retries, pri.retries);
+            EXPECT_EQ(fifo.cacheCorruptions, pri.cacheCorruptions);
+        }
+    }
+}
+
+TEST(EngineIdentity, WarmLayoutCacheRerunIsByteIdentical)
+{
+    // A second relink against the first run's persisted cache image
+    // must hit the layout memo for every function and still ship the
+    // same bytes at every job count.
+    const std::string path =
+        ::testing::TempDir() + "/sched_warm_cache.bin";
+    std::remove(path.c_str());
+
+    workload::WorkloadConfig cfg = test::smallConfig(91);
+    cfg.name = "schedtest";
+    cfg.jobs = 8;
+
+    buildsys::Workflow cold(cfg);
+    std::vector<uint8_t> cold_text = cold.propellerBinary().text;
+    const buildsys::CacheStats &cold_stats = cold.layoutCacheStats();
+    EXPECT_EQ(cold_stats.hits, 0u);
+    EXPECT_GT(cold_stats.misses, 0u);
+    ASSERT_TRUE(cold.saveCacheFile(path));
+
+    for (unsigned jobs : {1u, 2u, 8u}) {
+        workload::WorkloadConfig warm_cfg = cfg;
+        warm_cfg.jobs = jobs;
+        buildsys::Workflow warm(warm_cfg);
+        ASSERT_TRUE(warm.loadCacheFile(path));
+        EXPECT_EQ(warm.propellerBinary().text, cold_text)
+            << "jobs " << jobs;
+        const buildsys::CacheStats &ws = warm.layoutCacheStats();
+        EXPECT_EQ(ws.misses, 0u) << "jobs " << jobs;
+        EXPECT_EQ(ws.hits, cold_stats.misses) << "jobs " << jobs;
+    }
+    std::remove(path.c_str());
 }
 
 } // namespace

@@ -59,6 +59,9 @@ def main():
         "makespan_over_lower_bound", "speedup_over_barrier",
         "layout_speedup_4_threads", "cache_hit_rate", "retention",
         "false_positives", "false_negatives",
+        "steal_hit_rate_jobs8", "steal_attempts_jobs8",
+        "warm_layout_hit_rate", "warm_stage_speedup",
+        "drift_layout_hit_rate", "persisted_layout_hit_rate",
     ]
     summary = {}
     for name, data in merged.items():

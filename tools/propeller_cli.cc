@@ -90,6 +90,9 @@ std::string g_suppress;
 /** --json: render the verify report as the CI artifact JSON. */
 bool g_json = false;
 
+/** --trace-out FILE: dump the relink schedule as a Chrome trace. */
+std::string g_trace_out;
+
 /** Look up a workload and apply the global --jobs override. */
 workload::WorkloadConfig
 namedConfig(const std::string &name)
@@ -321,6 +324,17 @@ cmdRun(const std::string &name)
                     s.criticalPathRatio(), s.lowerBoundSec,
                     s.parallelEfficiency * 100.0,
                     static_cast<unsigned long long>(s.steals));
+        std::printf("  steal hit rate %.2f (%llu probes)\n",
+                    s.stealHitRate(),
+                    static_cast<unsigned long long>(s.stealAttempts));
+        if (!g_trace_out.empty()) {
+            if (sched::writeChromeTrace(s, g_trace_out))
+                std::printf("  wrote schedule trace to %s\n",
+                            g_trace_out.c_str());
+            else
+                std::printf("  FAILED writing schedule trace to %s\n",
+                            g_trace_out.c_str());
+        }
     }
 
     if (g_fault_requested) {
@@ -593,7 +607,11 @@ usage()
                 "                      addrmap=0.25,exec=0.1\n"
                 "  --suppress LIST     verify: mute check ids, e.g.\n"
                 "                      PV004,PV011\n"
-                "  --json              verify: emit the JSON report\n");
+                "  --json              verify: emit the JSON report\n"
+                "  --trace-out FILE    run: write the modelled relink\n"
+                "                      schedule as Chrome trace_event\n"
+                "                      JSON (open in chrome://tracing\n"
+                "                      or https://ui.perfetto.dev)\n");
     return 2;
 }
 
@@ -662,6 +680,10 @@ main(int argc, char **argv)
         }
         if (arg == "--json") {
             g_json = true;
+            continue;
+        }
+        if (arg == "--trace-out" && i + 1 < argc) {
+            g_trace_out = argv[++i];
             continue;
         }
         args.push_back(std::move(arg));

@@ -62,6 +62,17 @@ struct CacheStats
      */
     uint64_t corruptions = 0;
 
+    /**
+     * Layout tier only: lookups served through the input-digest alias
+     * index after the primary (exact memo key) lookup missed — a
+     * stale-matcher-primed reuse of a layout computed against an older
+     * binary version (see ArtifactCache::lookupLayoutPrimed).  A primed
+     * hit does not count toward hits/misses: the primary lookup already
+     * recorded its miss, and hitRate() keeps meaning "exact memo key
+     * hit rate".
+     */
+    uint64_t primedHits = 0;
+
     /** Fraction of lookups that hit; 0 when nothing was looked up. */
     double
     hitRate() const
@@ -118,12 +129,58 @@ class ArtifactCache
         return tierLookup(layoutEntries_, layoutStats_, key);
     }
 
-    /** Store (or replace) a layout artifact under @p key. */
+    /**
+     * Store (or replace) a layout artifact under @p key.  A nonzero
+     * @p digest (the function's layoutInputDigest, see layout.h)
+     * additionally registers the entry in the digest alias index so
+     * lookupLayoutPrimed() can find it after the function's exact memo
+     * key changed; the newest entry for a digest wins.
+     */
     void
-    putLayout(uint64_t key, std::vector<uint8_t> bytes)
+    putLayout(uint64_t key, std::vector<uint8_t> bytes,
+              uint64_t digest = 0)
     {
         std::lock_guard<std::mutex> lock(mu_);
-        tierPut(layoutEntries_, layoutStats_, key, std::move(bytes));
+        tierPut(layoutEntries_, layoutStats_, key, std::move(bytes),
+                digest);
+        if (digest != 0)
+            layoutAlias_[digest] = key;
+    }
+
+    /**
+     * Primed lookup for the layout tier: find an entry whose *input
+     * digest* matches — the exact memo key may belong to a different
+     * (older) binary version, but equal digests mean the layout pass
+     * would read identical inputs, so the cached result is reusable
+     * verbatim.  Counts CacheStats::primedHits on success and never
+     * touches hits/misses (callers only try this after the primary
+     * lookup already counted its miss).
+     *
+     * @return the stored bytes, or nullptr if no (valid) entry carries
+     *         @p digest.  Corrupt entries are evicted and counted as
+     *         with lookupLayout().
+     */
+    const std::vector<uint8_t> *
+    lookupLayoutPrimed(uint64_t digest)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto alias = layoutAlias_.find(digest);
+        if (alias == layoutAlias_.end())
+            return nullptr;
+        auto it = layoutEntries_.find(alias->second);
+        if (it == layoutEntries_.end()) {
+            // Dangling alias: the entry was evicted since registration.
+            layoutAlias_.erase(alias);
+            return nullptr;
+        }
+        if (fnv1a(it->second.bytes.data(), it->second.bytes.size()) !=
+            it->second.hash) {
+            eraseEntry(layoutEntries_, layoutStats_, it);
+            ++layoutStats_.corruptions;
+            return nullptr;
+        }
+        ++layoutStats_.primedHits;
+        return &it->second.bytes;
     }
 
     /** evictCorrupt for the layout tier (decode-level damage). */
@@ -230,23 +287,27 @@ class ArtifactCache
     const CacheStats &stats() const { return stats_; }
     const CacheStats &layoutStats() const { return layoutStats_; }
 
-    /** Zero the layout tier's hit/miss counters (per-run accounting
-     *  over a long-lived cache). */
+    /** Zero the layout tier's hit/miss/primed counters (per-run
+     *  accounting over a long-lived cache). */
     void
     resetLayoutCounters()
     {
         std::lock_guard<std::mutex> lock(mu_);
         layoutStats_.hits = 0;
         layoutStats_.misses = 0;
+        layoutStats_.primedHits = 0;
     }
 
     /**
      * Byte image of both tiers for cross-process warm reruns: magic
-     * "PAC1", per-tier entry counts, entries in sorted key order, and a
-     * trailing FNV-1a checksum over everything before it, so a damaged
-     * file is rejected as a whole rather than silently half-loaded
-     * (individual entries additionally carry their own content hashes,
-     * which lookup/scrub keep verifying after load).
+     * "PAC2", per-tier entry counts, entries in sorted key order (each
+     * carrying its digest alias key, so the primed index survives the
+     * round trip), and a trailing FNV-1a checksum over everything
+     * before it, so a damaged file is rejected as a whole rather than
+     * silently half-loaded (individual entries additionally carry their
+     * own content hashes, which lookup/scrub keep verifying after
+     * load).  Pre-digest "PAC1" images are rejected — a cold rebuild,
+     * not a correctness hazard.
      */
     std::vector<uint8_t>
     serialize() const
@@ -256,7 +317,7 @@ class ArtifactCache
         out.push_back('P');
         out.push_back('A');
         out.push_back('C');
-        out.push_back('1');
+        out.push_back('2');
         putU64(out, entries_.size());
         putU64(out, layoutEntries_.size());
         tierSerialize(entries_, out);
@@ -277,10 +338,11 @@ class ArtifactCache
         std::lock_guard<std::mutex> lock(mu_);
         entries_.clear();
         layoutEntries_.clear();
+        layoutAlias_.clear();
         stats_ = CacheStats{};
         layoutStats_ = CacheStats{};
         if (data.size() < 4 + 8 * 3 || data[0] != 'P' ||
-            data[1] != 'A' || data[2] != 'C' || data[3] != '1')
+            data[1] != 'A' || data[2] != 'C' || data[3] != '2')
             return false;
         uint64_t checksum = 0;
         size_t tail = data.size() - 8;
@@ -305,6 +367,9 @@ class ArtifactCache
             layoutStats_ = CacheStats{};
             return false;
         }
+        for (const auto &[key, entry] : layoutEntries_)
+            if (entry.digest != 0)
+                layoutAlias_[entry.digest] = key;
         return true;
     }
 
@@ -312,7 +377,8 @@ class ArtifactCache
     struct Entry
     {
         std::vector<uint8_t> bytes;
-        uint64_t hash = 0; ///< fnv1a(bytes) at store time.
+        uint64_t hash = 0;   ///< fnv1a(bytes) at store time.
+        uint64_t digest = 0; ///< Layout-input digest alias key (0 = none).
     };
     using EntryMap = std::unordered_map<uint64_t, Entry>;
 
@@ -337,7 +403,7 @@ class ArtifactCache
 
     static void
     tierPut(EntryMap &map, CacheStats &stats, uint64_t key,
-            std::vector<uint8_t> bytes)
+            std::vector<uint8_t> bytes, uint64_t digest = 0)
     {
         uint64_t hash = fnv1a(bytes.data(), bytes.size());
         auto it = map.find(key);
@@ -346,11 +412,12 @@ class ArtifactCache
             stats.storedBytes += bytes.size();
             it->second.bytes = std::move(bytes);
             it->second.hash = hash;
+            it->second.digest = digest;
             return;
         }
         stats.storedBytes += bytes.size();
         ++stats.entries;
-        map.emplace(key, Entry{std::move(bytes), hash});
+        map.emplace(key, Entry{std::move(bytes), hash, digest});
     }
 
     static uint64_t
@@ -425,6 +492,7 @@ class ArtifactCache
         for (uint64_t key : tierKeys(map)) {
             const Entry &entry = map.at(key);
             putU64(out, key);
+            putU64(out, entry.digest);
             putU64(out, entry.hash);
             putU64(out, entry.bytes.size());
             out.insert(out.end(), entry.bytes.begin(),
@@ -439,9 +507,11 @@ class ArtifactCache
     {
         for (uint64_t i = 0; i < count; ++i) {
             uint64_t key = 0;
+            uint64_t digest = 0;
             uint64_t hash = 0;
             uint64_t size = 0;
             if (!getU64(data, limit, pos, key) ||
+                !getU64(data, limit, pos, digest) ||
                 !getU64(data, limit, pos, hash) ||
                 !getU64(data, limit, pos, size) ||
                 size > limit - pos)
@@ -451,6 +521,7 @@ class ArtifactCache
                                data.begin() +
                                    static_cast<long>(pos + size));
             entry.hash = hash;
+            entry.digest = digest;
             pos += size;
             stats.storedBytes += entry.bytes.size();
             ++stats.entries;
@@ -471,6 +542,17 @@ class ArtifactCache
     mutable std::mutex mu_;
     EntryMap entries_;
     EntryMap layoutEntries_;
+
+    /**
+     * digest -> primary layout key.  Rebuilt on deserialize; entries
+     * evicted later leave dangling aliases that lookupLayoutPrimed()
+     * lazily prunes.  When two entries carry the same digest their
+     * bytes are identical by construction (equal layout inputs produce
+     * equal encoded layouts), so which one the alias resolves to never
+     * changes what gets served.
+     */
+    std::unordered_map<uint64_t, uint64_t> layoutAlias_;
+
     CacheStats stats_;
     CacheStats layoutStats_;
 };

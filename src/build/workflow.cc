@@ -454,6 +454,29 @@ Workflow::overrideProfile(profile::Profile prof)
     reports_["phase3.collect"] = std::move(report);
 }
 
+void
+Workflow::overrideProgram(ir::Program prog)
+{
+    PROPELLER_CHECK(!program_,
+                    "overrideProgram after the program was pulled");
+    program_ = std::move(prog);
+}
+
+void
+Workflow::overrideDcfg(core::WholeProgramDcfg dcfg)
+{
+    PROPELLER_CHECK(!wpa_, "overrideDcfg after the WPA ran");
+    dcfgOverride_ = std::move(dcfg);
+}
+
+void
+Workflow::setLayoutPrimeFunctions(std::set<std::string> functions)
+{
+    PROPELLER_CHECK(!wpa_,
+                    "setLayoutPrimeFunctions after the WPA ran");
+    primeFns_ = std::move(functions);
+}
+
 bool
 Workflow::loadCacheFile(const std::string &path)
 {
@@ -516,6 +539,13 @@ Workflow::profile()
                     std::to_string(sstats.shardsRejected) + "/" +
                     std::to_string(sstats.shardsTotal) + " (" +
                     sstats.firstError + ")");
+            if (sstats.distinctVersions > 1)
+                report.failures.push_back(
+                    "profile shards span " +
+                    std::to_string(sstats.distinctVersions) +
+                    " binary versions; route per-version through the "
+                    "stale matcher (fleet serve) instead of merging "
+                    "by address");
         }
         reports_["phase3.collect"] = std::move(report);
     }
@@ -549,6 +579,25 @@ Workflow::wpa()
     if (!wpa_) {
         if (usesTaskGraph()) {
             runRelinkGraph(RelinkStage::Wpa);
+        } else if (dcfgOverride_) {
+            // Barrier engine with an injected DCFG: run the same staged
+            // pipeline the default path wraps, substituting the DCFG at
+            // applyDcfg() (intra-procedural only, like the fan-out
+            // below).
+            core::WpaPipeline pipeline(metadataBinary(), profile(),
+                                       defaultLayoutOptions(),
+                                       config_.jobs);
+            pipeline.overrideDcfg(std::move(*dcfgOverride_));
+            dcfgOverride_.reset();
+            pipeline.build();
+            std::vector<core::FunctionLayout> slots(
+                pipeline.functionCount());
+            parallelFor(config_.jobs, slots.size(), [&](size_t f) {
+                slots[f] = pipeline.layoutFunction(f);
+            });
+            wpa_ = pipeline.finish(std::move(slots),
+                                   pipeline.globalOrder());
+            recordWpaReport();
         } else {
             wpa_ = core::runWholeProgramAnalysis(
                 metadataBinary(), profile(), defaultLayoutOptions(),
@@ -707,6 +756,10 @@ Workflow::runRelinkGraph(RelinkStage target)
 
     if (need_wpa) {
         pipe.emplace(pm, prof, defaultLayoutOptions(), config_.jobs);
+        if (dcfgOverride_) {
+            pipe->overrideDcfg(std::move(*dcfgOverride_));
+            dcfgOverride_.reset();
+        }
 
         // The modelled profile-conversion cost, split across the
         // ingestion stages in proportion to their real work so the
@@ -816,6 +869,8 @@ Workflow::runRelinkGraph(RelinkStage target)
                         [&, f] {
                             const uint64_t key = hashCombine(
                                 pipe->layoutFingerprint(f), opts_fp);
+                            const uint64_t digest = hashCombine(
+                                pipe->layoutInputDigest(f), opts_fp);
                             bool hit = false;
                             if (const std::vector<uint8_t> *bytes =
                                     cache_.lookupLayout(key)) {
@@ -840,12 +895,45 @@ Workflow::runRelinkGraph(RelinkStage target)
                                     cache_.evictCorruptLayout(key);
                                 }
                             }
+                            // Primed fallback: the exact memo key
+                            // changed (code drift), but the stale
+                            // matcher vouched for this function and an
+                            // entry with identical *layout inputs*
+                            // exists — reuse it and re-home it under
+                            // the new key so the next run hits
+                            // primary.
+                            if (!hit &&
+                                primeFns_.count(pipe->dcfg()
+                                                    .functions[f]
+                                                    .function) != 0) {
+                                const std::vector<uint8_t> *bytes =
+                                    cache_.lookupLayoutPrimed(digest);
+                                core::FunctionLayout fl;
+                                if (bytes != nullptr &&
+                                    core::decodeFunctionLayout(*bytes,
+                                                               fl)) {
+                                    graph.setCost(
+                                        layoutTask[f],
+                                        static_cast<double>(
+                                            bytes->size()) *
+                                            cost_
+                                                .fetchCachedSecPerByte);
+                                    std::vector<uint8_t> copy = *bytes;
+                                    cache_.putLayout(key,
+                                                     std::move(copy),
+                                                     digest);
+                                    specs[f] = fl.spec;
+                                    slots[f] = std::move(fl);
+                                    hit = true;
+                                }
+                            }
                             if (!hit) {
                                 core::FunctionLayout fl =
                                     pipe->layoutFunction(f);
                                 cache_.putLayout(
                                     key,
-                                    core::encodeFunctionLayout(fl));
+                                    core::encodeFunctionLayout(fl),
+                                    digest);
                                 specs[f] = fl.spec;
                                 slots[f] = std::move(fl);
                             }

@@ -377,6 +377,34 @@ class Workflow
      */
     void overrideProfile(profile::Profile prof);
 
+    /**
+     * Supply the Phase 1 program instead of generating it from the
+     * workload config — the fleet service's seam for relinking a
+     * specific (drifted) binary version.  Must be called before the
+     * program is first pulled.
+     */
+    void overrideProgram(ir::Program prog);
+
+    /**
+     * Replace the WPA DCFG: the relink's layout runs over @p dcfg
+     * instead of the DCFG mapped from the profile (see
+     * core::WpaPipeline::overrideDcfg).  The fleet service injects its
+     * rolling multi-version aggregate here — already expressed in the
+     * target's block-id space — paired with overrideProfile() carrying
+     * only the identity stamp.  Must be called before the WPA runs.
+     */
+    void overrideDcfg(core::WholeProgramDcfg dcfg);
+
+    /**
+     * Functions eligible for *primed* layout-cache lookups: on an exact
+     * memo-key miss for a function named here, the relink additionally
+     * probes the layout tier by input digest (ArtifactCache::
+     * lookupLayoutPrimed) before recomputing Ext-TSP.  The fleet
+     * service fills this with the stale matcher's drifted-but-matched
+     * function-hash map; primed hits land in layoutCacheStats().
+     */
+    void setLayoutPrimeFunctions(std::set<std::string> functions);
+
   private:
     /** One per-module compile batch over the content cache. */
     struct CompileBatch
@@ -470,6 +498,8 @@ class Workflow
     std::optional<linker::Executable> iterative_;
     std::vector<std::string> coldObjects_;
     std::optional<sched::ScheduleReport> schedule_;
+    std::optional<core::WholeProgramDcfg> dcfgOverride_;
+    std::set<std::string> primeFns_;
 };
 
 } // namespace propeller::buildsys

@@ -1,6 +1,8 @@
 #include "profile/profile.h"
 
 #include <algorithm>
+#include <cmath>
+#include <map>
 
 #include "support/check.h"
 #include "support/hash.h"
@@ -170,6 +172,7 @@ loadShards(const std::vector<std::vector<uint8_t>> &shards,
     bool have_header = false;
     ShardLoadStats local;
     local.shardsTotal = static_cast<uint32_t>(shards.size());
+    local.shardVersions.assign(shards.size(), 0);
     for (size_t s = 0; s < shards.size(); ++s) {
         auto decoded = Profile::deserializeChecked(shards[s]);
         if (!decoded.ok()) {
@@ -179,6 +182,7 @@ loadShards(const std::vector<std::vector<uint8_t>> &shards,
                                    decoded.status().toString();
             continue;
         }
+        local.shardVersions[s] = decoded->binaryHash;
         if (!have_header) {
             merged.binaryHash = decoded->binaryHash;
             merged.totalRetired = decoded->totalRetired;
@@ -188,6 +192,11 @@ loadShards(const std::vector<std::vector<uint8_t>> &shards,
                               decoded->samples.begin(),
                               decoded->samples.end());
     }
+    std::vector<uint64_t> seen;
+    for (uint64_t v : local.shardVersions)
+        if (v != 0 && std::find(seen.begin(), seen.end(), v) == seen.end())
+            seen.push_back(v);
+    local.distinctVersions = static_cast<uint32_t>(seen.size());
     if (stats)
         *stats = local;
     return merged;
@@ -264,6 +273,107 @@ mergeAggregationShards(std::vector<AggregatedProfile> &slots)
     for (size_t s = 1; s < slots.size(); ++s)
         agg.merge(slots[s]);
     return agg;
+}
+
+namespace {
+
+/**
+ * Accumulate one window epoch into an ordered weighted map.  Each key's
+ * value folds in fixed window order from integer counts, so the result
+ * never depends on the epochs' hash-map iteration order.
+ */
+void
+weighMap(std::map<uint64_t, double> &acc, double weight,
+         const std::unordered_map<uint64_t, uint64_t> &epoch)
+{
+    for (const auto &[key, count] : epoch)
+        acc[key] += weight * static_cast<double>(count);
+}
+
+/** Round an ordered weighted map, dropping keys that round to zero. */
+void
+quantizeMap(const std::map<uint64_t, double> &acc, double scale,
+            std::unordered_map<uint64_t, uint64_t> &out)
+{
+    for (const auto &[key, weight] : acc) {
+        auto q = static_cast<uint64_t>(std::llround(weight * scale));
+        if (q > 0)
+            out.emplace(key, q);
+    }
+}
+
+} // namespace
+
+DecayedAggregate::DecayedAggregate(uint32_t window)
+    : windowSize_(window < 1 ? 1 : window)
+{
+}
+
+void
+DecayedAggregate::fold(const AggregatedProfile &epoch, double decay)
+{
+    PROPELLER_CHECK(decay > 0.0 && decay <= 1.0,
+                    "decay factor outside (0, 1]");
+    PROPELLER_CHECK(decay_ == 0.0 || decay == decay_,
+                    "decay factor changed between folds");
+    decay_ = decay;
+    window_.insert(window_.begin(), epoch);
+    if (window_.size() > windowSize_)
+        window_.pop_back();
+    ++epochs_;
+}
+
+AggregatedProfile
+DecayedAggregate::quantize(uint64_t scaleTo) const
+{
+    std::map<uint64_t, double> branches;
+    std::map<uint64_t, double> ranges;
+    double weight = 1.0;
+    for (const AggregatedProfile &epoch : window_) {
+        weighMap(branches, weight, epoch.branches);
+        weighMap(ranges, weight, epoch.ranges);
+        weight *= decay_;
+    }
+
+    double scale = 1.0;
+    if (scaleTo > 0) {
+        double max_branch = 0.0;
+        for (const auto &[key, w] : branches)
+            max_branch = std::max(max_branch, w);
+        if (max_branch <= 0.0)
+            return {};
+        scale = static_cast<double>(scaleTo) / max_branch;
+    }
+
+    AggregatedProfile out;
+    quantizeMap(branches, scale, out.branches);
+    quantizeMap(ranges, scale, out.ranges);
+    for (const auto &[key, count] : out.branches)
+        out.totalBranchEvents += count;
+    return out;
+}
+
+double
+DecayedAggregate::totalBranchWeight() const
+{
+    double total = 0.0;
+    double weight = 1.0;
+    for (const AggregatedProfile &epoch : window_) {
+        total += weight * static_cast<double>(epoch.totalBranchEvents);
+        weight *= decay_;
+    }
+    return total;
+}
+
+bool
+DecayedAggregate::empty() const
+{
+    for (const AggregatedProfile &epoch : window_) {
+        if (epoch.totalBranchEvents > 0 || !epoch.branches.empty() ||
+            !epoch.ranges.empty())
+            return false;
+    }
+    return true;
 }
 
 AggregatedProfile

@@ -78,6 +78,19 @@ struct ShardLoadStats
     uint32_t shardsTotal = 0;    ///< Shards presented.
     uint32_t shardsRejected = 0; ///< Shards dropped as corrupt.
     std::string firstError;      ///< Diagnostic for the first rejection.
+
+    /**
+     * Per-shard binary version stamp, parallel to the input shard list
+     * (0 for rejected shards).  Every shard is a complete Profile
+     * serialization carrying its own binaryHash, so a mixed-version
+     * shard set can be diagnosed per shard — and routed per version by
+     * the fleet service — instead of being rejected wholesale against
+     * the first shard's stamp.
+     */
+    std::vector<uint64_t> shardVersions;
+
+    /** Distinct nonzero version stamps among accepted shards. */
+    uint32_t distinctVersions = 0;
 };
 
 /**
@@ -171,6 +184,69 @@ void aggregateShardInto(const Profile &profile,
 /** Serial shard-order merge of per-shard slots (slot 0 is the base). */
 AggregatedProfile
 mergeAggregationShards(std::vector<AggregatedProfile> &slots);
+
+/**
+ * Recency-weighted rolling aggregate for the continuous-profiling loop:
+ * the last `window` epochs of integer counters are retained and an
+ * epoch observed d epochs ago contributes with weight decay^d (decay in
+ * (0, 1]) — older epochs never outweigh newer ones at equal counts, and
+ * epochs older than the window stop contributing entirely.
+ *
+ * Truncating the exponential tail is what makes steady state *exact*:
+ * once the window holds identical epochs, every quantize() call runs
+ * the same arithmetic on the same integers and emits byte-identical
+ * results — whereas an untruncated rolling sum R = R*decay + E carries
+ * a forever-shrinking residue from before the mix stabilized, and its
+ * rounded snapshots keep flickering for dozens of epochs.  Downstream
+ * consumers that key caches on the quantized counts (the fleet
+ * service's layout-fingerprint reuse) depend on this.
+ *
+ * Each key's weighted value folds in fixed window order from integer
+ * per-epoch counts, never map iteration order, and the accumulation map
+ * is ordered, so quantize() emits keys in sorted order — the whole
+ * state is byte-deterministic for a deterministic epoch sequence
+ * regardless of shard arrival order inside an epoch (the epoch counters
+ * come from the order-invariant sharded aggregation above).
+ */
+class DecayedAggregate
+{
+public:
+    explicit DecayedAggregate(uint32_t window = 8);
+
+    /** Append one epoch's counters as the newest window entry.  The
+     *  decay factor must be identical across every fold. */
+    void fold(const AggregatedProfile &epoch, double decay);
+
+    /**
+     * Integer snapshot of the windowed state (llround per key); keys
+     * whose weighted count rounds to zero are dropped.
+     *
+     * With @p scaleTo nonzero the snapshot is rescaled so the heaviest
+     * branch key lands exactly on @p scaleTo before rounding.  The
+     * common geometric factor of the window cancels *before* any
+     * rounding, so at a constant epoch mix the scaled snapshot is
+     * exactly stable — the normalization the fleet service relies on
+     * for warm layout-fingerprint hits.
+     */
+    AggregatedProfile quantize(uint64_t scaleTo = 0) const;
+
+    /** Epochs folded so far (including sample-free epochs). */
+    uint64_t epochs() const { return epochs_; }
+
+    /** Decay-weighted branch-event mass over the window (the fleet
+     *  service's cross-version mixing weight). */
+    double totalBranchWeight() const;
+
+    /** True when no window epoch carries any samples (a binary version
+     *  whose machines have all migrated away ages out like this). */
+    bool empty() const;
+
+private:
+    std::vector<AggregatedProfile> window_; ///< Newest first.
+    uint32_t windowSize_ = 8;
+    double decay_ = 0.0; ///< Fixed by the first fold().
+    uint64_t epochs_ = 0;
+};
 
 /**
  * PEBS-style data-cache miss profile (for the paper's section 3.5

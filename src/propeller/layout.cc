@@ -524,6 +524,81 @@ layoutOptionsFingerprint(const LayoutOptions &opts)
     return h;
 }
 
+uint64_t
+layoutMemoFingerprint(const FunctionDcfg &fn, const AddrMapIndex &index,
+                      int funcIndex)
+{
+    // The name keeps keys distinct across structurally identical
+    // functions, so cold-run miss accounting is schedule-independent
+    // (a shared key would hit or miss depending on which function's
+    // layout landed in the cache first).
+    uint64_t h = fnv1a(fn.function);
+    if (funcIndex >= 0) {
+        auto fi = static_cast<uint32_t>(funcIndex);
+        // The v2 whole-function CFG hash (0 for v1 metadata) plus the
+        // block list the cluster sanitizer checks against.
+        h = hashCombine(h, index.functionHash(fi));
+        h = hashCombine(h, index.entryBlock(fi));
+        for (const BlockRef &b : index.blocksOf(fi)) {
+            h = hashCombine(h, b.bbId);
+            h = hashCombine(h, b.blockEnd - b.blockStart);
+            h = hashCombine(h, b.flags);
+        }
+    }
+    // The function's DCFG: shape plus the profile counts (the
+    // "profile-count digest" leg of the memo key).
+    h = hashCombine(h, fn.entryNode);
+    h = hashCombine(h, fn.nodes.size());
+    for (const DcfgNode &n : fn.nodes) {
+        h = hashCombine(h, n.bbId);
+        h = hashCombine(h, n.size);
+        h = hashCombine(h, n.freq);
+        h = hashCombine(h, n.flags);
+    }
+    h = hashCombine(h, fn.edges.size());
+    for (const DcfgEdge &e : fn.edges) {
+        h = hashCombine(h, e.fromNode);
+        h = hashCombine(h, e.toNode);
+        h = hashCombine(h, e.weight);
+        h = hashCombine(h, static_cast<uint64_t>(e.kind));
+    }
+    return h;
+}
+
+uint64_t
+layoutInputDigest(const FunctionDcfg &fn, const AddrMapIndex &index,
+                  int funcIndex)
+{
+    // Only what layoutOneFunction() actually consumes: hotMask reads
+    // node frequencies, the solver reads node sizes and edge weights,
+    // and the cold/no-reorder paths read the address map's block-id
+    // sequence.  Whole-function hashes, block byte sizes and flags are
+    // layout-invariant, so they stay out — that is what lets a digest
+    // survive a code edit confined to blocks layout never looks at.
+    uint64_t h = fnv1a(fn.function);
+    h = hashCombine(h, fn.entryNode);
+    h = hashCombine(h, fn.nodes.size());
+    for (const DcfgNode &n : fn.nodes) {
+        h = hashCombine(h, n.bbId);
+        h = hashCombine(h, n.size);
+        h = hashCombine(h, n.freq);
+    }
+    h = hashCombine(h, fn.edges.size());
+    for (const DcfgEdge &e : fn.edges) {
+        h = hashCombine(h, e.fromNode);
+        h = hashCombine(h, e.toNode);
+        h = hashCombine(h, e.weight);
+    }
+    if (funcIndex >= 0) {
+        auto fi = static_cast<uint32_t>(funcIndex);
+        std::vector<BlockRef> blocks = index.blocksOf(fi);
+        h = hashCombine(h, blocks.size());
+        for (const BlockRef &b : blocks)
+            h = hashCombine(h, b.bbId);
+    }
+    return h;
+}
+
 std::vector<uint8_t>
 encodeFunctionLayout(const FunctionLayout &layout)
 {

@@ -102,6 +102,34 @@ struct FunctionLayout
 uint64_t layoutOptionsFingerprint(const LayoutOptions &opts);
 
 /**
+ * The layout-memoization cache key's function leg: name, the target's
+ * whole-function hash plus its full block list (id, size, flags), and
+ * the function's DCFG shape and counts.  @p funcIndex is the function's
+ * index in @p index, or -1 when the function has no address-map entry
+ * (the index legs are skipped then).  Combined with
+ * layoutOptionsFingerprint() this is the exact-match memo key: any
+ * change to the function's code or counts changes it.
+ */
+uint64_t layoutMemoFingerprint(const FunctionDcfg &fn,
+                               const AddrMapIndex &index, int funcIndex);
+
+/**
+ * Digest of exactly the inputs layoutFunction() reads: the function's
+ * DCFG (entry node; node ids, sizes, counts; edge endpoints and
+ * weights) and the address-map block-id *order* (which cold blocks
+ * exist and where) — deliberately *not* the whole-function hash, block
+ * byte sizes or flags, none of which the layout pass consumes.  Two
+ * functions with equal digests (and equal option fingerprints) produce
+ * bit-identical FunctionLayouts, so a digest hit against an older
+ * binary version's cache entry is a sound reuse: this is the alias key
+ * the stale-matcher-primed layout-cache lookups use for functions whose
+ * code drifted only in places layout never reads (e.g. edits inside
+ * never-sampled blocks).
+ */
+uint64_t layoutInputDigest(const FunctionDcfg &fn,
+                           const AddrMapIndex &index, int funcIndex);
+
+/**
  * Lossless byte encoding of a FunctionLayout (cluster spec plus the
  * solver stats, doubles by bit pattern) for the layout memoization
  * tier of the artifact cache: a decoded warm hit reproduces the cold

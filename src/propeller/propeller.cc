@@ -36,6 +36,10 @@ struct WpaPipeline::Impl
     std::optional<DcfgMapper> mapper;
     std::unordered_map<std::string, uint32_t> funcIndexByName;
 
+    // Injected DCFG (fleet service seam): consumed by applyDcfg() in
+    // place of the mapper's output.
+    std::optional<WholeProgramDcfg> pendingDcfg;
+
     Impl(const linker::Executable &e, const profile::Profile &p,
          const LayoutOptions &o, unsigned j)
         : exe(e), prof(p), opts(o), jobs(j)
@@ -114,7 +118,12 @@ struct WpaPipeline::Impl
         // The whole-program DCFG: proportional to *sampled* code only —
         // this is the design property that bounds Phase 3 memory
         // (section 3.5).
-        dcfg.emplace(mapper->apply(&result.stats.mapper));
+        if (pendingDcfg) {
+            dcfg.emplace(std::move(*pendingDcfg));
+            pendingDcfg.reset();
+        } else {
+            dcfg.emplace(mapper->apply(&result.stats.mapper));
+        }
         mapper.reset();
         agg.reset();
         result.stats.dcfgFootprint = dcfg->footprint();
@@ -144,46 +153,27 @@ struct WpaPipeline::Impl
         applyDcfg();
     }
 
+    /** The function's index in the address map, or -1 if absent. */
+    int
+    addrMapIndexOf(const FunctionDcfg &fn) const
+    {
+        auto it = funcIndexByName.find(fn.function);
+        return it == funcIndexByName.end() ? -1
+                                           : static_cast<int>(it->second);
+    }
+
     uint64_t
     layoutFingerprint(size_t f) const
     {
         const FunctionDcfg &fn = dcfg->functions[f];
-        // The name keeps keys distinct across structurally identical
-        // functions, so cold-run miss accounting is schedule-independent
-        // (a shared key would hit or miss depending on which function's
-        // layout landed in the cache first).
-        uint64_t h = fnv1a(fn.function);
-        auto it = funcIndexByName.find(fn.function);
-        if (it != funcIndexByName.end()) {
-            uint32_t fi = it->second;
-            // The v2 whole-function CFG hash (0 for v1 metadata) plus
-            // the block list the cluster sanitizer checks against.
-            h = hashCombine(h, index->functionHash(fi));
-            h = hashCombine(h, index->entryBlock(fi));
-            for (const BlockRef &b : index->blocksOf(fi)) {
-                h = hashCombine(h, b.bbId);
-                h = hashCombine(h, b.blockEnd - b.blockStart);
-                h = hashCombine(h, b.flags);
-            }
-        }
-        // The function's DCFG: shape plus the profile counts (the
-        // "profile-count digest" leg of the memo key).
-        h = hashCombine(h, fn.entryNode);
-        h = hashCombine(h, fn.nodes.size());
-        for (const DcfgNode &n : fn.nodes) {
-            h = hashCombine(h, n.bbId);
-            h = hashCombine(h, n.size);
-            h = hashCombine(h, n.freq);
-            h = hashCombine(h, n.flags);
-        }
-        h = hashCombine(h, fn.edges.size());
-        for (const DcfgEdge &e : fn.edges) {
-            h = hashCombine(h, e.fromNode);
-            h = hashCombine(h, e.toNode);
-            h = hashCombine(h, e.weight);
-            h = hashCombine(h, static_cast<uint64_t>(e.kind));
-        }
-        return h;
+        return layoutMemoFingerprint(fn, *index, addrMapIndexOf(fn));
+    }
+
+    uint64_t
+    layoutInputDigest(size_t f) const
+    {
+        const FunctionDcfg &fn = dcfg->functions[f];
+        return core::layoutInputDigest(fn, *index, addrMapIndexOf(fn));
     }
 
     WpaResult
@@ -265,6 +255,18 @@ uint64_t
 WpaPipeline::layoutFingerprint(size_t f) const
 {
     return impl_->layoutFingerprint(f);
+}
+
+uint64_t
+WpaPipeline::layoutInputDigest(size_t f) const
+{
+    return impl_->layoutInputDigest(f);
+}
+
+void
+WpaPipeline::overrideDcfg(WholeProgramDcfg dcfg)
+{
+    impl_->pendingDcfg.emplace(std::move(dcfg));
 }
 
 const WholeProgramDcfg &

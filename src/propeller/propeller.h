@@ -125,6 +125,24 @@ class WpaPipeline
     void applyDcfg();
 
     /**
+     * Replace the mapper-built DCFG: the next applyDcfg() installs
+     * @p dcfg instead of resolving the profile's records (the fleet
+     * service's injection seam — its rolling multi-version aggregate is
+     * already a DCFG in the target's block-id space, so re-deriving it
+     * from synthetic samples would be lossy).  Ingestion still runs and
+     * the profile's identity is still checked; only the mapper's output
+     * is substituted.  Must be called before applyDcfg().
+     */
+    void overrideDcfg(WholeProgramDcfg dcfg);
+
+    /**
+     * layoutInputDigest() for function @p f (DCFG index) against this
+     * pipeline's address-map index — the alias key for primed
+     * layout-cache lookups (see layout.h).
+     */
+    uint64_t layoutInputDigest(size_t f) const;
+
+    /**
      * Layout memoization key material for function @p f (DCFG index):
      * folds the function's .bb_addr_map v2 CFG hash, its DCFG shape
      * and profile counts, and the block list the cluster sanitizer

@@ -597,4 +597,35 @@ writeChromeTrace(const ScheduleReport &report, const std::string &path)
     return true;
 }
 
+std::string
+summarizeSchedule(const ScheduleReport &report)
+{
+    char buf[512];
+    std::string out;
+    std::snprintf(buf, sizeof buf,
+                  "makespan %.3fs (%.3fx lower bound %.3fs)\n",
+                  report.makespanSec,
+                  report.lowerBoundSec > 0.0
+                      ? report.makespanSec / report.lowerBoundSec
+                      : 0.0,
+                  report.lowerBoundSec);
+    out += buf;
+    std::snprintf(buf, sizeof buf,
+                  "critical path %.3fs, total work %.3fs, "
+                  "efficiency %.3f on %u model workers\n",
+                  report.criticalPathSec, report.totalWorkSec,
+                  report.parallelEfficiency, report.modelWorkers);
+    out += buf;
+    std::snprintf(buf, sizeof buf,
+                  "tasks %llu; real: %u threads, steals %llu/%llu "
+                  "(hit rate %.3f)\n",
+                  static_cast<unsigned long long>(report.tasksExecuted),
+                  report.realThreads,
+                  static_cast<unsigned long long>(report.steals),
+                  static_cast<unsigned long long>(report.stealAttempts),
+                  report.stealHitRate());
+    out += buf;
+    return out;
+}
+
 } // namespace propeller::sched

@@ -303,6 +303,15 @@ class OrderedSink
 bool writeChromeTrace(const ScheduleReport &report,
                       const std::string &path);
 
+/**
+ * Compact multi-line text rendering of a ScheduleReport (the statusz
+ * "last relink" block): makespan vs the lower bound, critical path,
+ * parallel efficiency, task count and steal counters.  Only modelled
+ * (deterministic) quantities — the real steal counters are labelled as
+ * such so fleet statusz diffs stay meaningful across runs.
+ */
+std::string summarizeSchedule(const ScheduleReport &report);
+
 } // namespace propeller::sched
 
 #endif // PROPELLER_SCHED_SCHED_H

@@ -1,0 +1,662 @@
+#include "service/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+#include <utility>
+
+#include "build/workflow.h"
+#include "profile/profile.h"
+#include "propeller/addr_map_index.h"
+#include "propeller/layout.h"
+#include "propeller/profile_mapper.h"
+#include "sim/machine.h"
+#include "stale/stale.h"
+#include "support/check.h"
+#include "support/hash.h"
+
+namespace propeller::fleet {
+
+namespace {
+
+/** splitmix64 step, the arrival-shuffle PRNG. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** One wire shard in flight from a machine to the service. */
+struct Envelope
+{
+    uint32_t machine = 0;
+    uint32_t seq = 0; ///< Shard sequence within the machine's emission.
+    std::vector<uint8_t> bytes;
+};
+
+/** One decoded shard, waiting for the epoch fold. */
+struct Arrival
+{
+    uint32_t machine = 0;
+    uint32_t seq = 0;
+    profile::Profile prof;
+};
+
+} // namespace
+
+// ir::Program is move-only, and deterministic regeneration is cheaper to
+// reason about than a deep clone — every caller gets a byte-identical
+// program.
+ir::Program
+makeVersionProgram(const FleetOptions &opts, uint32_t v)
+{
+    ir::Program prog = workload::generate(opts.base);
+    for (uint32_t k = 1; k <= v; ++k) {
+        workload::DriftSpec spec;
+        spec.seed = opts.base.seed * 7919 + k;
+        spec.rate = opts.interVersionDrift;
+        workload::applyDrift(prog, spec);
+    }
+    return prog;
+}
+
+/** Per-binary-version service state. */
+struct VersionState
+{
+    ir::Program program;
+    linker::Executable exe; ///< Metadata binary (with .bb_addr_map).
+    std::unique_ptr<core::AddrMapIndex> index;
+    profile::Profile fullProfile; ///< Steady-state load profile.
+    profile::DecayedAggregate agg;
+};
+
+struct FleetService::Impl
+{
+    FleetOptions opts;
+
+    std::vector<VersionState> versions;
+    std::vector<uint32_t> machineVersion; ///< Machine -> version index.
+    uint32_t target = 0;
+
+    uint32_t epochsRun = 0;
+    uint32_t crossings = 0;
+
+    std::vector<EpochStats> history;
+    std::vector<RelinkRecord> relinkLog;
+
+    /** Rolling state rebuilt every epoch. */
+    core::WholeProgramDcfg combined;
+    bool combinedValid = false;
+    std::set<std::string> primeFns;
+
+    /** Per-(function, block) frequency shares at the last relink. */
+    std::map<std::pair<std::string, uint32_t>, double> snapshot;
+
+    /** Layout keys/digests this service has written to the cache image
+     *  (the lower bound for warm-hit accounting; the image on disk may
+     *  hold more if it predates this service). */
+    std::set<uint64_t> knownLayoutKeys;
+    std::set<uint64_t> knownLayoutDigests;
+
+    /** Last relink products. */
+    linker::Executable shipped;
+    bool haveShipped = false;
+    core::WholeProgramDcfg lastDcfg;
+    core::WpaResult lastWpa;
+    std::set<std::string> lastPrime;
+
+    explicit Impl(FleetOptions o);
+
+    int versionOfHash(uint64_t hash) const;
+    void stepEpoch();
+    void rebuildCombined();
+    std::map<std::pair<std::string, uint32_t>, double>
+    distribution() const;
+    double driftMetric() const;
+    void relink(uint32_t epoch, double metric, bool forced);
+};
+
+FleetService::Impl::Impl(FleetOptions o) : opts(std::move(o))
+{
+    opts.machines = std::max<uint32_t>(opts.machines, 1);
+    opts.versions = std::max<uint32_t>(opts.versions, 1);
+    opts.upgradesPerEpoch = std::max<uint32_t>(opts.upgradesPerEpoch, 1);
+    if (opts.cachePath.empty())
+        opts.cachePath = opts.base.name + ".fleet.cache";
+
+    // The version chain: v0 is the pristine build; each later version
+    // accumulates one more drift episode on top of the previous one.
+    versions.reserve(opts.versions);
+    for (uint32_t v = 0; v < opts.versions; ++v) {
+        VersionState vs;
+        vs.program = makeVersionProgram(opts, v);
+        buildsys::Workflow wf(opts.base);
+        wf.overrideProgram(makeVersionProgram(opts, v));
+        vs.exe = wf.metadataBinary();
+        vs.fullProfile =
+            sim::run(vs.exe, workload::profileOptions(opts.base)).profile;
+        PROPELLER_CHECK(vs.fullProfile.binaryHash == vs.exe.identityHash,
+                        "profiler stamped the wrong binary identity");
+        vs.agg = profile::DecayedAggregate(opts.decayWindow);
+        versions.push_back(std::move(vs));
+        versions.back().index =
+            std::make_unique<core::AddrMapIndex>(versions.back().exe);
+    }
+
+    // Initial mix: machines spread over every version but the newest,
+    // which ships at releaseEpoch.
+    machineVersion.assign(opts.machines, 0);
+    if (opts.versions > 1) {
+        for (uint32_t m = 0; m < opts.machines; ++m)
+            machineVersion[m] = m % (opts.versions - 1);
+    }
+    target = opts.versions >= 2 ? opts.versions - 2 : 0;
+}
+
+int
+FleetService::Impl::versionOfHash(uint64_t hash) const
+{
+    for (uint32_t v = 0; v < versions.size(); ++v) {
+        if (versions[v].exe.identityHash == hash)
+            return static_cast<int>(v);
+    }
+    return -1;
+}
+
+void
+FleetService::Impl::stepEpoch()
+{
+    const uint32_t epoch = epochsRun;
+    EpochStats es;
+    es.epoch = epoch;
+
+    // Release: the newest version becomes the relink target *before*
+    // any machine migrates, so the release-epoch relink remaps an
+    // unchanged sample mix onto the new binary.
+    if (opts.versions >= 2 && epoch == opts.releaseEpoch)
+        target = opts.versions - 1;
+    if (opts.versions >= 2 && epoch > opts.releaseEpoch) {
+        uint32_t moved = 0;
+        for (uint32_t m = 0;
+             m < opts.machines && moved < opts.upgradesPerEpoch; ++m) {
+            if (machineVersion[m] != target) {
+                machineVersion[m] = target;
+                ++moved;
+            }
+        }
+    }
+
+    // Each machine emits its slice of its version's steady-state load
+    // profile as wire shards stamped with that version's identity.
+    std::vector<Envelope> wire;
+    for (uint32_t m = 0; m < opts.machines; ++m) {
+        const VersionState &vs = versions[machineVersion[m]];
+        profile::Profile slice;
+        slice.binaryHash = vs.fullProfile.binaryHash;
+        slice.totalRetired = vs.fullProfile.totalRetired / opts.machines;
+        for (size_t i = m; i < vs.fullProfile.samples.size();
+             i += opts.machines)
+            slice.samples.push_back(vs.fullProfile.samples[i]);
+        std::vector<std::vector<uint8_t>> shards =
+            profile::serializeShards(slice, opts.shardSamples);
+        for (uint32_t s = 0; s < shards.size(); ++s)
+            wire.push_back({m, s, std::move(shards[s])});
+    }
+
+    // Seeded arrival shuffle: shard order on the wire is arbitrary and
+    // the fold below must not depend on it.
+    uint64_t rng =
+        mix64(opts.arrivalShuffleSeed ^
+              (0x9e3779b97f4a7c15ull * (static_cast<uint64_t>(epoch) + 1)));
+    for (size_t i = wire.size(); i > 1; --i) {
+        rng = mix64(rng);
+        std::swap(wire[i - 1], wire[rng % i]);
+    }
+
+    es.shardLagPeak = static_cast<uint32_t>(wire.size());
+
+    // Shard-at-a-time ingest: decode, diagnose, route by the *shard's*
+    // version stamp.  A shard from last week's binary is not an error —
+    // it feeds that version's bucket and reaches the target through the
+    // stale matcher.
+    std::map<uint32_t, std::vector<Arrival>> byVersion;
+    for (Envelope &env : wire) {
+        profile::ShardLoadStats ss;
+        profile::Profile p = profile::loadShards({env.bytes}, &ss);
+        if (ss.shardsRejected > 0) {
+            ++es.shardsRejected;
+            continue;
+        }
+        int v = versionOfHash(p.binaryHash);
+        PROPELLER_CHECK(v >= 0,
+                        "shard stamped with an unknown binary version");
+        ++es.shardsIngested;
+        es.samplesByVersion[static_cast<uint32_t>(v)] += p.samples.size();
+        byVersion[static_cast<uint32_t>(v)].push_back(
+            {env.machine, env.seq, std::move(p)});
+    }
+
+    // Canonicalize each version's arrivals by (machine, sequence) —
+    // this is what makes the fold arrival-order independent — then
+    // aggregate and fold one epoch into every version's rolling state
+    // (versions with no samples fold an empty epoch and age out).
+    for (uint32_t v = 0; v < opts.versions; ++v) {
+        profile::AggregatedProfile epochAgg;
+        auto it = byVersion.find(v);
+        if (it != byVersion.end()) {
+            std::sort(it->second.begin(), it->second.end(),
+                      [](const Arrival &a, const Arrival &b) {
+                          return std::tie(a.machine, a.seq) <
+                                 std::tie(b.machine, b.seq);
+                      });
+            profile::Profile canon;
+            canon.binaryHash = versions[v].exe.identityHash;
+            for (Arrival &a : it->second) {
+                canon.totalRetired += a.prof.totalRetired;
+                canon.samples.insert(canon.samples.end(),
+                                     a.prof.samples.begin(),
+                                     a.prof.samples.end());
+            }
+            profile::AggregationOptions ao;
+            ao.threads = opts.base.jobs;
+            epochAgg = profile::aggregate(canon, ao);
+        }
+        versions[v].agg.fold(epochAgg, opts.decay);
+    }
+
+    for (uint32_t m = 0; m < opts.machines; ++m)
+        ++es.machinesByVersion[machineVersion[m]];
+
+    rebuildCombined();
+    es.driftMetric = driftMetric();
+    es.relinked = es.driftMetric > opts.driftThreshold;
+
+    history.push_back(es);
+    ++epochsRun;
+    if (es.relinked) {
+        ++crossings;
+        relink(epoch, es.driftMetric, /*forced=*/false);
+    }
+}
+
+void
+FleetService::Impl::rebuildCombined()
+{
+    combined = {};
+    combinedValid = false;
+    primeFns.clear();
+
+    double totalWeight = 0.0;
+    for (const VersionState &vs : versions) {
+        if (!vs.agg.empty())
+            totalWeight += vs.agg.totalBranchWeight();
+    }
+    if (totalWeight <= 0.0)
+        return;
+
+    const core::AddrMapIndex &tindex = *versions[target].index;
+
+    struct NodeAcc
+    {
+        uint64_t freq = 0;
+        uint32_t size = 0;
+        uint8_t flags = 0;
+    };
+    struct FnAcc
+    {
+        std::map<uint32_t, NodeAcc> nodes;
+        std::map<std::tuple<uint32_t, uint32_t, uint8_t>, uint64_t> edges;
+        uint32_t entryBb = 0;
+        bool haveEntry = false;
+    };
+    std::map<std::string, FnAcc> fns;
+    std::map<std::tuple<std::string, uint32_t, std::string>, uint64_t>
+        calls;
+
+    for (uint32_t v = 0; v < opts.versions; ++v) {
+        VersionState &vs = versions[v];
+        if (vs.agg.empty())
+            continue;
+
+        // Normalize this version's rolling counts by its decayed weight
+        // share, with the window's geometric factor cancelled before
+        // rounding (DecayedAggregate::quantize) — at a constant fleet
+        // mix the per-version counts are exactly stable, which is what
+        // keeps layout fingerprints warm across steady-state relinks.
+        double share = vs.agg.totalBranchWeight() / totalWeight;
+        auto scale_to = static_cast<uint64_t>(std::llround(
+            static_cast<double>(opts.freqResolution) * share));
+        profile::AggregatedProfile quant =
+            vs.agg.quantize(std::max<uint64_t>(scale_to, 1));
+        if (quant.branches.empty() && quant.ranges.empty())
+            continue;
+
+        core::WholeProgramDcfg dcfg = core::buildDcfg(
+            quant, *vs.index, nullptr, opts.base.jobs ? opts.base.jobs : 1);
+
+        // Into the target's block-id space: identity for the target
+        // version itself, fingerprint matching + count inference for
+        // every older (or newer) one.
+        stale::StaleMatchResult match =
+            stale::matchStaleProfile(dcfg, *vs.index, tindex);
+        stale::inferStaleCounts(match, tindex);
+
+        for (const auto &fh : match.functionHashes) {
+            if (fh.profiledHash != fh.targetHash)
+                primeFns.insert(fh.function);
+        }
+
+        for (const core::FunctionDcfg &fn : match.dcfg.functions) {
+            FnAcc &acc = fns[fn.function];
+            if (!acc.haveEntry && fn.entryNode < fn.nodes.size()) {
+                acc.entryBb = fn.nodes[fn.entryNode].bbId;
+                acc.haveEntry = true;
+            }
+            for (const core::DcfgNode &n : fn.nodes) {
+                NodeAcc &na = acc.nodes[n.bbId];
+                na.freq += n.freq;
+                na.size = n.size;
+                na.flags = n.flags;
+            }
+            for (const core::DcfgEdge &e : fn.edges) {
+                acc.edges[{fn.nodes[e.fromNode].bbId,
+                           fn.nodes[e.toNode].bbId,
+                           static_cast<uint8_t>(e.kind)}] += e.weight;
+            }
+        }
+        for (const core::CallEdge &ce : match.dcfg.callEdges) {
+            const core::FunctionDcfg &caller =
+                match.dcfg.functions[ce.callerDcfg];
+            const core::FunctionDcfg &callee =
+                match.dcfg.functions[ce.calleeDcfg];
+            calls[{caller.function, caller.nodes[ce.callerNode].bbId,
+                   callee.function}] += ce.weight;
+        }
+    }
+
+    // Emit the merged DCFG in fully sorted order (functions by name,
+    // nodes by block id, edges by endpoint key): deterministic, and
+    // stable epoch-over-epoch whenever the accumulators are.
+    std::map<std::string, uint32_t> fnIndex;
+    for (auto &[name, acc] : fns) {
+        core::FunctionDcfg fn;
+        fn.function = name;
+        PROPELLER_CHECK(acc.haveEntry &&
+                            acc.nodes.find(acc.entryBb) != acc.nodes.end(),
+                        "combined DCFG lost a function's entry block");
+        std::map<uint32_t, uint32_t> nodeIndex;
+        for (const auto &[bb, na] : acc.nodes) {
+            nodeIndex[bb] = static_cast<uint32_t>(fn.nodes.size());
+            fn.nodes.push_back({bb, na.size, na.freq, na.flags});
+        }
+        fn.entryNode = nodeIndex[acc.entryBb];
+        for (const auto &[key, weight] : acc.edges) {
+            const auto &[fromBb, toBb, kind] = key;
+            fn.edges.push_back({nodeIndex[fromBb], nodeIndex[toBb], weight,
+                                static_cast<core::EdgeKind>(kind)});
+        }
+        fnIndex[name] = static_cast<uint32_t>(combined.functions.size());
+        combined.functions.push_back(std::move(fn));
+    }
+    for (const auto &[key, weight] : calls) {
+        const auto &[callerName, callerBb, calleeName] = key;
+        uint32_t callerIdx = fnIndex[callerName];
+        uint32_t calleeIdx = fnIndex[calleeName];
+        const core::FunctionDcfg &caller = combined.functions[callerIdx];
+        uint32_t callerNode = 0;
+        for (uint32_t i = 0; i < caller.nodes.size(); ++i) {
+            if (caller.nodes[i].bbId == callerBb) {
+                callerNode = i;
+                break;
+            }
+        }
+        combined.callEdges.push_back(
+            {callerIdx, callerNode, calleeIdx, weight});
+    }
+    combinedValid = !combined.functions.empty();
+}
+
+std::map<std::pair<std::string, uint32_t>, double>
+FleetService::Impl::distribution() const
+{
+    std::map<std::pair<std::string, uint32_t>, double> dist;
+    uint64_t total = 0;
+    for (const core::FunctionDcfg &fn : combined.functions) {
+        for (const core::DcfgNode &n : fn.nodes)
+            total += n.freq;
+    }
+    if (total == 0)
+        return dist;
+    for (const core::FunctionDcfg &fn : combined.functions) {
+        for (const core::DcfgNode &n : fn.nodes) {
+            dist[{fn.function, n.bbId}] +=
+                static_cast<double>(n.freq) / static_cast<double>(total);
+        }
+    }
+    return dist;
+}
+
+double
+FleetService::Impl::driftMetric() const
+{
+    // Total-variation distance between the combined DCFG's per-block
+    // frequency shares and the snapshot taken at the last relink:
+    // 0 = the shipped layout still matches the fleet's behavior,
+    // 1 = completely disjoint (including "never relinked yet").
+    std::map<std::pair<std::string, uint32_t>, double> cur =
+        distribution();
+    if (snapshot.empty())
+        return cur.empty() ? 0.0 : 1.0;
+    if (cur.empty())
+        return 1.0;
+    double sum = 0.0;
+    auto snap_it = snapshot.begin();
+    for (const auto &[key, p] : cur) {
+        while (snap_it != snapshot.end() && snap_it->first < key) {
+            sum += snap_it->second;
+            ++snap_it;
+        }
+        if (snap_it != snapshot.end() && snap_it->first == key) {
+            sum += std::fabs(p - snap_it->second);
+            ++snap_it;
+        } else {
+            sum += p;
+        }
+    }
+    for (; snap_it != snapshot.end(); ++snap_it)
+        sum += snap_it->second;
+    return 0.5 * sum;
+}
+
+void
+FleetService::Impl::relink(uint32_t epoch, double metric, bool forced)
+{
+    PROPELLER_CHECK(combinedValid,
+                    "relink requested before any samples were ingested");
+    const VersionState &tv = versions[target];
+
+    buildsys::Workflow wf(opts.base);
+    wf.overrideProgram(makeVersionProgram(opts, target));
+
+    // The profile seam carries only the identity stamp: the layout
+    // input is the injected combined DCFG, already in the target's
+    // block-id space.
+    profile::Profile stamp;
+    stamp.binaryHash = tv.exe.identityHash;
+    stamp.totalRetired = 1;
+    wf.overrideProfile(std::move(stamp));
+    wf.overrideDcfg(core::WholeProgramDcfg(combined));
+    wf.setLayoutPrimeFunctions(primeFns);
+
+    bool loaded = wf.loadCacheFile(opts.cachePath);
+
+    // Warm-hit accounting: every layout key this service wrote to the
+    // image in an earlier relink must be served warm — exactly, or
+    // through the primed digest alias for drifted-but-matched
+    // functions.  Computed with the same free fingerprint functions the
+    // relink engine uses, so the expectation is key-for-key honest.
+    const uint64_t opts_fp =
+        core::layoutOptionsFingerprint(core::LayoutOptions{});
+    uint64_t expected_hits = 0;
+    uint64_t expected_primed = 0;
+    std::vector<std::pair<uint64_t, uint64_t>> keys;
+    keys.reserve(combined.functions.size());
+    for (const core::FunctionDcfg &fn : combined.functions) {
+        int fi = tv.index->findFunction(fn.function);
+        uint64_t key = hashCombine(
+            core::layoutMemoFingerprint(fn, *tv.index, fi), opts_fp);
+        uint64_t dkey = hashCombine(
+            core::layoutInputDigest(fn, *tv.index, fi), opts_fp);
+        keys.emplace_back(key, dkey);
+        if (!loaded)
+            continue;
+        if (knownLayoutKeys.count(key) != 0)
+            ++expected_hits;
+        else if (primeFns.count(fn.function) != 0 &&
+                 knownLayoutDigests.count(dkey) != 0)
+            ++expected_primed;
+    }
+
+    const linker::Executable &po = wf.propellerBinary();
+    PROPELLER_CHECK(wf.saveCacheFile(opts.cachePath),
+                    "failed to persist the fleet cache image");
+
+    const buildsys::CacheStats &ls = wf.layoutCacheStats();
+    PROPELLER_CHECK(ls.hits + ls.primedHits >=
+                        expected_hits + expected_primed,
+                    "persisted layout entries failed to serve warm");
+
+    RelinkRecord rec;
+    rec.epoch = epoch;
+    rec.metric = metric;
+    rec.forced = forced;
+    rec.cacheLoaded = loaded;
+    rec.layoutHits = ls.hits;
+    rec.layoutMisses = ls.misses;
+    rec.layoutPrimedHits = ls.primedHits;
+    rec.objectHits = wf.cacheStats().hits;
+    rec.expectedHits = expected_hits;
+    rec.expectedPrimedHits = expected_primed;
+    rec.primedFunctions = primeFns.size();
+    if (wf.hasRelinkSchedule())
+        rec.schedule = wf.relinkSchedule();
+    relinkLog.push_back(std::move(rec));
+
+    shipped = po;
+    haveShipped = true;
+    lastDcfg = combined;
+    lastWpa = wf.wpa();
+    lastPrime = primeFns;
+    snapshot = distribution();
+
+    for (const auto &[key, dkey] : keys) {
+        knownLayoutKeys.insert(key);
+        knownLayoutDigests.insert(dkey);
+    }
+}
+
+FleetService::FleetService(FleetOptions opts)
+    : impl_(std::make_unique<Impl>(std::move(opts)))
+{
+}
+
+FleetService::~FleetService() = default;
+
+const FleetOptions &
+FleetService::options() const
+{
+    return impl_->opts;
+}
+
+void
+FleetService::stepEpoch()
+{
+    impl_->stepEpoch();
+}
+
+void
+FleetService::run(uint32_t epochs)
+{
+    for (uint32_t e = 0; e < epochs; ++e)
+        impl_->stepEpoch();
+}
+
+void
+FleetService::relinkNow()
+{
+    impl_->relink(impl_->epochsRun, impl_->driftMetric(), /*forced=*/true);
+}
+
+uint32_t
+FleetService::epochsRun() const
+{
+    return impl_->epochsRun;
+}
+
+uint32_t
+FleetService::targetVersion() const
+{
+    return impl_->target;
+}
+
+uint32_t
+FleetService::driftCrossings() const
+{
+    return impl_->crossings;
+}
+
+const std::vector<EpochStats> &
+FleetService::history() const
+{
+    return impl_->history;
+}
+
+const std::vector<RelinkRecord> &
+FleetService::relinks() const
+{
+    return impl_->relinkLog;
+}
+
+const linker::Executable &
+FleetService::shippedBinary() const
+{
+    PROPELLER_CHECK(impl_->haveShipped, "no relink has shipped yet");
+    return impl_->shipped;
+}
+
+const core::WholeProgramDcfg &
+FleetService::lastRelinkDcfg() const
+{
+    PROPELLER_CHECK(impl_->haveShipped, "no relink has shipped yet");
+    return impl_->lastDcfg;
+}
+
+const core::WpaResult &
+FleetService::lastRelinkWpa() const
+{
+    PROPELLER_CHECK(impl_->haveShipped, "no relink has shipped yet");
+    return impl_->lastWpa;
+}
+
+const std::set<std::string> &
+FleetService::lastPrimeFunctions() const
+{
+    return impl_->lastPrime;
+}
+
+const linker::Executable &
+FleetService::versionBinary(uint32_t v) const
+{
+    return impl_->versions.at(v).exe;
+}
+
+const ir::Program &
+FleetService::versionProgram(uint32_t v) const
+{
+    return impl_->versions.at(v).program;
+}
+
+} // namespace propeller::fleet

@@ -1,0 +1,255 @@
+#ifndef PROPELLER_SERVICE_FLEET_H
+#define PROPELLER_SERVICE_FLEET_H
+
+/**
+ * @file
+ * Continuous-profiling fleet service (the warehouse-scale deployment
+ * loop of paper section 2: profiles stream in from production machines
+ * continuously, and the optimized binary is *relinked*, not rebuilt,
+ * whenever the profile has drifted far enough from the one that
+ * produced the shipped layout).
+ *
+ * The service simulates a fleet of N machines spread over a chain of
+ * binary versions (v0 is the pristine build; each later version is the
+ * previous one plus one week of synthetic drift, workload::applyDrift).
+ * Every epoch, each machine runs its version under load and emits its
+ * share of LBR samples as wire-format profile shards, stamped with the
+ * version's identity hash.  Ingestion is shard-at-a-time and
+ * arrival-order independent:
+ *
+ *  - each shard decodes independently (corrupt shards are dropped and
+ *    counted, never fatal) and is routed to its *version's* bucket by
+ *    the per-shard identity stamp — samples from an old binary version
+ *    are remapped through the stale matcher (src/stale) rather than
+ *    being rejected against the newest version's hash;
+ *  - per-version epoch counters fold into a recency-weighted rolling
+ *    aggregate (profile::DecayedAggregate), so machines that migrated
+ *    away age their old version's samples out of the mix;
+ *  - the per-version aggregates are normalized by their decayed weight
+ *    share, mapped onto the *target* version's block-id space through
+ *    matchStaleProfile + inferStaleCounts, and merged — by function
+ *    name, block id and edge key, in sorted order — into one combined
+ *    whole-program DCFG.  The merge is integer arithmetic over ordered
+ *    maps, so the combined DCFG is byte-identical at any shard arrival
+ *    order and any thread count.
+ *
+ * A drift metric (total-variation distance between the combined DCFG's
+ * per-block frequency distribution and the snapshot taken at the last
+ * relink) is evaluated every epoch; when it crosses the configured
+ * threshold the service triggers an incremental relink: a fresh
+ * buildsys::Workflow over the target version with the combined DCFG
+ * injected (overrideDcfg), the persisted artifact-cache image loaded
+ * from disk, and the stale matcher's drifted-but-matched function set
+ * priming the layout tier (setLayoutPrimeFunctions).  The relink runs
+ * on the work-stealing task graph; its modelled ScheduleReport, cache
+ * tier counters and expected-vs-actual warm-hit accounting are recorded
+ * per relink and exposed through the statusz renderers (statusz.cc).
+ *
+ * Everything is deterministic in FleetOptions: machine upgrade order,
+ * shard emission, the (seeded) arrival shuffle, aggregation, matching,
+ * merging and the relink itself — two services with the same options
+ * produce byte-identical shipped binaries and drift histories.
+ */
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "linker/executable.h"
+#include "propeller/dcfg.h"
+#include "propeller/propeller.h"
+#include "sched/sched.h"
+#include "workload/workload.h"
+
+namespace propeller::fleet {
+
+/** Parameters of one simulated fleet. */
+struct FleetOptions
+{
+    /** The application every machine runs (v0's generator config).
+     *  `base.jobs` is the worker-thread count for every parallel stage
+     *  of ingestion and relinking. */
+    workload::WorkloadConfig base;
+
+    /** Fleet machines emitting profile shards. */
+    uint32_t machines = 8;
+
+    /** Binary versions in the drift chain (>= 1). */
+    uint32_t versions = 3;
+
+    /** Drift rate applied between consecutive versions. */
+    double interVersionDrift = 0.10;
+
+    /** Relink when the drift metric exceeds this (strictly). */
+    double driftThreshold = 0.15;
+
+    /** Per-epoch decay of older epochs' sample weight, in (0, 1]. */
+    double decay = 0.5;
+
+    /** Epochs of history kept per version (DecayedAggregate window). */
+    uint32_t decayWindow = 4;
+
+    /**
+     * Epoch at which the newest version becomes the relink target.  The
+     * flip precedes any machine migration, so the release-epoch relink
+     * sees an unchanged sample mix remapped onto the new binary — the
+     * case layout-tier priming exists for.
+     */
+    uint32_t releaseEpoch = 2;
+
+    /** Machines migrated to the target per epoch after the release. */
+    uint32_t upgradesPerEpoch = 2;
+
+    /** Scale the combined DCFG's heaviest branch count to this. */
+    uint64_t freqResolution = 1'000'000;
+
+    /**
+     * Seed for the per-epoch shard arrival shuffle.  Ingestion
+     * canonicalizes by (machine, shard sequence) before folding, so the
+     * service's outputs are identical for every seed — the knob exists
+     * so tests can prove that.
+     */
+    uint64_t arrivalShuffleSeed = 0;
+
+    /** Samples per emitted wire shard. */
+    uint32_t shardSamples = 64;
+
+    /** Artifact-cache image persisted across relinks (and across
+     *  service restarts).  Empty = "<base.name>.fleet.cache". */
+    std::string cachePath;
+};
+
+/** What one epoch ingested and decided. */
+struct EpochStats
+{
+    uint32_t epoch = 0;
+
+    uint32_t shardsIngested = 0; ///< Wire shards decoded successfully.
+    uint32_t shardsRejected = 0; ///< Wire shards dropped as corrupt.
+
+    /** Shards queued ahead of the fold (the ingest backlog peak). */
+    uint32_t shardLagPeak = 0;
+
+    /** Version index -> samples ingested this epoch. */
+    std::map<uint32_t, uint64_t> samplesByVersion;
+
+    /** Version index -> machines running it when the epoch ended. */
+    std::map<uint32_t, uint32_t> machinesByVersion;
+
+    /** Drift metric vs the last-relink snapshot, in [0, 1]. */
+    double driftMetric = 0.0;
+
+    bool relinked = false; ///< The metric crossed the threshold.
+};
+
+/** One relink of the shipped binary. */
+struct RelinkRecord
+{
+    uint32_t epoch = 0;    ///< Epoch that triggered it.
+    double metric = 0.0;   ///< Drift metric at the trigger.
+    bool forced = false;   ///< relinkNow(), not a threshold crossing.
+
+    bool cacheLoaded = false; ///< The persisted image seeded the run.
+
+    uint64_t layoutHits = 0;       ///< Layout tier: exact-key hits.
+    uint64_t layoutMisses = 0;     ///< Layout tier: Ext-TSP reruns.
+    uint64_t layoutPrimedHits = 0; ///< Layout tier: digest-alias hits.
+    uint64_t objectHits = 0;       ///< Object tier: codegen cache hits.
+
+    /**
+     * Warm hits this service *knows* the persisted image must serve
+     * (keys it wrote in earlier relinks).  Actual hits may exceed this
+     * when the image predates the service; they must never fall short —
+     * the service checks that invariant on every relink.
+     */
+    uint64_t expectedHits = 0;
+    uint64_t expectedPrimedHits = 0;
+
+    /** Functions primed for digest-alias lookups this relink. */
+    uint64_t primedFunctions = 0;
+
+    /** Modelled schedule of the relink task graph. */
+    sched::ScheduleReport schedule;
+};
+
+/**
+ * The long-running service.  Construction builds the version chain and
+ * collects each version's steady-state load profile; stepEpoch() then
+ * advances the deterministic clock one epoch at a time.
+ */
+class FleetService
+{
+  public:
+    explicit FleetService(FleetOptions opts);
+    ~FleetService();
+    FleetService(const FleetService &) = delete;
+    FleetService &operator=(const FleetService &) = delete;
+
+    const FleetOptions &options() const;
+
+    /** Ingest one epoch of fleet shards; relink on a threshold cross. */
+    void stepEpoch();
+
+    /** stepEpoch() @p epochs times. */
+    void run(uint32_t epochs);
+
+    /**
+     * Relink now regardless of the drift metric (flagged `forced` in
+     * the record, excluded from driftCrossings()).  Requires at least
+     * one epoch of ingested samples.
+     */
+    void relinkNow();
+
+    uint32_t epochsRun() const;
+    uint32_t targetVersion() const;
+
+    /** Epochs whose drift metric exceeded the threshold. */
+    uint32_t driftCrossings() const;
+
+    const std::vector<EpochStats> &history() const;
+    const std::vector<RelinkRecord> &relinks() const;
+
+    /** The last relink's output binary.  Requires >= 1 relink. */
+    const linker::Executable &shippedBinary() const;
+
+    /** The combined DCFG the last relink was driven by. */
+    const core::WholeProgramDcfg &lastRelinkDcfg() const;
+
+    /** The last relink's WPA artifacts (cc_prof / ld_prof). */
+    const core::WpaResult &lastRelinkWpa() const;
+
+    /** Function names primed for digest-alias layout lookups at the
+     *  last relink (drifted-but-matched per the stale matcher). */
+    const std::set<std::string> &lastPrimeFunctions() const;
+
+    /** Version @p v's metadata binary (profiling target). */
+    const linker::Executable &versionBinary(uint32_t v) const;
+
+    /** Version @p v's generated-then-drifted program. */
+    const ir::Program &versionProgram(uint32_t v) const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/**
+ * Regenerate version @p v's program: v0 is the pristine build of
+ * `opts.base`, each later version replays one more drift episode — the
+ * exact recipe the service uses internally, so callers comparing against
+ * a service's relinks get byte-identical programs.
+ */
+ir::Program makeVersionProgram(const FleetOptions &opts, uint32_t v);
+
+/** Multi-line human-readable statusz page. */
+std::string renderStatuszText(const FleetService &service);
+
+/** The same page as a JSON document (the CI/monitoring form). */
+std::string renderStatuszJson(const FleetService &service);
+
+} // namespace propeller::fleet
+
+#endif // PROPELLER_SERVICE_FLEET_H

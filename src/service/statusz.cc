@@ -1,0 +1,190 @@
+#include "service/fleet.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace propeller::fleet {
+
+namespace {
+
+std::string
+fmt(const char *format, ...)
+{
+    char buf[512];
+    va_list args;
+    va_start(args, format);
+    vsnprintf(buf, sizeof(buf), format, args);
+    va_end(args);
+    return buf;
+}
+
+/** Indent every line of a multi-line block. */
+std::string
+indent(const std::string &block, const char *prefix)
+{
+    std::string out;
+    size_t pos = 0;
+    while (pos < block.size()) {
+        size_t eol = block.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = block.size();
+        out += prefix;
+        out.append(block, pos, eol - pos);
+        out += '\n';
+        pos = eol + 1;
+    }
+    return out;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+renderStatuszText(const FleetService &service)
+{
+    const FleetOptions &opts = service.options();
+    std::ostringstream os;
+
+    os << "=== fleet statusz: " << opts.base.name << " ===\n";
+    os << fmt("machines %u  versions %u  target v%u  epochs run %u\n",
+              opts.machines, opts.versions, service.targetVersion(),
+              service.epochsRun());
+    os << fmt("drift threshold %.4f  decay %.3f (window %u)  "
+              "release epoch %u\n",
+              opts.driftThreshold, opts.decay, opts.decayWindow,
+              opts.releaseEpoch);
+    os << "cache image: " << opts.cachePath << "\n";
+
+    const std::vector<EpochStats> &hist = service.history();
+    if (!hist.empty()) {
+        const EpochStats &last = hist.back();
+        os << "\n--- current mix (epoch " << last.epoch << ") ---\n";
+        for (const auto &[v, machines] : last.machinesByVersion) {
+            uint64_t samples = 0;
+            auto it = last.samplesByVersion.find(v);
+            if (it != last.samplesByVersion.end())
+                samples = it->second;
+            os << fmt("  v%u: %u machine(s), %" PRIu64
+                      " sample(s) this epoch%s\n",
+                      v, machines, samples,
+                      v == service.targetVersion() ? "  [target]" : "");
+        }
+    }
+
+    os << "\n--- drift history ---\n";
+    os << "  epoch  shards  rejected  lag-peak   metric  relinked\n";
+    for (const EpochStats &es : hist) {
+        os << fmt("  %5u  %6u  %8u  %8u  %7.4f  %s\n", es.epoch,
+                  es.shardsIngested, es.shardsRejected, es.shardLagPeak,
+                  es.driftMetric, es.relinked ? "yes" : "no");
+    }
+    os << fmt("  threshold crossings: %u\n", service.driftCrossings());
+
+    os << "\n--- relinks ---\n";
+    const std::vector<RelinkRecord> &relinks = service.relinks();
+    if (relinks.empty())
+        os << "  (none yet)\n";
+    for (const RelinkRecord &r : relinks) {
+        os << fmt("  epoch %u  metric %.4f%s%s\n", r.epoch, r.metric,
+                  r.forced ? "  [forced]" : "",
+                  r.cacheLoaded ? "  [cache image loaded]" : "");
+        os << fmt("    layout tier: %" PRIu64 " hit(s), %" PRIu64
+                  " primed hit(s), %" PRIu64 " miss(es)"
+                  "  (expected warm >= %" PRIu64 "+%" PRIu64 ")\n",
+                  r.layoutHits, r.layoutPrimedHits, r.layoutMisses,
+                  r.expectedHits, r.expectedPrimedHits);
+        os << fmt("    object tier: %" PRIu64 " hit(s);  primed "
+                  "functions: %" PRIu64 "\n",
+                  r.objectHits, r.primedFunctions);
+        if (r.schedule.tasksExecuted > 0)
+            os << indent(sched::summarizeSchedule(r.schedule), "    ");
+    }
+    return os.str();
+}
+
+std::string
+renderStatuszJson(const FleetService &service)
+{
+    const FleetOptions &opts = service.options();
+    std::ostringstream os;
+
+    os << "{\n";
+    os << "  \"workload\": \"" << jsonEscape(opts.base.name) << "\",\n";
+    os << fmt("  \"machines\": %u,\n", opts.machines);
+    os << fmt("  \"versions\": %u,\n", opts.versions);
+    os << fmt("  \"target_version\": %u,\n", service.targetVersion());
+    os << fmt("  \"epochs_run\": %u,\n", service.epochsRun());
+    os << fmt("  \"drift_threshold\": %.6f,\n", opts.driftThreshold);
+    os << fmt("  \"drift_crossings\": %u,\n", service.driftCrossings());
+
+    os << "  \"epochs\": [\n";
+    const std::vector<EpochStats> &hist = service.history();
+    for (size_t i = 0; i < hist.size(); ++i) {
+        const EpochStats &es = hist[i];
+        os << "    {";
+        os << fmt("\"epoch\": %u, \"shards_ingested\": %u, "
+                  "\"shards_rejected\": %u, \"shard_lag_peak\": %u, "
+                  "\"drift_metric\": %.6f, \"relinked\": %s, ",
+                  es.epoch, es.shardsIngested, es.shardsRejected,
+                  es.shardLagPeak, es.driftMetric,
+                  es.relinked ? "true" : "false");
+        os << "\"samples_by_version\": {";
+        bool first = true;
+        for (const auto &[v, n] : es.samplesByVersion) {
+            os << fmt("%s\"%u\": %" PRIu64, first ? "" : ", ", v, n);
+            first = false;
+        }
+        os << "}, \"machines_by_version\": {";
+        first = true;
+        for (const auto &[v, n] : es.machinesByVersion) {
+            os << fmt("%s\"%u\": %u", first ? "" : ", ", v, n);
+            first = false;
+        }
+        os << "}}";
+        os << (i + 1 < hist.size() ? ",\n" : "\n");
+    }
+    os << "  ],\n";
+
+    os << "  \"relinks\": [\n";
+    const std::vector<RelinkRecord> &relinks = service.relinks();
+    for (size_t i = 0; i < relinks.size(); ++i) {
+        const RelinkRecord &r = relinks[i];
+        os << "    {";
+        os << fmt("\"epoch\": %u, \"metric\": %.6f, \"forced\": %s, "
+                  "\"cache_loaded\": %s, \"layout_hits\": %" PRIu64
+                  ", \"layout_primed_hits\": %" PRIu64
+                  ", \"layout_misses\": %" PRIu64
+                  ", \"object_hits\": %" PRIu64
+                  ", \"expected_hits\": %" PRIu64
+                  ", \"expected_primed_hits\": %" PRIu64
+                  ", \"primed_functions\": %" PRIu64
+                  ", \"schedule_makespan_sec\": %.6f"
+                  ", \"schedule_tasks\": %u}",
+                  r.epoch, r.metric, r.forced ? "true" : "false",
+                  r.cacheLoaded ? "true" : "false", r.layoutHits,
+                  r.layoutPrimedHits, r.layoutMisses, r.objectHits,
+                  r.expectedHits, r.expectedPrimedHits,
+                  r.primedFunctions, r.schedule.makespanSec,
+                  r.schedule.tasksExecuted);
+        os << (i + 1 < relinks.size() ? ",\n" : "\n");
+    }
+    os << "  ]\n";
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace propeller::fleet

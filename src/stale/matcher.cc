@@ -87,6 +87,7 @@ matchStaleProfile(const core::WholeProgramDcfg &profile_dcfg,
                 node_remap[fi][ni] = static_cast<int>(ni);
             out.dcfg.functions.push_back(fn);
             out.needsInference.push_back(0);
+            out.functionHashes.push_back({fn.function, a_hash, a_hash});
             ++stats.functionsIdentical;
             stats.blocksExact += fn.nodes.size();
             for (const auto &node : fn.nodes)
@@ -266,6 +267,8 @@ matchStaleProfile(const core::WholeProgramDcfg &profile_dcfg,
         node_remap[fi] = std::move(remap);
         out.dcfg.functions.push_back(std::move(nf));
         out.needsInference.push_back(1);
+        out.functionHashes.push_back(
+            {fn.function, a_hash, target.functionHash(t_idx)});
         ++stats.functionsMatched;
     }
 

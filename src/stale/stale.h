@@ -93,6 +93,24 @@ struct StaleMatchResult
      * path byte-identical to the fresh pipeline.)
      */
     std::vector<uint8_t> needsInference;
+
+    /** Whole-function hashes of one surviving match. */
+    struct FunctionHashPair
+    {
+        std::string function;
+        uint64_t profiledHash = 0; ///< Hash in the profiled binary (A).
+        uint64_t targetHash = 0;   ///< Hash in the target binary (B).
+    };
+
+    /**
+     * Parallel to dcfg.functions: the function-hash map of every match
+     * that survived (profiledHash == targetHash exactly for tier-1
+     * identical functions).  Entries with differing hashes name the
+     * drifted-but-matched functions — the set the fleet service primes
+     * the layout-cache tier with, since their remapped counts may still
+     * reproduce a layout computed against the profiled binary.
+     */
+    std::vector<FunctionHashPair> functionHashes;
 };
 
 /**

@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Tests for the continuous-profiling fleet service (src/service): the
+ * recency-weighted DecayedAggregate, shard version stamps, service
+ * determinism across arrival orders and thread counts, the drift-trigger
+ * property, layout-cache priming through the Workflow seams, and the
+ * persisted cache image across service restarts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "build/workflow.h"
+#include "ir/ir.h"
+#include "profile/profile.h"
+#include "service/fleet.h"
+#include "test_util.h"
+#include "workload/workload.h"
+
+namespace propeller {
+namespace {
+
+/** Small fleet: three binary versions, a handful of machines. */
+workload::WorkloadConfig
+fleetConfig(uint64_t seed = 47)
+{
+    workload::WorkloadConfig cfg = test::smallConfig(seed);
+    cfg.name = "fleetapp";
+    cfg.modules = 8;
+    cfg.functions = 48;
+    cfg.hotFunctions = 14;
+    cfg.profileInstructions = 200'000;
+    cfg.evalInstructions = 200'000;
+    cfg.sampleLbrPeriod = 2'000;
+    return cfg;
+}
+
+fleet::FleetOptions
+fleetOptions(const std::string &cache, uint64_t seed = 47)
+{
+    fleet::FleetOptions fo;
+    fo.base = fleetConfig(seed);
+    fo.machines = 4;
+    fo.versions = 3;
+    fo.cachePath = cache;
+    std::remove(cache.c_str());
+    return fo;
+}
+
+// ---------------------------------------------------------------------
+// DecayedAggregate
+
+TEST(DecayedAggregate, MonotoneDecayUntilWindowExit)
+{
+    const uint64_t key = profile::AggregatedProfile::key(0x100, 0x200);
+    profile::AggregatedProfile epoch;
+    epoch.branches[key] = 1000;
+    epoch.totalBranchEvents = 1000;
+
+    profile::DecayedAggregate agg(4);
+    agg.fold(epoch, 0.5);
+
+    // Aging: each empty epoch halves the key's weight; after the window
+    // slides past the non-empty epoch the aggregate reads empty.
+    uint64_t prev = agg.quantize().branches.at(key);
+    EXPECT_EQ(prev, 1000u);
+    profile::AggregatedProfile empty;
+    for (int age = 1; age < 4; ++age) {
+        agg.fold(empty, 0.5);
+        uint64_t cur = agg.quantize().branches.at(key);
+        EXPECT_LT(cur, prev) << "age " << age;
+        EXPECT_EQ(cur, 1000u >> age);
+        EXPECT_FALSE(agg.empty());
+        prev = cur;
+    }
+    agg.fold(empty, 0.5);
+    EXPECT_TRUE(agg.empty());
+    EXPECT_EQ(agg.quantize().branches.count(key), 0u);
+    EXPECT_EQ(agg.epochs(), 5u);
+}
+
+TEST(DecayedAggregate, ScaledQuantizeExactlyStableAtConstantMix)
+{
+    profile::AggregatedProfile epoch;
+    epoch.branches[profile::AggregatedProfile::key(1, 2)] = 977;
+    epoch.branches[profile::AggregatedProfile::key(3, 4)] = 311;
+    epoch.ranges[profile::AggregatedProfile::key(2, 3)] = 613;
+    epoch.totalBranchEvents = 1288;
+
+    profile::DecayedAggregate agg(3);
+    std::vector<profile::AggregatedProfile> snaps;
+    for (int i = 0; i < 6; ++i) {
+        agg.fold(epoch, 0.7);
+        snaps.push_back(agg.quantize(1'000'000));
+    }
+    // Once the window fills (3 folds) every snapshot is byte-identical:
+    // same window contents, same arithmetic — no geometric residue.
+    for (size_t i = 3; i < snaps.size(); ++i) {
+        EXPECT_EQ(snaps[i].branches, snaps[2].branches) << "fold " << i;
+        EXPECT_EQ(snaps[i].ranges, snaps[2].ranges) << "fold " << i;
+    }
+    // The heaviest branch lands exactly on the requested resolution.
+    EXPECT_EQ(
+        snaps.back().branches.at(profile::AggregatedProfile::key(1, 2)),
+        1'000'000u);
+}
+
+// ---------------------------------------------------------------------
+// Per-shard version stamps
+
+TEST(ShardVersions, MixedVersionShardSetIsDiagnosedPerShard)
+{
+    profile::Profile a;
+    a.binaryHash = 0x1111;
+    a.totalRetired = 10;
+    a.samples.resize(3);
+    profile::Profile b = a;
+    b.binaryHash = 0x2222;
+
+    std::vector<std::vector<uint8_t>> shards =
+        profile::serializeShards(a, 1);
+    std::vector<std::vector<uint8_t>> sb = profile::serializeShards(b, 1);
+    shards.insert(shards.end(), sb.begin(), sb.end());
+
+    profile::ShardLoadStats stats;
+    profile::Profile merged = profile::loadShards(shards, &stats);
+    EXPECT_EQ(stats.shardsRejected, 0u);
+    ASSERT_EQ(stats.shardVersions.size(), 6u);
+    for (size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(stats.shardVersions[i], 0x1111u) << i;
+        EXPECT_EQ(stats.shardVersions[i + 3], 0x2222u) << i;
+    }
+    EXPECT_EQ(stats.distinctVersions, 2u);
+    EXPECT_EQ(merged.samples.size(), 6u);
+}
+
+// ---------------------------------------------------------------------
+// Service determinism
+
+TEST(FleetService, DeterministicAcrossArrivalOrderAndThreads)
+{
+    fleet::FleetOptions a = fleetOptions("test_fleet_det_a.cache");
+    a.base.jobs = 1;
+    a.arrivalShuffleSeed = 0;
+    fleet::FleetOptions b = fleetOptions("test_fleet_det_b.cache");
+    b.base.jobs = 8;
+    b.arrivalShuffleSeed = 0xfeedface;
+
+    fleet::FleetService sa(std::move(a));
+    fleet::FleetService sb(std::move(b));
+    sa.run(4);
+    sb.run(4);
+
+    ASSERT_EQ(sa.history().size(), 4u);
+    for (size_t e = 0; e < 4; ++e) {
+        const fleet::EpochStats &ea = sa.history()[e];
+        const fleet::EpochStats &eb = sb.history()[e];
+        EXPECT_EQ(ea.driftMetric, eb.driftMetric) << "epoch " << e;
+        EXPECT_EQ(ea.relinked, eb.relinked) << "epoch " << e;
+        EXPECT_EQ(ea.shardsIngested, eb.shardsIngested) << "epoch " << e;
+        EXPECT_EQ(ea.samplesByVersion, eb.samplesByVersion)
+            << "epoch " << e;
+        EXPECT_EQ(ea.machinesByVersion, eb.machinesByVersion)
+            << "epoch " << e;
+    }
+    EXPECT_EQ(sa.driftCrossings(), sb.driftCrossings());
+    ASSERT_GE(sa.relinks().size(), 1u);
+
+    // Same shipped bytes regardless of shard arrival order or threads.
+    EXPECT_EQ(sa.shippedBinary().identityHash,
+              sb.shippedBinary().identityHash);
+    EXPECT_EQ(sa.shippedBinary().text, sb.shippedBinary().text);
+}
+
+// ---------------------------------------------------------------------
+// Drift-trigger property
+
+TEST(FleetService, RelinkFiresIffMetricCrossesThreshold)
+{
+    const double thresholds[] = {0.02, 0.25};
+    for (uint64_t seed = 101; seed <= 105; ++seed) {
+        for (double threshold : thresholds) {
+            fleet::FleetOptions fo =
+                fleetOptions("test_fleet_trigger.cache", seed);
+            fo.driftThreshold = threshold;
+            fleet::FleetService svc(std::move(fo));
+            svc.run(4);
+
+            uint32_t expected_crossings = 0;
+            for (const fleet::EpochStats &es : svc.history()) {
+                EXPECT_EQ(es.relinked, es.driftMetric > threshold)
+                    << "seed " << seed << " threshold " << threshold
+                    << " epoch " << es.epoch;
+                if (es.driftMetric > threshold)
+                    ++expected_crossings;
+            }
+            EXPECT_EQ(svc.driftCrossings(), expected_crossings);
+
+            // Every triggered relink is recorded, none forced.
+            EXPECT_EQ(svc.relinks().size(), expected_crossings);
+            for (const fleet::RelinkRecord &r : svc.relinks())
+                EXPECT_FALSE(r.forced);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Layout-cache priming through the Workflow seams
+
+TEST(FleetWorkflow, PrimedDigestHitAfterLayoutNeutralEdit)
+{
+    workload::WorkloadConfig cfg = fleetConfig();
+    const char *cache = "test_fleet_prime.cache";
+    std::remove(cache);
+
+    buildsys::Workflow cold(cfg);
+    cold.propellerBinary();
+    ASSERT_TRUE(cold.saveCacheFile(cache));
+    ASSERT_FALSE(cold.wpa().hotFunctions.empty());
+
+    // Edit a Work immediate in a sampled function: the function hash
+    // (and the exact-match memo key) changes, but the layout inputs —
+    // CFG shape, block sizes, counts — do not.
+    ir::Program edited = workload::generate(cfg);
+    std::string victim;
+    for (const std::string &hot : cold.wpa().hotFunctions) {
+        for (auto &module : edited.modules) {
+            for (auto &fn : module->functions) {
+                if (fn->name != hot || fn->isHandAsm)
+                    continue;
+                for (auto &bb : fn->blocks) {
+                    for (ir::Inst &inst : bb->insts) {
+                        if (inst.kind == ir::InstKind::Work &&
+                            victim.empty()) {
+                            inst.imm += 0x5eed;
+                            victim = fn->name;
+                        }
+                    }
+                }
+            }
+        }
+        if (!victim.empty())
+            break;
+    }
+    ASSERT_FALSE(victim.empty());
+
+    buildsys::Workflow warm(cfg);
+    warm.overrideProgram(std::move(edited));
+    ASSERT_TRUE(warm.loadCacheFile(cache));
+    warm.setLayoutPrimeFunctions({victim});
+    warm.propellerBinary();
+
+    EXPECT_GE(warm.layoutCacheStats().primedHits, 1u);
+    EXPECT_GE(warm.layoutCacheStats().hits, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Persisted cache image across service restarts
+
+TEST(FleetService, RestartedServiceRelinksFullyWarm)
+{
+    const char *cache = "test_fleet_restart.cache";
+    {
+        fleet::FleetService first(fleetOptions(cache));
+        first.run(1); // Epoch 0's metric is 1.0: always relinks.
+        ASSERT_EQ(first.relinks().size(), 1u);
+        EXPECT_FALSE(first.relinks()[0].cacheLoaded);
+        EXPECT_GT(first.relinks()[0].layoutMisses, 0u);
+    }
+
+    fleet::FleetOptions fo;
+    fo.base = fleetConfig();
+    fo.machines = 4;
+    fo.versions = 3;
+    fo.cachePath = cache; // Deliberately not removed: the restart image.
+    fleet::FleetService second(std::move(fo));
+    second.run(1);
+    ASSERT_EQ(second.relinks().size(), 1u);
+    const fleet::RelinkRecord &r = second.relinks()[0];
+    EXPECT_TRUE(r.cacheLoaded);
+    EXPECT_GT(r.layoutHits, 0u);
+    EXPECT_EQ(r.layoutMisses, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Forced relinks and statusz rendering
+
+TEST(FleetService, ForcedRelinkIsFlaggedAndExcludedFromCrossings)
+{
+    fleet::FleetOptions fo = fleetOptions("test_fleet_forced.cache");
+    fo.driftThreshold = 2.0; // Unreachable: no triggered relinks.
+    fleet::FleetService svc(std::move(fo));
+    svc.run(2);
+    EXPECT_EQ(svc.driftCrossings(), 0u);
+    EXPECT_TRUE(svc.relinks().empty());
+
+    svc.relinkNow();
+    ASSERT_EQ(svc.relinks().size(), 1u);
+    EXPECT_TRUE(svc.relinks()[0].forced);
+    EXPECT_EQ(svc.driftCrossings(), 0u);
+}
+
+TEST(FleetService, StatuszRendersHistoryAndRelinks)
+{
+    fleet::FleetOptions fo = fleetOptions("test_fleet_statusz.cache");
+    fleet::FleetService svc(std::move(fo));
+    svc.run(3);
+
+    std::string text = fleet::renderStatuszText(svc);
+    EXPECT_NE(text.find("fleet statusz: fleetapp"), std::string::npos);
+    EXPECT_NE(text.find("drift history"), std::string::npos);
+    EXPECT_NE(text.find("layout tier:"), std::string::npos);
+    EXPECT_NE(text.find("makespan"), std::string::npos);
+
+    std::string json = fleet::renderStatuszJson(svc);
+    EXPECT_NE(json.find("\"workload\": \"fleetapp\""), std::string::npos);
+    EXPECT_NE(json.find("\"epochs\": ["), std::string::npos);
+    EXPECT_NE(json.find("\"relinks\": ["), std::string::npos);
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+}
+
+} // namespace
+} // namespace propeller

@@ -62,6 +62,8 @@ def main():
         "steal_hit_rate_jobs8", "steal_attempts_jobs8",
         "warm_layout_hit_rate", "warm_stage_speedup",
         "drift_layout_hit_rate", "persisted_layout_hit_rate",
+        "steady_state_retention", "relinks_triggered", "drift_crossings",
+        "primed_hits", "warm_hit_rate_steady",
     ]
     summary = {}
     for name, data in merged.items():

@@ -45,6 +45,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,7 @@
 #include "build/workflow.h"
 #include "faultinject/faultinject.h"
 #include "ir/verifier.h"
+#include "service/fleet.h"
 #include "sim/machine.h"
 #include "stale/stale.h"
 #include "support/table.h"
@@ -92,6 +94,16 @@ bool g_json = false;
 
 /** --trace-out FILE: dump the relink schedule as a Chrome trace. */
 std::string g_trace_out;
+
+/** serve: fleet-service knobs (see fleet::FleetOptions). */
+unsigned g_machines = 8;
+unsigned g_epochs = 8;
+unsigned g_versions = 3;
+double g_drift_threshold = 0.15;
+double g_drift_pct = 10.0;
+double g_decay = 0.5;
+std::string g_statusz_out;
+std::string g_cache_path;
 
 /** Look up a workload and apply the global --jobs override. */
 workload::WorkloadConfig
@@ -140,6 +152,31 @@ printCounters(const char *label, const sim::RunResult &r,
 int usage();
 
 /**
+ * Per-shard version census of a profile's wire form.  Every wire shard
+ * carries its own binary identity stamp, so a mismatch can be pinned to
+ * the shards that actually came from another build — the single
+ * whole-profile binaryHash gate can only say "something differs".
+ */
+void
+printShardVersionCensus(const profile::Profile &prof, uint64_t targetHash)
+{
+    profile::ShardLoadStats stats;
+    profile::loadShards(profile::serializeShards(prof, 4096), &stats);
+    std::map<uint64_t, uint32_t> census;
+    for (uint64_t v : stats.shardVersions) {
+        if (v != 0)
+            ++census[v];
+    }
+    std::fprintf(stderr, "per-shard version census (%u shard(s), %u "
+                         "distinct version(s)):\n",
+                 stats.shardsTotal, stats.distinctVersions);
+    for (const auto &[version, shards] : census)
+        std::fprintf(stderr, "  %u shard(s) stamped %016llx%s\n", shards,
+                     static_cast<unsigned long long>(version),
+                     version == targetHash ? "  [matches target]" : "");
+}
+
+/**
  * `run --stale-profile N`: the end-to-end drift replay.  Last week's
  * build is profiled; this week's build (drifted N%) is optimized with
  * that stale profile, and both are compared against the fresh-profile
@@ -177,6 +214,7 @@ cmdRunStale(const workload::WorkloadConfig &cfg)
                      "drift mutations; rerun with --allow-stale to match "
                      "by CFG fingerprint.\n",
                      drift.total());
+        printShardVersionCensus(prof, target.identityHash);
         return 1;
     }
 
@@ -428,6 +466,7 @@ cmdWpa(const std::string &name)
                      static_cast<unsigned long long>(prof.binaryHash),
                      static_cast<unsigned long long>(target.identityHash),
                      drift.total());
+        printShardVersionCensus(prof, target.identityHash);
         return 1;
     }
 
@@ -576,6 +615,55 @@ cmdHeatmap(const std::string &name)
     return 0;
 }
 
+/**
+ * `serve <workload>`: the continuous-profiling fleet loop — stream
+ * shards from a mixed-version fleet, fold the recency-weighted
+ * aggregate, relink on drift-threshold crossings, print statusz.
+ */
+int
+cmdServe(const std::string &name)
+{
+    fleet::FleetOptions fo;
+    fo.base = namedConfig(name);
+    fo.machines = g_machines;
+    fo.versions = g_versions;
+    fo.interVersionDrift = g_drift_pct / 100.0;
+    fo.driftThreshold = g_drift_threshold;
+    fo.decay = g_decay;
+    fo.cachePath = g_cache_path;
+
+    std::printf("fleet service: %u machine(s) on %u version(s) of %s, "
+                "drift threshold %.3f\n",
+                fo.machines, fo.versions, name.c_str(), fo.driftThreshold);
+
+    fleet::FleetService service(std::move(fo));
+    for (unsigned e = 0; e < g_epochs; ++e) {
+        service.stepEpoch();
+        const fleet::EpochStats &es = service.history().back();
+        std::printf("epoch %2u: %3u shard(s) in, %u rejected, drift "
+                    "%.4f%s\n",
+                    es.epoch, es.shardsIngested, es.shardsRejected,
+                    es.driftMetric, es.relinked ? "  -> relink" : "");
+    }
+
+    std::string page = fleet::renderStatuszText(service);
+    std::printf("\n%s", page.c_str());
+
+    if (!g_statusz_out.empty()) {
+        std::string json = fleet::renderStatuszJson(service);
+        FILE *f = std::fopen(g_statusz_out.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "propeller-cli: cannot write '%s'\n",
+                         g_statusz_out.c_str());
+            return 1;
+        }
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::printf("statusz JSON written to %s\n", g_statusz_out.c_str());
+    }
+    return 0;
+}
+
 int
 usage()
 {
@@ -586,6 +674,7 @@ usage()
                 "  verify <workload>\n"
                 "  disasm <workload> <symbol>\n"
                 "  heatmap <workload>\n"
+                "  serve <workload>\n"
                 "options:\n"
                 "  --jobs N            worker threads for every parallel\n"
                 "                      stage: layout, codegen, link\n"
@@ -611,7 +700,22 @@ usage()
                 "  --trace-out FILE    run: write the modelled relink\n"
                 "                      schedule as Chrome trace_event\n"
                 "                      JSON (open in chrome://tracing\n"
-                "                      or https://ui.perfetto.dev)\n");
+                "                      or https://ui.perfetto.dev)\n"
+                "  --machines N        serve: fleet machines (default 8)\n"
+                "  --epochs N          serve: profiling epochs to run\n"
+                "                      (default 8)\n"
+                "  --versions N        serve: binary versions in the\n"
+                "                      drift chain (default 3)\n"
+                "  --drift N           serve: inter-version drift %%\n"
+                "                      (default 10)\n"
+                "  --drift-threshold X serve: relink when the drift\n"
+                "                      metric exceeds X (default 0.15)\n"
+                "  --decay D           serve: per-epoch sample decay in\n"
+                "                      (0, 1] (default 0.5)\n"
+                "  --cache FILE        serve: artifact-cache image path\n"
+                "                      (persists across restarts)\n"
+                "  --statusz-out FILE  serve: write the statusz page as\n"
+                "                      JSON\n");
     return 2;
 }
 
@@ -686,6 +790,81 @@ main(int argc, char **argv)
             g_trace_out = argv[++i];
             continue;
         }
+        auto parseCount = [&](const char *flag, unsigned &out) {
+            char *end = nullptr;
+            unsigned long n = std::strtoul(argv[i], &end, 10);
+            if (end == argv[i] || *end != '\0' || n == 0) {
+                std::printf("propeller-cli: %s expects a positive "
+                            "number, got '%s'\n",
+                            flag, argv[i]);
+                return false;
+            }
+            out = static_cast<unsigned>(n);
+            return true;
+        };
+        auto parseReal = [&](const char *flag, double lo, double hi,
+                             double &out) {
+            char *end = nullptr;
+            double x = std::strtod(argv[i], &end);
+            if (end == argv[i] || *end != '\0' || x < lo || x > hi) {
+                std::printf("propeller-cli: %s expects a number in "
+                            "[%g, %g], got '%s'\n",
+                            flag, lo, hi, argv[i]);
+                return false;
+            }
+            out = x;
+            return true;
+        };
+        if (arg == "--machines" && i + 1 < argc) {
+            ++i;
+            if (!parseCount("--machines", g_machines))
+                return usage();
+            continue;
+        }
+        if (arg == "--epochs" && i + 1 < argc) {
+            ++i;
+            if (!parseCount("--epochs", g_epochs))
+                return usage();
+            continue;
+        }
+        if (arg == "--versions" && i + 1 < argc) {
+            ++i;
+            if (!parseCount("--versions", g_versions))
+                return usage();
+            continue;
+        }
+        if (arg == "--drift" && i + 1 < argc) {
+            ++i;
+            if (!parseReal("--drift", 0.0, 100.0, g_drift_pct))
+                return usage();
+            continue;
+        }
+        if (arg == "--drift-threshold" && i + 1 < argc) {
+            ++i;
+            if (!parseReal("--drift-threshold", 0.0, 1.0,
+                           g_drift_threshold))
+                return usage();
+            continue;
+        }
+        if (arg == "--decay" && i + 1 < argc) {
+            ++i;
+            if (!parseReal("--decay", 0.0, 1.0, g_decay) || g_decay == 0.0) {
+                if (g_decay == 0.0)
+                    std::printf("propeller-cli: --decay expects a number in "
+                                "(0, 1], got '%s'\n",
+                                argv[i]);
+                return usage();
+            }
+            continue;
+        }
+        if (arg == "--cache" && i + 1 < argc) {
+            g_cache_path = argv[++i];
+            continue;
+        }
+        if (arg == "--statusz-out" && i + 1 < argc) {
+            g_statusz_out = argv[++i];
+            continue;
+        }
         args.push_back(std::move(arg));
     }
     if (args.empty())
@@ -703,5 +882,7 @@ main(int argc, char **argv)
         return cmdDisasm(args[1], args[2]);
     if (cmd == "heatmap" && args.size() == 2)
         return cmdHeatmap(args[1]);
+    if (cmd == "serve" && args.size() == 2)
+        return cmdServe(args[1]);
     return usage();
 }

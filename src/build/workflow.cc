@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <unordered_map>
 
+#include "build/journal.h"
 #include "linker/linker.h"
 #include "propeller/addr_map_index.h"
 #include "propeller/profile_mapper.h"
@@ -478,31 +479,31 @@ Workflow::setLayoutPrimeFunctions(std::set<std::string> functions)
 }
 
 bool
-Workflow::loadCacheFile(const std::string &path)
+Workflow::loadCacheFile(const std::string &path, uint64_t *generation)
 {
-    std::FILE *f = std::fopen(path.c_str(), "rb");
-    if (!f)
+    std::vector<uint8_t> file;
+    if (!readFile(path, file))
         return false;
-    std::vector<uint8_t> data;
-    uint8_t buf[1 << 16];
-    size_t n = 0;
-    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
-        data.insert(data.end(), buf, buf + n);
-    std::fclose(f);
-    return cache_.deserialize(data);
+    // A torn or bit-damaged journal is "no image": the run proceeds
+    // cold instead of aborting or half-loading.
+    std::vector<uint8_t> payload;
+    uint64_t gen = 0;
+    if (!decodeJournal(file, &gen, &payload))
+        return false;
+    if (!cache_.deserialize(payload))
+        return false;
+    if (generation)
+        *generation = gen;
+    return true;
 }
 
 bool
-Workflow::saveCacheFile(const std::string &path) const
+Workflow::saveCacheFile(const std::string &path, uint64_t generation,
+                        long crashAtByte) const
 {
-    std::vector<uint8_t> data = cache_.serialize();
-    std::FILE *f = std::fopen(path.c_str(), "wb");
-    if (!f)
-        return false;
-    size_t written = std::fwrite(data.data(), 1, data.size(), f);
-    bool ok = written == data.size();
-    ok = std::fclose(f) == 0 && ok;
-    return ok;
+    return atomicWriteFile(path,
+                           encodeJournal(generation, cache_.serialize()),
+                           crashAtByte);
 }
 
 const profile::Profile &

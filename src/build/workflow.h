@@ -358,17 +358,28 @@ class Workflow
     }
 
     /**
-     * Seed the artifact cache (both tiers) from a serialized image on
+     * Seed the artifact cache (both tiers) from a journaled image on
      * disk — the cross-process warm-rerun path.  Returns false if the
-     * file is absent, damaged, or fails the whole-image checksum; the
-     * cache is left empty in that case and the run proceeds cold.
+     * file is absent, torn (a crash mid-save), fails the journal or
+     * whole-image checksum, or decodes structurally damaged; the cache
+     * is left empty in every failure case and the run proceeds cold.
      * Must be called before the first product is pulled.
+     * @p generation receives the image's generation stamp when non-null.
      */
-    bool loadCacheFile(const std::string &path);
+    bool loadCacheFile(const std::string &path,
+                       uint64_t *generation = nullptr);
 
-    /** Persist the artifact cache image to @p path (for a later
-     *  loadCacheFile).  Returns false on I/O failure. */
-    bool saveCacheFile(const std::string &path) const;
+    /**
+     * Persist the artifact cache image to @p path (for a later
+     * loadCacheFile): the image is wrapped in a generation-stamped,
+     * checksummed journal container and written atomically (full temp
+     * file + rename), so a crash mid-save leaves the previous image
+     * intact and never a torn one.  Returns false on I/O failure.
+     * @p crashAtByte is the crash-point test seam (see
+     * buildsys::atomicWriteFile).
+     */
+    bool saveCacheFile(const std::string &path, uint64_t generation = 0,
+                       long crashAtByte = -1) const;
 
     /**
      * Replace the Phase 3 profile with @p prof (drift-injection seam

@@ -1,0 +1,265 @@
+#include "faultinject/chaos.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "faultinject/faultinject.h"
+#include "support/hash.h"
+
+namespace propeller::faultinject {
+
+using support::ErrorCode;
+using support::makeError;
+using support::StatusOr;
+
+namespace {
+
+// Site tags keying the per-decision RNG streams.
+constexpr uint64_t kSiteWire = 0x77697265;    // 'wire'
+constexpr uint64_t kSiteReorder = 0x72657264; // 'rerd'
+constexpr uint64_t kSiteRelink = 0x726c6e6b;  // 'rlnk'
+
+/** At most one fault per shard. */
+enum class Fate : uint8_t { kNone, kDrop, kDup, kDelay, kCorrupt };
+
+} // namespace
+
+StatusOr<ChaosSpec>
+parseChaosSpec(const std::string &text)
+{
+    ChaosSpec spec;
+    size_t pos = 0;
+    while (pos < text.size()) {
+        size_t comma = text.find(',', pos);
+        if (comma == std::string::npos)
+            comma = text.size();
+        std::string pair = text.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (pair.empty())
+            continue;
+        size_t eq = pair.find('=');
+        if (eq == std::string::npos)
+            return makeError(ErrorCode::kMalformed,
+                             "chaos spec entry '" + pair +
+                                 "' is not key=value");
+        std::string key = pair.substr(0, eq);
+        std::string value = pair.substr(eq + 1);
+        char *end = nullptr;
+        if (key == "seed" || key == "maxdelay" || key == "start" ||
+            key == "end") {
+            unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+            if (end == value.c_str() || *end != '\0')
+                return makeError(ErrorCode::kMalformed,
+                                 "value '" + value + "' for key '" + key +
+                                     "' is not an integer");
+            if (key == "seed")
+                spec.seed = n;
+            else if (key == "maxdelay")
+                spec.maxDelayEpochs = static_cast<uint32_t>(n);
+            else if (key == "start")
+                spec.chaosStartEpoch = static_cast<uint32_t>(n);
+            else
+                spec.chaosEndEpoch = static_cast<uint32_t>(n);
+            continue;
+        }
+        if (key == "blackout") {
+            size_t p = 0;
+            while (p < value.size()) {
+                size_t colon = value.find(':', p);
+                if (colon == std::string::npos)
+                    colon = value.size();
+                std::string item = value.substr(p, colon - p);
+                p = colon + 1;
+                unsigned long long e =
+                    std::strtoull(item.c_str(), &end, 10);
+                if (item.empty() || end == item.c_str() || *end != '\0')
+                    return makeError(ErrorCode::kMalformed,
+                                     "blackout epoch '" + item +
+                                         "' is not an integer");
+                spec.relinkBlackoutEpochs.insert(
+                    static_cast<uint32_t>(e));
+            }
+            continue;
+        }
+        double rate = std::strtod(value.c_str(), &end);
+        if (end == value.c_str() || *end != '\0' || rate < 0.0 ||
+            rate > 1.0)
+            return makeError(ErrorCode::kMalformed,
+                             "rate '" + value + "' for key '" + key +
+                                 "' is not in [0, 1]");
+        if (key == "drop")
+            spec.dropRate = rate;
+        else if (key == "dup")
+            spec.dupRate = rate;
+        else if (key == "delay")
+            spec.delayRate = rate;
+        else if (key == "corrupt")
+            spec.corruptRate = rate;
+        else if (key == "reorder")
+            spec.reorderRate = rate;
+        else if (key == "relinkfail")
+            spec.relinkFailRate = rate;
+        else
+            return makeError(ErrorCode::kMalformed,
+                             "unknown chaos spec key '" + key + "'");
+    }
+    if (spec.maxDelayEpochs == 0 && spec.delayRate > 0.0)
+        return makeError(ErrorCode::kMalformed,
+                         "delay rate set but maxdelay is 0");
+    return spec;
+}
+
+void
+ChaosSchedule::onWireShards(uint32_t epoch,
+                            std::vector<fleet::WireShard> &wire)
+{
+    if (epoch >= spec_.chaosStartEpoch && epoch <= spec_.chaosEndEpoch)
+        injectWireFaults(epoch, wire);
+
+    // Count the inversions present in the delivered stream with the
+    // service's own algorithm — its detection counter must land on
+    // exactly this total.  Runs outside the chaos window too: the
+    // service's own arrival shuffle contributes inversions every epoch,
+    // identically on both sides.
+    std::map<std::pair<uint32_t, uint32_t>, uint32_t> maxSeq;
+    for (const fleet::WireShard &ws : wire) {
+        if (ws.deliverEpoch != epoch)
+            continue;
+        auto [it, fresh] =
+            maxSeq.try_emplace({ws.machine, ws.emitEpoch}, ws.seq);
+        if (!fresh) {
+            if (ws.seq < it->second)
+                ++stats_.arrivalInversions;
+            else
+                it->second = ws.seq;
+        }
+    }
+}
+
+void
+ChaosSchedule::injectWireFaults(uint32_t epoch,
+                                std::vector<fleet::WireShard> &wire)
+{
+    stats_.shardsSeen += wire.size();
+
+    // Keyed per-shard fate: the fault for one shard depends only on
+    // (seed, site, machine/epoch/sequence), never on stream position.
+    std::vector<Fate> fate(wire.size(), Fate::kNone);
+    std::vector<uint32_t> delayBy(wire.size(), 0);
+    std::map<std::pair<uint32_t, uint32_t>, std::vector<size_t>> batches;
+    for (size_t i = 0; i < wire.size(); ++i) {
+        const fleet::WireShard &ws = wire[i];
+        batches[{ws.machine, ws.emitEpoch}].push_back(i);
+        Rng rng(mix64(spec_.seed, kSiteWire,
+                      mix64(ws.machine, ws.emitEpoch, ws.seq)));
+        if (rng.chance(spec_.dropRate)) {
+            fate[i] = Fate::kDrop;
+        } else if (rng.chance(spec_.dupRate)) {
+            fate[i] = Fate::kDup;
+        } else if (spec_.maxDelayEpochs > 0 &&
+                   rng.chance(spec_.delayRate)) {
+            fate[i] = Fate::kDelay;
+            delayBy[i] = static_cast<uint32_t>(
+                rng.range(1, spec_.maxDelayEpochs));
+        } else if (rng.chance(spec_.corruptRate)) {
+            fate[i] = Fate::kCorrupt;
+        }
+    }
+
+    // Keep every batch observable: if chaos decided to drop a whole
+    // (machine, epoch) batch, the lowest sequence survives — the batch
+    // manifest still arrives, so the other drops become *detectable*
+    // losses instead of silently unknowable ones.
+    for (const auto &[key, idxs] : batches) {
+        size_t minIdx = idxs.front();
+        bool allDropped = true;
+        for (size_t i : idxs) {
+            if (fate[i] != Fate::kDrop) {
+                allDropped = false;
+                break;
+            }
+            if (wire[i].seq < wire[minIdx].seq)
+                minIdx = i;
+        }
+        if (allDropped)
+            fate[minIdx] = Fate::kNone;
+    }
+
+    std::vector<fleet::WireShard> out;
+    out.reserve(wire.size() + wire.size() / 4);
+    for (size_t i = 0; i < wire.size(); ++i) {
+        fleet::WireShard &ws = wire[i];
+        switch (fate[i]) {
+          case Fate::kDrop:
+            ++stats_.shardsDropped;
+            continue;
+          case Fate::kDup:
+            ++stats_.shardsDuplicated;
+            out.push_back(ws); // Retransmit: the copy...
+            out.push_back(std::move(ws)); // ...and the original.
+            continue;
+          case Fate::kDelay:
+            ++stats_.shardsDelayed;
+            stats_.maxDelayInjected =
+                std::max(stats_.maxDelayInjected, delayBy[i]);
+            ws.deliverEpoch = epoch + delayBy[i];
+            out.push_back(std::move(ws));
+            continue;
+          case Fate::kCorrupt: {
+            Rng rng(mix64(spec_.seed, mix64(kSiteWire, 0x726f74 /*rot*/),
+                          mix64(ws.machine, ws.emitEpoch, ws.seq)));
+            mutateBytes(ws.bytes, rng);
+            ++stats_.shardsCorrupted;
+            out.push_back(std::move(ws));
+            continue;
+          }
+          case Fate::kNone:
+            out.push_back(std::move(ws));
+            continue;
+        }
+    }
+
+    // Adversarial churn on top of the service's own arrival shuffle:
+    // keyed swaps among the shards delivered this epoch (delayed shards
+    // are re-sorted canonically at delivery, so swapping them is moot).
+    if (spec_.reorderRate > 0.0) {
+        std::vector<size_t> nowIdx;
+        for (size_t i = 0; i < out.size(); ++i) {
+            if (out[i].deliverEpoch == epoch)
+                nowIdx.push_back(i);
+        }
+        const auto swaps = static_cast<uint64_t>(
+            spec_.reorderRate * static_cast<double>(nowIdx.size()));
+        for (uint64_t s = 0; s < swaps && nowIdx.size() >= 2; ++s) {
+            Rng rng(mix64(spec_.seed, kSiteReorder, mix64(epoch, s)));
+            size_t a = nowIdx[rng.below(nowIdx.size())];
+            size_t b = nowIdx[rng.below(nowIdx.size())];
+            if (a != b) {
+                std::swap(out[a], out[b]);
+                ++stats_.reorderSwaps;
+            }
+        }
+    }
+
+    wire = std::move(out);
+}
+
+bool
+ChaosSchedule::failRelink(uint32_t epoch, uint32_t attempt)
+{
+    bool fail = false;
+    if (spec_.relinkBlackoutEpochs.count(epoch) != 0) {
+        fail = true;
+    } else if (spec_.relinkFailRate > 0.0) {
+        Rng rng(mix64(spec_.seed, kSiteRelink, mix64(epoch, attempt)));
+        fail = rng.chance(spec_.relinkFailRate);
+    }
+    if (fail)
+        ++stats_.relinkFaults;
+    return fail;
+}
+
+} // namespace propeller::faultinject

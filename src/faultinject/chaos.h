@@ -1,0 +1,145 @@
+#ifndef PROPELLER_FAULTINJECT_CHAOS_H
+#define PROPELLER_FAULTINJECT_CHAOS_H
+
+/**
+ * @file
+ * Seeded chaos schedule for the fleet service's transport and relink
+ * seams (fleet::FleetChaosHooks).
+ *
+ * Where FaultInjector (faultinject.h) rots bytes inside one relink,
+ * ChaosSchedule attacks the *service* around it: wire shards in flight
+ * from fleet machines are dropped, duplicated, reordered, delayed whole
+ * epochs, and corrupted; relink attempts are crashed mid-flight, or
+ * blacked out entirely to force the last-good rollback path.  Every
+ * decision is keyed on (seed, site, shard identity) — never a
+ * sequential stream — so a chaos run is reproducible shard-for-shard
+ * regardless of arrival order or thread count.
+ *
+ * Fault classes are disjoint (at most one fault per shard), and the
+ * schedule keeps every (machine, epoch) batch observable by delivering
+ * at least one of its shards — exactly as a real transport's batch
+ * manifest still arrives when payloads are lost — so the service's
+ * detection counters can be compared *exactly* against the injected
+ * ground truth:
+ *
+ *   dropped   == losses finalized at the lag horizon
+ *   duplicated== duplicate arrivals deduplicated
+ *   corrupted == shards rejected by checksum decode
+ *   delayed   == late + expired arrivals   (after a drain period)
+ *   inversions: counted here on every epoch's delivered stream (wire
+ *               faults stay inside the chaos window, but the service's
+ *               own arrival shuffle contributes inversions every epoch)
+ *               with the same algorithm the service uses — a
+ *               transport-consistency check, not an injection count
+ *
+ * The delay/drop equalities need the run to outlive the chaos window:
+ * keep `chaosEndEpoch` at least (maxDelayEpochs + the service's decay
+ * window) epochs before the end of the run, and keep `maxDelayEpochs`
+ * at most the decay window so a delayed shard is classified (late or
+ * expired) rather than double-attributed (expired *and* lost).
+ *
+ * Driven by `propeller-cli serve --chaos <spec>` and the bench_chaos
+ * gate.
+ */
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "service/fleet.h"
+#include "support/rng.h"
+#include "support/status.h"
+
+namespace propeller::faultinject {
+
+/** What to do to the fleet's transport and relinks, under which seed. */
+struct ChaosSpec
+{
+    uint64_t seed = 1;
+
+    double dropRate = 0.0;    ///< Fraction of wire shards dropped.
+    double dupRate = 0.0;     ///< Fraction retransmitted (duplicated).
+    double delayRate = 0.0;   ///< Fraction delayed whole epochs.
+    double corruptRate = 0.0; ///< Fraction with payload rot.
+
+    /** Delay drawn uniformly from [1, maxDelayEpochs].  Keep at most
+     *  the service's decay window (see file comment). */
+    uint32_t maxDelayEpochs = 2;
+
+    /** Extra keyed swaps applied to the delivered stream, as a fraction
+     *  of its size (the arrival shuffle already reorders; this adds
+     *  adversarial churn on top). */
+    double reorderRate = 0.0;
+
+    /** Probability each relink attempt crashes mid-flight. */
+    double relinkFailRate = 0.0;
+
+    /** Epochs whose relinks fail on *every* attempt — the deterministic
+     *  way to force retry exhaustion, quarantine and last-good serving. */
+    std::set<uint32_t> relinkBlackoutEpochs;
+
+    /** Wire faults only fire in [chaosStartEpoch, chaosEndEpoch]. */
+    uint32_t chaosStartEpoch = 0;
+    uint32_t chaosEndEpoch = 0xffffffffu;
+
+    bool
+    any() const
+    {
+        return dropRate > 0.0 || dupRate > 0.0 || delayRate > 0.0 ||
+               corruptRate > 0.0 || reorderRate > 0.0 ||
+               relinkFailRate > 0.0 || !relinkBlackoutEpochs.empty();
+    }
+};
+
+/**
+ * Parse a spec string: comma-separated `key=value` pairs with keys
+ * `seed` (integer), `drop`/`dup`/`delay`/`corrupt`/`reorder`/
+ * `relinkfail` (rates in [0, 1]), `maxdelay` (epochs), `start`/`end`
+ * (the chaos window), and `blackout` (colon-separated epoch list).
+ * Example: "seed=7,drop=0.1,delay=0.2,maxdelay=2,blackout=4:5".
+ */
+support::StatusOr<ChaosSpec> parseChaosSpec(const std::string &text);
+
+/** What the schedule actually injected (ground truth for the gates). */
+struct ChaosStats
+{
+    uint64_t shardsSeen = 0;      ///< Wire shards presented in-window.
+    uint64_t shardsDropped = 0;
+    uint64_t shardsDuplicated = 0;
+    uint64_t shardsDelayed = 0;
+    uint64_t shardsCorrupted = 0;
+    uint32_t maxDelayInjected = 0; ///< Largest delay actually drawn.
+    uint64_t reorderSwaps = 0;     ///< Extra swaps applied.
+
+    /** Inversions present in every epoch's delivered stream, counted
+     *  with the service's own algorithm (the consistency-check twin of
+     *  fleet::FaultDetection::inversions; not windowed). */
+    uint64_t arrivalInversions = 0;
+
+    uint64_t relinkFaults = 0; ///< Relink attempts crashed.
+};
+
+/** The FleetChaosHooks implementation a FleetService runs under. */
+class ChaosSchedule : public fleet::FleetChaosHooks
+{
+  public:
+    explicit ChaosSchedule(const ChaosSpec &spec) : spec_(spec) {}
+
+    void onWireShards(uint32_t epoch,
+                      std::vector<fleet::WireShard> &wire) override;
+    bool failRelink(uint32_t epoch, uint32_t attempt) override;
+
+    const ChaosSpec &spec() const { return spec_; }
+    const ChaosStats &stats() const { return stats_; }
+
+  private:
+    void injectWireFaults(uint32_t epoch,
+                          std::vector<fleet::WireShard> &wire);
+
+    ChaosSpec spec_;
+    ChaosStats stats_;
+};
+
+} // namespace propeller::faultinject
+
+#endif // PROPELLER_FAULTINJECT_CHAOS_H

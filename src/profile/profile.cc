@@ -323,6 +323,15 @@ DecayedAggregate::fold(const AggregatedProfile &epoch, double decay)
     ++epochs_;
 }
 
+bool
+DecayedAggregate::addAt(uint32_t age, const AggregatedProfile &late)
+{
+    if (age >= window_.size())
+        return false;
+    window_[age].merge(late);
+    return true;
+}
+
 AggregatedProfile
 DecayedAggregate::quantize(uint64_t scaleTo) const
 {

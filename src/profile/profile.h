@@ -218,6 +218,17 @@ public:
     void fold(const AggregatedProfile &epoch, double decay);
 
     /**
+     * Merge @p late into the window entry observed @p age epochs ago
+     * (0 = the newest fold) — the landing path for profile shards that
+     * arrive epochs after they were emitted: a laggy machine's samples
+     * belong to the epoch it *ran*, not the epoch the wire delivered
+     * them, so they join that epoch's slot and decay on its clock.
+     * Returns false (and folds nothing) when the slot already slid out
+     * of the window — samples that old no longer influence the mix.
+     */
+    bool addAt(uint32_t age, const AggregatedProfile &late);
+
+    /**
      * Integer snapshot of the windowed state (llround per key); keys
      * whose weighted count rounds to zero are dropped.
      *

@@ -7,7 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+#include <vector>
+
 #include "build/cache.h"
+#include "build/journal.h"
 #include "build/workflow.h"
 #include "test_util.h"
 
@@ -233,6 +238,168 @@ TEST(WorkflowBinaries, PropellerBinaryNearBaselineSize)
     uint64_t po = wf.propellerBinary().sizes.text;
     EXPECT_LT(po, base * 115 / 100)
         << "PO text must stay within a few percent of baseline";
+}
+
+// ---------------------------------------------------------------------
+// Crash-safe journal persistence (the fleet cache image's container)
+
+TEST(Journal, EncodeDecodeRoundTripsGenerationAndPayload)
+{
+    const std::vector<uint8_t> payload = {0xde, 0xad, 0xbe, 0xef, 0x00,
+                                          0x01, 0x7f};
+    std::vector<uint8_t> image = encodeJournal(41, payload);
+    EXPECT_EQ(image.size(), kJournalHeaderBytes + payload.size() +
+                                kJournalFooterBytes);
+
+    uint64_t gen = 0;
+    std::vector<uint8_t> out;
+    ASSERT_TRUE(decodeJournal(image, &gen, &out));
+    EXPECT_EQ(gen, 41u);
+    EXPECT_EQ(out, payload);
+
+    // An empty payload is a valid (if pointless) image.
+    image = encodeJournal(7, {});
+    ASSERT_TRUE(decodeJournal(image, &gen, &out));
+    EXPECT_EQ(gen, 7u);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Journal, DecodeRejectsEveryTruncationPoint)
+{
+    std::vector<uint8_t> payload(64);
+    for (size_t i = 0; i < payload.size(); ++i)
+        payload[i] = static_cast<uint8_t>(i * 37 + 1);
+    const std::vector<uint8_t> image = encodeJournal(3, payload);
+
+    // Every proper prefix — torn inside the header, the payload, or the
+    // footer — must read as "no image", never as a short payload.
+    for (size_t len = 0; len < image.size(); ++len) {
+        std::vector<uint8_t> torn(image.begin(), image.begin() + len);
+        uint64_t gen = 99;
+        std::vector<uint8_t> out = {0xaa};
+        EXPECT_FALSE(decodeJournal(torn, &gen, &out)) << "len " << len;
+        EXPECT_EQ(gen, 99u) << "outputs touched at len " << len;
+        EXPECT_EQ(out.size(), 1u) << "outputs touched at len " << len;
+    }
+}
+
+TEST(Journal, DecodeRejectsBitDamageInEveryRegion)
+{
+    std::vector<uint8_t> payload(32, 0x5a);
+    const std::vector<uint8_t> image = encodeJournal(12, payload);
+
+    // One representative byte per region: magic, generation, length,
+    // payload, footer checksum.
+    const size_t probes[] = {0, 5, 14, kJournalHeaderBytes + 3,
+                             image.size() - 2};
+    for (size_t pos : probes) {
+        std::vector<uint8_t> damaged = image;
+        damaged[pos] ^= 0x10;
+        EXPECT_FALSE(decodeJournal(damaged, nullptr, nullptr))
+            << "byte " << pos;
+    }
+}
+
+TEST(Journal, AtomicWriteCrashSweepNeverCorruptsExistingImage)
+{
+    const std::string path = "test_journal_crash.img";
+    const std::string tmp = path + ".tmp";
+    std::remove(path.c_str());
+
+    std::vector<uint8_t> oldPayload(48, 0x11);
+    std::vector<uint8_t> newPayload(96, 0x22);
+    const std::vector<uint8_t> oldImage = encodeJournal(1, oldPayload);
+    const std::vector<uint8_t> newImage = encodeJournal(2, newPayload);
+    ASSERT_TRUE(atomicWriteFile(path, oldImage));
+
+    // Kill the save at every byte boundary class of the new image:
+    // inside the header, at the header/payload and payload/footer
+    // boundaries, strided through the payload, inside the footer, and
+    // after the last byte (written in full but never renamed).
+    std::vector<long> crashes;
+    for (size_t b = 0; b <= kJournalHeaderBytes; ++b)
+        crashes.push_back(static_cast<long>(b));
+    for (size_t b = kJournalHeaderBytes; b < newImage.size(); b += 7)
+        crashes.push_back(static_cast<long>(b));
+    for (size_t b = newImage.size() - kJournalFooterBytes;
+         b <= newImage.size(); ++b)
+        crashes.push_back(static_cast<long>(b));
+
+    for (long crash : crashes) {
+        EXPECT_FALSE(atomicWriteFile(path, newImage, crash))
+            << "crash at " << crash;
+        std::vector<uint8_t> file;
+        ASSERT_TRUE(readFile(path, file)) << "crash at " << crash;
+        uint64_t gen = 0;
+        std::vector<uint8_t> out;
+        ASSERT_TRUE(decodeJournal(file, &gen, &out))
+            << "crash at " << crash;
+        EXPECT_EQ(gen, 1u) << "crash at " << crash;
+        EXPECT_EQ(out, oldPayload) << "crash at " << crash;
+    }
+
+    // The next clean save goes through and replaces the image whole.
+    ASSERT_TRUE(atomicWriteFile(path, newImage));
+    std::vector<uint8_t> file;
+    ASSERT_TRUE(readFile(path, file));
+    uint64_t gen = 0;
+    std::vector<uint8_t> out;
+    ASSERT_TRUE(decodeJournal(file, &gen, &out));
+    EXPECT_EQ(gen, 2u);
+    EXPECT_EQ(out, newPayload);
+
+    std::remove(path.c_str());
+    std::remove(tmp.c_str());
+}
+
+TEST(WorkflowCache, JournaledImageRoundTripsGeneration)
+{
+    const char *path = "test_wf_journal.cache";
+    std::remove(path);
+    workload::WorkloadConfig cfg = test::smallConfig();
+
+    buildsys::Workflow writer(cfg);
+    writer.propellerBinary();
+    ASSERT_TRUE(writer.saveCacheFile(path, /*generation=*/17));
+
+    buildsys::Workflow reader(cfg);
+    uint64_t gen = 0;
+    ASSERT_TRUE(reader.loadCacheFile(path, &gen));
+    EXPECT_EQ(gen, 17u);
+    std::remove(path);
+}
+
+TEST(WorkflowCache, TornImageColdStartsCleanly)
+{
+    const char *path = "test_wf_torn.cache";
+    workload::WorkloadConfig cfg = test::smallConfig();
+
+    buildsys::Workflow writer(cfg);
+    writer.propellerBinary();
+    ASSERT_TRUE(writer.saveCacheFile(path, 5));
+
+    // Tear the image mid-payload: the load must report "no image" (a
+    // cold start), never abort or half-load.
+    std::vector<uint8_t> image;
+    ASSERT_TRUE(readFile(path, image));
+    image.resize(image.size() / 2);
+    ASSERT_TRUE(atomicWriteFile(path, image));
+
+    buildsys::Workflow reader(cfg);
+    uint64_t gen = 99;
+    EXPECT_FALSE(reader.loadCacheFile(path, &gen));
+    EXPECT_EQ(gen, 99u);
+
+    // The cold workflow still relinks and can re-persist over the torn
+    // image.
+    reader.propellerBinary();
+    ASSERT_TRUE(reader.saveCacheFile(path, 6));
+    buildsys::Workflow again(cfg);
+    uint64_t gen2 = 0;
+    EXPECT_TRUE(again.loadCacheFile(path, &gen2));
+    EXPECT_EQ(gen2, 6u);
+    std::remove(path);
+    std::remove((std::string(path) + ".tmp").c_str());
 }
 
 TEST(WorkflowReports, BoltReportsPopulated)

@@ -9,14 +9,18 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "build/journal.h"
 #include "build/workflow.h"
+#include "faultinject/chaos.h"
 #include "ir/ir.h"
 #include "profile/profile.h"
 #include "service/fleet.h"
+#include "support/status.h"
 #include "test_util.h"
 #include "workload/workload.h"
 
@@ -321,6 +325,432 @@ TEST(FleetService, StatuszRendersHistoryAndRelinks)
     EXPECT_NE(json.find("\"relinks\": ["), std::string::npos);
     EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
               std::count(json.begin(), json.end(), '}'));
+}
+
+// ---------------------------------------------------------------------
+// Late folds into the emission epoch's slot
+
+TEST(DecayedAggregate, AddAtFoldsIntoEmissionSlotAndRejectsExpired)
+{
+    const uint64_t key = profile::AggregatedProfile::key(0x10, 0x20);
+    profile::AggregatedProfile epoch;
+    epoch.branches[key] = 1000;
+    epoch.totalBranchEvents = 1000;
+    profile::AggregatedProfile empty;
+
+    // Reference: the shard arrived on time, then aged two epochs.
+    profile::DecayedAggregate onTime(4);
+    onTime.fold(epoch, 0.5);
+    onTime.fold(empty, 0.5);
+    onTime.fold(empty, 0.5);
+
+    // Same shard arriving two epochs late lands in the same slot:
+    // identical windowed state, so identical snapshots.
+    profile::DecayedAggregate late(4);
+    late.fold(empty, 0.5);
+    late.fold(empty, 0.5);
+    late.fold(empty, 0.5);
+    ASSERT_TRUE(late.addAt(2, epoch));
+    EXPECT_EQ(late.quantize().branches.at(key),
+              onTime.quantize().branches.at(key));
+
+    // A slot that already slid out of the window folds nothing.
+    profile::AggregatedProfile before = late.quantize();
+    EXPECT_FALSE(late.addAt(4, epoch));
+    EXPECT_EQ(late.quantize().branches, before.branches);
+}
+
+// ---------------------------------------------------------------------
+// Chaos-free runs report a quiet transport (satellite: the lag peak is
+// a real measurement now, not a shard count)
+
+TEST(FleetService, ChaosFreeTransportIsQuiet)
+{
+    fleet::FleetOptions fo = fleetOptions("test_fleet_quiet.cache");
+    fleet::FleetService svc(std::move(fo));
+    svc.run(4);
+
+    for (const fleet::EpochStats &es : svc.history()) {
+        EXPECT_EQ(es.shardLagPeak, 0u) << "epoch " << es.epoch;
+        EXPECT_EQ(es.shardsDuplicated, 0u) << "epoch " << es.epoch;
+        EXPECT_EQ(es.shardsLate, 0u) << "epoch " << es.epoch;
+        EXPECT_EQ(es.shardsExpired, 0u) << "epoch " << es.epoch;
+        EXPECT_EQ(es.shardsLost, 0u) << "epoch " << es.epoch;
+        EXPECT_EQ(es.shardsRejected, 0u) << "epoch " << es.epoch;
+        EXPECT_FALSE(es.relinkRetried) << "epoch " << es.epoch;
+    }
+    EXPECT_EQ(svc.detection(), fleet::FaultDetection{});
+    for (const auto &[m, h] : svc.machineHealth()) {
+        EXPECT_GT(h.shardsIngested, 0u) << "machine " << m;
+        EXPECT_EQ(h.lagPeakEpochs, 0u) << "machine " << m;
+        EXPECT_EQ(h.duplicates + h.losses + h.corrupt + h.late +
+                      h.expired,
+                  0u)
+            << "machine " << m;
+    }
+    EXPECT_FALSE(svc.degraded());
+    EXPECT_GE(svc.generation(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Injected == detected, per fault class
+
+TEST(FleetChaos, DetectionMatchesInjectionPerFaultClass)
+{
+    fleet::FleetOptions fo = fleetOptions("test_fleet_chaos_det.cache");
+    fo.shardSamples = 8; // Multi-shard batches: real drop-able streams.
+    const uint32_t decayWindow = fo.decayWindow;
+
+    faultinject::ChaosSpec spec;
+    spec.seed = 1234;
+    spec.dropRate = 0.12;
+    spec.dupRate = 0.10;
+    spec.delayRate = 0.15;
+    spec.corruptRate = 0.08;
+    spec.reorderRate = 0.30;
+    spec.maxDelayEpochs = 2; // <= decayWindow
+    ASSERT_LE(spec.maxDelayEpochs, decayWindow);
+    spec.chaosStartEpoch = 0;
+    spec.chaosEndEpoch = 5;
+    faultinject::ChaosSchedule chaos(spec);
+
+    fleet::FleetService svc(std::move(fo));
+    svc.setChaosHooks(&chaos);
+    // Drain long enough for every delayed shard to land and every
+    // outstanding batch gap to cross the lag horizon.
+    svc.run(spec.chaosEndEpoch + 1 + spec.maxDelayEpochs + decayWindow);
+
+    const faultinject::ChaosStats &inj = chaos.stats();
+    const fleet::FaultDetection &det = svc.detection();
+    ASSERT_GT(inj.shardsSeen, 0u);
+    EXPECT_GT(inj.shardsDropped, 0u);
+    EXPECT_GT(inj.shardsDuplicated, 0u);
+    EXPECT_GT(inj.shardsDelayed, 0u);
+    EXPECT_GT(inj.shardsCorrupted, 0u);
+
+    EXPECT_EQ(det.losses, inj.shardsDropped);
+    EXPECT_EQ(det.duplicates, inj.shardsDuplicated);
+    EXPECT_EQ(det.corrupt, inj.shardsCorrupted);
+    EXPECT_EQ(det.late + det.expired, inj.shardsDelayed);
+    EXPECT_EQ(det.inversions, inj.arrivalInversions);
+    EXPECT_EQ(det.relinkFailures, 0u);
+
+    // The epoch counters are the same totals, epoch-sliced.
+    uint64_t lost = 0, dup = 0, rej = 0, lateN = 0, expired = 0;
+    uint32_t lagPeak = 0;
+    for (const fleet::EpochStats &es : svc.history()) {
+        lost += es.shardsLost;
+        dup += es.shardsDuplicated;
+        rej += es.shardsRejected;
+        lateN += es.shardsLate;
+        expired += es.shardsExpired;
+        lagPeak = std::max(lagPeak, es.shardLagPeak);
+    }
+    EXPECT_EQ(lost, det.losses);
+    EXPECT_EQ(dup, det.duplicates);
+    EXPECT_EQ(rej, det.corrupt);
+    EXPECT_EQ(lateN, det.late);
+    EXPECT_EQ(expired, det.expired);
+    EXPECT_EQ(lagPeak, inj.maxDelayInjected);
+
+    // Per-machine health sums to the service-wide totals.
+    fleet::MachineHealth sum;
+    for (const auto &[m, h] : svc.machineHealth()) {
+        sum.duplicates += h.duplicates;
+        sum.losses += h.losses;
+        sum.corrupt += h.corrupt;
+        sum.late += h.late;
+        sum.expired += h.expired;
+        sum.lagPeakEpochs = std::max(sum.lagPeakEpochs, h.lagPeakEpochs);
+    }
+    EXPECT_EQ(sum.duplicates, det.duplicates);
+    EXPECT_EQ(sum.losses, det.losses);
+    EXPECT_EQ(sum.corrupt, det.corrupt);
+    EXPECT_EQ(sum.late, det.late);
+    EXPECT_EQ(sum.expired, det.expired);
+    EXPECT_EQ(sum.lagPeakEpochs, inj.maxDelayInjected);
+}
+
+// ---------------------------------------------------------------------
+// Post-chaos convergence: once the window outlives the chaos epochs,
+// a relink ships the same bytes as a chaos-free twin
+
+TEST(FleetChaos, PostChaosRelinkConvergesToChaosFreeBytes)
+{
+    // Chaos only in epochs [0, 1]; by the time the decay window has
+    // slid past them the mix holds only clean epochs.
+    faultinject::ChaosSpec spec;
+    spec.seed = 77;
+    spec.dropRate = 0.20;
+    spec.dupRate = 0.15;
+    spec.corruptRate = 0.10;
+    spec.reorderRate = 0.50;
+    spec.delayRate = 0.0;
+    spec.chaosStartEpoch = 0;
+    spec.chaosEndEpoch = 1;
+    faultinject::ChaosSchedule chaos(spec);
+
+    fleet::FleetOptions a = fleetOptions("test_fleet_conv_a.cache");
+    a.shardSamples = 8;
+    const uint32_t epochs = spec.chaosEndEpoch + 1 + a.decayWindow;
+    fleet::FleetService chaotic(std::move(a));
+    chaotic.setChaosHooks(&chaos);
+    chaotic.run(epochs);
+    chaotic.relinkNow();
+
+    fleet::FleetOptions b = fleetOptions("test_fleet_conv_b.cache");
+    b.shardSamples = 8;
+    fleet::FleetService clean(std::move(b));
+    clean.run(epochs);
+    clean.relinkNow();
+
+    ASSERT_GT(chaos.stats().shardsDropped +
+                  chaos.stats().shardsDuplicated +
+                  chaos.stats().shardsCorrupted,
+              0u);
+    EXPECT_EQ(chaotic.shippedBinary().identityHash,
+              clean.shippedBinary().identityHash);
+    EXPECT_EQ(chaotic.shippedBinary().text, clean.shippedBinary().text);
+}
+
+// ---------------------------------------------------------------------
+// Relink failure, quarantine, last-good serving, recovery
+
+namespace chaostest {
+
+/** Fail the next `failNext` relink attempts, then heal. */
+class CountedFailHooks : public fleet::FleetChaosHooks
+{
+  public:
+    uint32_t failNext = 0;
+
+    bool
+    failRelink(uint32_t, uint32_t) override
+    {
+        if (failNext == 0)
+            return false;
+        --failNext;
+        return true;
+    }
+};
+
+} // namespace chaostest
+
+TEST(FleetChaos, QuarantineServesLastGoodThenRecovers)
+{
+    fleet::FleetOptions fo = fleetOptions("test_fleet_rollback.cache");
+    fo.driftThreshold = 2.0; // Only forced relinks fire.
+    const uint32_t retries = fo.maxRelinkRetries;
+    fleet::FleetService svc(std::move(fo));
+    chaostest::CountedFailHooks blackout;
+    svc.setChaosHooks(&blackout);
+
+    // Epoch 0: clean relink establishes generation 1 (the last-good).
+    svc.stepEpoch();
+    svc.relinkNow();
+    ASSERT_EQ(svc.relinks().size(), 1u);
+    EXPECT_TRUE(svc.relinks()[0].verifierClean);
+    EXPECT_EQ(svc.generation(), 1u);
+    EXPECT_FALSE(svc.degraded());
+    const uint64_t goodHash = svc.shippedBinary().identityHash;
+
+    // Epoch 1: every attempt of the next relink crashes; it quarantines
+    // and the last-good artifact keeps serving.
+    blackout.failNext = 1 + retries;
+    svc.stepEpoch();
+    svc.relinkNow();
+    ASSERT_EQ(svc.relinks().size(), 2u);
+    const fleet::RelinkRecord &q = svc.relinks()[1];
+    EXPECT_TRUE(q.quarantined);
+    EXPECT_FALSE(q.verifierClean);
+    EXPECT_EQ(q.attempts, 1 + retries);
+    EXPECT_EQ(q.failedAttempts, 1 + retries);
+    EXPECT_GT(q.backoffSec, 0.0);
+    EXPECT_EQ(q.generation, 1u); // Unchanged: nothing new shipped.
+    EXPECT_TRUE(svc.degraded());
+    EXPECT_EQ(svc.generation(), 1u);
+    EXPECT_EQ(svc.shippedBinary().identityHash, goodHash);
+    EXPECT_EQ(svc.detection().relinkFailures,
+              static_cast<uint64_t>(1 + retries));
+
+    // Epoch 2: the blackout has passed; the pending relink re-attempts
+    // without a fresh crossing, succeeds, and clears degraded mode.
+    svc.stepEpoch();
+    ASSERT_EQ(svc.relinks().size(), 3u);
+    EXPECT_TRUE(svc.history().back().relinkRetried);
+    const fleet::RelinkRecord &r = svc.relinks()[2];
+    EXPECT_FALSE(r.quarantined);
+    EXPECT_TRUE(r.verifierClean);
+    EXPECT_EQ(r.generation, 2u);
+    EXPECT_FALSE(svc.degraded());
+    EXPECT_EQ(svc.generation(), 2u);
+}
+
+// ---------------------------------------------------------------------
+// Runtime fleet configuration: canary rollout and rollback
+
+TEST(FleetService, CanaryAddTargetRetireRollsBackCleanly)
+{
+    fleet::FleetOptions fo = fleetOptions("test_fleet_canary.cache");
+    fo.releaseEpoch = 1;
+    fleet::FleetService svc(std::move(fo));
+    const uint32_t baseVersions = svc.versionCount();
+    svc.run(3); // Past the release: migration toward the target began.
+    const uint32_t oldTarget = svc.targetVersion();
+
+    // Roll out a canary: new version, retarget at it.
+    const uint32_t canary = svc.addVersion();
+    EXPECT_EQ(canary, baseVersions);
+    EXPECT_EQ(svc.versionCount(), baseVersions + 1);
+    svc.setTargetVersion(canary);
+    EXPECT_EQ(svc.targetVersion(), canary);
+    svc.run(2);
+
+    // Machines migrated onto the canary and it emits samples.
+    const fleet::EpochStats &mid = svc.history().back();
+    ASSERT_NE(mid.machinesByVersion.count(canary), 0u);
+    EXPECT_GT(mid.machinesByVersion.at(canary), 0u);
+    EXPECT_GT(mid.samplesByVersion.at(canary), 0u);
+
+    // Roll it back: retiring the target repoints at the newest live
+    // version and pulls every machine off the canary immediately.
+    svc.retireVersion(canary);
+    EXPECT_TRUE(svc.versionRetired(canary));
+    EXPECT_EQ(svc.targetVersion(), oldTarget);
+    svc.run(2);
+    const fleet::EpochStats &after = svc.history().back();
+    EXPECT_EQ(after.machinesByVersion.count(canary), 0u);
+    EXPECT_EQ(after.samplesByVersion.count(canary), 0u);
+
+    // The post-rollback service still relinks a verified artifact.
+    svc.relinkNow();
+    EXPECT_TRUE(svc.relinks().back().verifierClean);
+    EXPECT_FALSE(svc.degraded());
+
+    // The program recipe for runtime-added versions is reproducible.
+    ir::Program replay = fleet::makeVersionProgram(
+        fleetOptions("test_fleet_canary2.cache"), canary);
+    EXPECT_EQ(replay.modules.size(),
+              svc.versionProgram(canary).modules.size());
+}
+
+// ---------------------------------------------------------------------
+// Byte-size-weighted drift metric (satellite)
+
+TEST(FleetDrift, WeightedAndUnweightedMetricsDiffer)
+{
+    fleet::FleetOptions fo = fleetOptions("test_fleet_wdrift.cache");
+    fo.weightedDrift = true;
+    fleet::FleetService svc(std::move(fo));
+    svc.run(4);
+
+    bool sawDifference = false;
+    for (const fleet::EpochStats &es : svc.history()) {
+        EXPECT_GE(es.driftMetric, 0.0);
+        EXPECT_LE(es.driftMetric, 1.0);
+        EXPECT_GE(es.driftMetricUnweighted, 0.0);
+        EXPECT_LE(es.driftMetricUnweighted, 1.0);
+        if (es.driftMetric != es.driftMetricUnweighted)
+            sawDifference = true;
+        // The active metric drives the trigger.
+        EXPECT_EQ(es.relinked,
+                  es.driftMetric > svc.options().driftThreshold)
+            << "epoch " << es.epoch;
+    }
+    EXPECT_TRUE(sawDifference);
+
+    // The unweighted twin equals what an unweighted service computes.
+    fleet::FleetOptions uo = fleetOptions("test_fleet_udrift.cache");
+    uo.weightedDrift = false;
+    fleet::FleetService usvc(std::move(uo));
+    usvc.run(4);
+    for (size_t e = 0; e < 4; ++e) {
+        EXPECT_EQ(usvc.history()[e].driftMetric,
+                  usvc.history()[e].driftMetricUnweighted)
+            << "epoch " << e;
+        EXPECT_EQ(svc.history()[e].driftMetricUnweighted,
+                  usvc.history()[e].driftMetricUnweighted)
+            << "epoch " << e;
+    }
+}
+
+TEST(FleetDrift, TotalVariationHelperProperties)
+{
+    using Dist = std::map<std::pair<std::string, uint32_t>, double>;
+    Dist empty;
+    Dist a = {{{"f", 0}, 0.5}, {{"f", 1}, 0.5}};
+    Dist b = {{{"g", 0}, 1.0}};
+    EXPECT_EQ(fleet::totalVariation(empty, empty), 0.0);
+    EXPECT_EQ(fleet::totalVariation(a, empty), 1.0);
+    EXPECT_EQ(fleet::totalVariation(empty, a), 1.0);
+    EXPECT_EQ(fleet::totalVariation(a, a), 0.0);
+    EXPECT_EQ(fleet::totalVariation(a, b), 1.0); // Disjoint supports.
+
+    Dist c = {{{"f", 0}, 0.75}, {{"f", 1}, 0.25}};
+    EXPECT_DOUBLE_EQ(fleet::totalVariation(a, c), 0.25);
+}
+
+// ---------------------------------------------------------------------
+// Statusz coverage (satellite): golden keys and typed path errors
+
+TEST(FleetStatusz, JsonCarriesChaosAndRollbackKeys)
+{
+    fleet::FleetOptions fo = fleetOptions("test_fleet_szkeys.cache");
+    fleet::FleetService svc(std::move(fo));
+    svc.run(2);
+
+    const std::string json = fleet::renderStatuszJson(svc);
+    const char *keys[] = {
+        "\"workload\"",       "\"weighted_drift\"",
+        "\"generation\"",     "\"degraded\"",
+        "\"detection\"",      "\"machine_health\"",
+        "\"corrupt\"",        "\"duplicates\"",
+        "\"losses\"",         "\"late\"",
+        "\"expired\"",        "\"inversions\"",
+        "\"relink_failures\"",
+        "\"shards_duplicated\"", "\"shards_late\"",
+        "\"shards_expired\"", "\"shards_lost\"",
+        "\"arrival_inversions\"", "\"shard_lag_peak\"",
+        "\"drift_metric_unweighted\"", "\"relink_retried\"",
+        "\"attempts\"",       "\"failed_attempts\"",
+        "\"backoff_sec\"",    "\"quarantined\"",
+        "\"verifier_clean\"",
+    };
+    for (const char *key : keys)
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+
+    const std::string text = fleet::renderStatuszText(svc);
+    EXPECT_NE(text.find("transport health"), std::string::npos);
+    EXPECT_NE(text.find("serving generation"), std::string::npos);
+}
+
+TEST(FleetStatusz, WriteFileReportsTypedPathErrors)
+{
+    fleet::FleetOptions fo = fleetOptions("test_fleet_szfile.cache");
+    fleet::FleetService svc(std::move(fo));
+    svc.run(1);
+
+    support::Status bad = fleet::writeStatuszFile(svc, "");
+    EXPECT_FALSE(bad.ok());
+    EXPECT_EQ(bad.code(), support::ErrorCode::kMalformed);
+
+    support::Status unopenable = fleet::writeStatuszFile(
+        svc, "no_such_dir/definitely/statusz.json");
+    EXPECT_FALSE(unopenable.ok());
+    EXPECT_EQ(unopenable.code(), support::ErrorCode::kUnresolved);
+    EXPECT_NE(unopenable.message().find("no_such_dir"),
+              std::string::npos);
+
+    const char *path = "test_fleet_statusz_out.json";
+    std::remove(path);
+    support::Status ok = fleet::writeStatuszFile(svc, path);
+    EXPECT_TRUE(ok.ok()) << ok.message();
+    std::vector<uint8_t> bytes;
+    EXPECT_TRUE(buildsys::readFile(path, bytes));
+    EXPECT_FALSE(bytes.empty());
+    std::remove(path);
 }
 
 } // namespace

@@ -64,6 +64,8 @@ def main():
         "drift_layout_hit_rate", "persisted_layout_hit_rate",
         "steady_state_retention", "relinks_triggered", "drift_crossings",
         "primed_hits", "warm_hit_rate_steady",
+        "shards_seen", "lag_peak_epochs", "relink_failures",
+        "degraded_epochs", "torn_cache_crash_points",
     ]
     summary = {}
     for name, data in merged.items():

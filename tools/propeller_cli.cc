@@ -42,15 +42,18 @@
  *   ./build/tools/propeller-cli disasm clang main
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "analysis/verifier.h"
 #include "build/workflow.h"
+#include "faultinject/chaos.h"
 #include "faultinject/faultinject.h"
 #include "ir/verifier.h"
 #include "service/fleet.h"
@@ -104,6 +107,17 @@ double g_drift_pct = 10.0;
 double g_decay = 0.5;
 std::string g_statusz_out;
 std::string g_cache_path;
+
+/** serve: chaos schedule spec (faultinject::parseChaosSpec). */
+std::string g_chaos_spec;
+bool g_chaos_requested = false;
+
+/** serve: weight the drift metric by block byte size. */
+bool g_weighted_drift = false;
+
+/** serve: canary rollout/rollback epochs (~0u = disabled). */
+unsigned g_canary_at = ~0u;
+unsigned g_rollback_at = ~0u;
 
 /** Look up a workload and apply the global --jobs override. */
 workload::WorkloadConfig
@@ -619,6 +633,9 @@ cmdHeatmap(const std::string &name)
  * `serve <workload>`: the continuous-profiling fleet loop — stream
  * shards from a mixed-version fleet, fold the recency-weighted
  * aggregate, relink on drift-threshold crossings, print statusz.
+ * With --chaos the transport and relinks run under a seeded chaos
+ * schedule; --canary-at/--rollback-at model a mid-run canary rollout
+ * that gets rolled back through the runtime fleet-config API.
  */
 int
 cmdServe(const std::string &name)
@@ -631,34 +648,87 @@ cmdServe(const std::string &name)
     fo.driftThreshold = g_drift_threshold;
     fo.decay = g_decay;
     fo.cachePath = g_cache_path;
+    fo.weightedDrift = g_weighted_drift;
+
+    std::unique_ptr<faultinject::ChaosSchedule> chaos;
+    if (g_chaos_requested) {
+        support::StatusOr<faultinject::ChaosSpec> spec =
+            faultinject::parseChaosSpec(g_chaos_spec);
+        if (!spec.ok()) {
+            std::printf("propeller-cli: bad --chaos spec: %s\n",
+                        spec.status().toString().c_str());
+            return 2;
+        }
+        // Delays past the decay window would double-attribute (expired
+        // *and* lost); clamp so injected == detected holds.
+        faultinject::ChaosSpec cs = *spec;
+        cs.maxDelayEpochs =
+            std::min(cs.maxDelayEpochs, fo.decayWindow);
+        chaos = std::make_unique<faultinject::ChaosSchedule>(cs);
+    }
 
     std::printf("fleet service: %u machine(s) on %u version(s) of %s, "
-                "drift threshold %.3f\n",
-                fo.machines, fo.versions, name.c_str(), fo.driftThreshold);
+                "drift threshold %.3f (%s)%s\n",
+                fo.machines, fo.versions, name.c_str(), fo.driftThreshold,
+                fo.weightedDrift ? "size-weighted" : "unweighted",
+                chaos ? ", chaos on" : "");
 
+    const uint32_t decayWindow = fo.decayWindow;
     fleet::FleetService service(std::move(fo));
+    if (chaos)
+        service.setChaosHooks(chaos.get());
+
+    unsigned canaryVersion = ~0u;
     for (unsigned e = 0; e < g_epochs; ++e) {
+        if (e == g_canary_at) {
+            canaryVersion = service.addVersion();
+            service.setTargetVersion(canaryVersion);
+            std::printf("epoch %2u: canary v%u added and targeted\n", e,
+                        canaryVersion);
+        }
+        if (e == g_rollback_at && canaryVersion != ~0u &&
+            !service.versionRetired(canaryVersion)) {
+            service.retireVersion(canaryVersion);
+            std::printf("epoch %2u: canary v%u rolled back (target back "
+                        "to v%u)\n",
+                        e, canaryVersion, service.targetVersion());
+        }
         service.stepEpoch();
         const fleet::EpochStats &es = service.history().back();
-        std::printf("epoch %2u: %3u shard(s) in, %u rejected, drift "
-                    "%.4f%s\n",
+        std::printf("epoch %2u: %3u shard(s) in, %u rejected, %u dup, "
+                    "%u late, %u lost, lag peak %u, drift %.4f%s%s%s\n",
                     es.epoch, es.shardsIngested, es.shardsRejected,
-                    es.driftMetric, es.relinked ? "  -> relink" : "");
+                    es.shardsDuplicated, es.shardsLate, es.shardsLost,
+                    es.shardLagPeak, es.driftMetric,
+                    es.relinked ? "  -> relink" : "",
+                    es.relinkRetried ? "  -> relink retry" : "",
+                    service.degraded() ? "  [degraded]" : "");
     }
 
     std::string page = fleet::renderStatuszText(service);
     std::printf("\n%s", page.c_str());
 
+    if (chaos) {
+        const faultinject::ChaosStats &cs = chaos->stats();
+        std::printf("\nchaos injected: %llu dropped, %llu duplicated, "
+                    "%llu delayed (max %u epoch(s)), %llu corrupted, "
+                    "%llu relink fault(s)\n",
+                    static_cast<unsigned long long>(cs.shardsDropped),
+                    static_cast<unsigned long long>(cs.shardsDuplicated),
+                    static_cast<unsigned long long>(cs.shardsDelayed),
+                    cs.maxDelayInjected,
+                    static_cast<unsigned long long>(cs.shardsCorrupted),
+                    static_cast<unsigned long long>(cs.relinkFaults));
+        (void)decayWindow;
+    }
+
     if (!g_statusz_out.empty()) {
-        std::string json = fleet::renderStatuszJson(service);
-        FILE *f = std::fopen(g_statusz_out.c_str(), "w");
-        if (f == nullptr) {
-            std::fprintf(stderr, "propeller-cli: cannot write '%s'\n",
-                         g_statusz_out.c_str());
-            return 1;
+        support::Status st =
+            fleet::writeStatuszFile(service, g_statusz_out);
+        if (!st.ok()) {
+            std::printf("propeller-cli: %s\n", st.toString().c_str());
+            return 2;
         }
-        std::fwrite(json.data(), 1, json.size(), f);
-        std::fclose(f);
         std::printf("statusz JSON written to %s\n", g_statusz_out.c_str());
     }
     return 0;
@@ -713,9 +783,22 @@ usage()
                 "  --decay D           serve: per-epoch sample decay in\n"
                 "                      (0, 1] (default 0.5)\n"
                 "  --cache FILE        serve: artifact-cache image path\n"
-                "                      (persists across restarts)\n"
+                "                      (persists across restarts;\n"
+                "                      journaled + generation-stamped —\n"
+                "                      a torn image cold-starts cleanly)\n"
                 "  --statusz-out FILE  serve: write the statusz page as\n"
-                "                      JSON\n");
+                "                      JSON\n"
+                "  --weighted-drift    serve: weight the drift metric by\n"
+                "                      block byte size\n"
+                "  --chaos S           serve: seeded shard-stream chaos\n"
+                "                      spec, e.g. seed=7,drop=0.1,\n"
+                "                      dup=0.1,delay=0.2,maxdelay=2,\n"
+                "                      corrupt=0.1,reorder=0.25,\n"
+                "                      blackout=4:5\n"
+                "  --canary-at E       serve: add a new version at epoch\n"
+                "                      E and target it (canary rollout)\n"
+                "  --rollback-at R     serve: retire the canary at epoch\n"
+                "                      R (rollback to last-good chain)\n");
     return 2;
 }
 
@@ -863,6 +946,31 @@ main(int argc, char **argv)
         }
         if (arg == "--statusz-out" && i + 1 < argc) {
             g_statusz_out = argv[++i];
+            continue;
+        }
+        if (arg == "--chaos" && i + 1 < argc) {
+            g_chaos_spec = argv[++i];
+            g_chaos_requested = true;
+            continue;
+        }
+        if (arg == "--weighted-drift") {
+            g_weighted_drift = true;
+            continue;
+        }
+        if (arg == "--canary-at" && i + 1 < argc) {
+            ++i;
+            unsigned at = 0;
+            if (!parseCount("--canary-at", at))
+                return usage();
+            g_canary_at = at;
+            continue;
+        }
+        if (arg == "--rollback-at" && i + 1 < argc) {
+            ++i;
+            unsigned at = 0;
+            if (!parseCount("--rollback-at", at))
+                return usage();
+            g_rollback_at = at;
             continue;
         }
         args.push_back(std::move(arg));
